@@ -1,0 +1,45 @@
+# Standard developer entry points. Everything is stdlib Go; no tools
+# beyond the Go toolchain are required.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench bench-figures experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/cluster/rolediet/ ./internal/server/ ./internal/incremental/
+
+cover:
+	$(GO) test -cover ./...
+
+# The complete benchmark suite (all paper figures, the org audit, and
+# the ablations). Expect ~10-20 minutes; the float64-baseline points
+# are intentionally slow — they are the paper's argument.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Only the paper-figure benchmark families, one iteration each.
+bench-figures:
+	$(GO) test -bench 'Figure2|Figure3$$|OrgScale' -benchtime 1x .
+
+# Regenerate the recorded evaluation outputs under results/.
+experiments:
+	$(GO) run ./cmd/rolediet sweep -axis users -fixed 1000 \
+		-values 1000,2000,4000,7000,10000 -runs 5 > results/figure2.txt
+	$(GO) run ./cmd/rolediet sweep -axis roles -fixed 1000 \
+		-values 1000,2000,4000,7000,10000 -runs 5 > results/figure3.txt
+	$(GO) run ./examples/orgaudit > results/orgaudit_full.txt
+	$(GO) run ./cmd/rolediet recall > results/recall.txt
+
+clean:
+	rm -f rolediet roledietd

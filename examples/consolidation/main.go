@@ -1,0 +1,122 @@
+// Consolidation demonstrates the role-diet cleanup loop on a small
+// department-style dataset: detect class-4 groups, plan merges, apply
+// them, verify that no user gained or lost a single effective
+// permission, and iterate until no further safe merge exists.
+//
+// Run with:
+//
+//	go run ./examples/consolidation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/consolidate"
+	"repro/internal/core"
+	"repro/internal/rbac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildDepartments creates two "departments" that independently defined
+// equivalent roles — the fragmentation the paper blames for role bloat
+// in global enterprises.
+func buildDepartments() *rbac.Dataset {
+	d := rbac.NewDataset()
+	users := []rbac.UserID{"alice", "bob", "carol", "dave", "erin", "frank"}
+	for _, u := range users {
+		if err := d.AddUser(u); err != nil {
+			panic(err)
+		}
+	}
+	perms := []rbac.PermissionID{
+		"db.read", "db.write", "repo.read", "repo.write", "deploy.stage", "deploy.prod",
+	}
+	for _, p := range perms {
+		if err := d.AddPermission(p); err != nil {
+			panic(err)
+		}
+	}
+
+	type roleSpec struct {
+		id    rbac.RoleID
+		users []rbac.UserID
+		perms []rbac.PermissionID
+	}
+	specs := []roleSpec{
+		// Department A.
+		{"a-developer", []rbac.UserID{"alice", "bob"}, []rbac.PermissionID{"repo.read", "repo.write"}},
+		{"a-dba", []rbac.UserID{"carol"}, []rbac.PermissionID{"db.read", "db.write"}},
+		// Department B re-created the same developer role under its own
+		// name, with the same permissions, for its own people...
+		{"b-developer", []rbac.UserID{"dave", "erin"}, []rbac.PermissionID{"repo.read", "repo.write"}},
+		// ...and a duplicate of A's developer role for the same people
+		// (identical user set!), plus a deployment role.
+		{"a-developer-legacy", []rbac.UserID{"alice", "bob"}, []rbac.PermissionID{"repo.read"}},
+		{"b-deployer", []rbac.UserID{"frank"}, []rbac.PermissionID{"deploy.stage", "deploy.prod"}},
+	}
+	for _, s := range specs {
+		if err := d.AddRole(s.id); err != nil {
+			panic(err)
+		}
+		for _, u := range s.users {
+			if err := d.AssignUser(s.id, u); err != nil {
+				panic(err)
+			}
+		}
+		for _, p := range s.perms {
+			if err := d.AssignPermission(s.id, p); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return d
+}
+
+func run() error {
+	ds := buildDepartments()
+	fmt.Printf("before: %d roles\n", ds.NumRoles())
+
+	round := 0
+	for {
+		round++
+		after, plan, err := consolidate.Consolidate(ds, core.Options{})
+		if err != nil {
+			return err
+		}
+		if plan.RolesRemoved() == 0 {
+			fmt.Printf("round %d: no safe merges remain\n", round)
+			break
+		}
+		for _, m := range plan.Merges {
+			fmt.Printf("round %d: merge %v into %s (identical %s)\n",
+				round, m.Remove, m.Keep, m.Side)
+		}
+		// VerifySafety already ran inside Consolidate; run it again here
+		// to show the API.
+		if err := consolidate.VerifySafety(ds, after); err != nil {
+			return fmt.Errorf("safety violated: %w", err)
+		}
+		ds = after
+	}
+
+	fmt.Printf("after: %d roles\n", ds.NumRoles())
+	fmt.Println("\nremaining roles and their assignments:")
+	for _, r := range ds.Roles() {
+		users, err := ds.RoleUsers(r)
+		if err != nil {
+			return err
+		}
+		perms, err := ds.RolePermissions(r)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-22s users=%v perms=%v\n", r, users, perms)
+	}
+	return nil
+}

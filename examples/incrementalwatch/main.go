@@ -1,0 +1,103 @@
+// Incrementalwatch demonstrates keeping the duplicate-role index (the
+// class-4 inefficiency) current under live assignment churn, instead of
+// re-running the batch framework periodically: every mutation is an
+// O(1) hash update, and group queries read straight off the index.
+//
+// The simulation replays a day of IAM events — role creation,
+// assignment, revocation — against a department that keeps cloning its
+// "viewer" role, and prints the duplicate groups as they form and
+// dissolve.
+//
+// Run with:
+//
+//	go run ./examples/incrementalwatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/incremental"
+)
+
+// event is one IAM mutation.
+type event struct {
+	desc string
+	do   func(x *incremental.Index) error
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Roles are ints here; a deployment would map its role ids.
+	const (
+		viewer      = 0
+		viewerClone = 1
+		editor      = 2
+		viewerV2    = 3
+	)
+	users := map[string]int{"alice": 100, "bob": 101, "carol": 102}
+
+	x := incremental.New(2025)
+	events := []event{
+		{"create role viewer", func(x *incremental.Index) error { return x.AddRole(viewer) }},
+		{"assign alice to viewer", func(x *incremental.Index) error { return x.Assign(viewer, users["alice"]) }},
+		{"assign bob to viewer", func(x *incremental.Index) error { return x.Assign(viewer, users["bob"]) }},
+		{"create role editor", func(x *incremental.Index) error { return x.AddRole(editor) }},
+		{"assign carol to editor", func(x *incremental.Index) error { return x.Assign(editor, users["carol"]) }},
+		// A second team recreates viewer under a new name for the same
+		// people: a class-4 inefficiency is born.
+		{"create role viewer-clone", func(x *incremental.Index) error { return x.AddRole(viewerClone) }},
+		{"assign alice to viewer-clone", func(x *incremental.Index) error { return x.Assign(viewerClone, users["alice"]) }},
+		{"assign bob to viewer-clone", func(x *incremental.Index) error { return x.Assign(viewerClone, users["bob"]) }},
+		// A migration drifts it apart again...
+		{"assign carol to viewer-clone", func(x *incremental.Index) error { return x.Assign(viewerClone, users["carol"]) }},
+		// ...and a revocation re-aligns it.
+		{"revoke carol from viewer-clone", func(x *incremental.Index) error { return x.Revoke(viewerClone, users["carol"]) }},
+		// A v2 role duplicates it a second time.
+		{"create role viewer-v2", func(x *incremental.Index) error { return x.AddRole(viewerV2) }},
+		{"assign alice to viewer-v2", func(x *incremental.Index) error { return x.Assign(viewerV2, users["alice"]) }},
+		{"assign bob to viewer-v2", func(x *incremental.Index) error { return x.Assign(viewerV2, users["bob"]) }},
+		// Cleanup removes the first clone.
+		{"remove role viewer-clone", func(x *incremental.Index) error { return x.RemoveRole(viewerClone) }},
+	}
+
+	names := map[int]string{
+		viewer: "viewer", viewerClone: "viewer-clone",
+		editor: "editor", viewerV2: "viewer-v2",
+	}
+	for _, ev := range events {
+		if err := ev.do(x); err != nil {
+			return fmt.Errorf("%s: %w", ev.desc, err)
+		}
+		groups := x.Groups(incremental.GroupOptions{IgnoreEmpty: true})
+		fmt.Printf("%-32s -> ", ev.desc)
+		if len(groups) == 0 {
+			fmt.Println("no duplicate roles")
+			continue
+		}
+		for _, g := range groups {
+			fmt.Print("[")
+			for i, r := range g {
+				if i > 0 {
+					fmt.Print(" ")
+				}
+				fmt.Print(names[r])
+			}
+			fmt.Print("] ")
+		}
+		fmt.Println()
+	}
+
+	// Point queries work too.
+	same, err := x.SameAs(viewer)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nroles currently identical to viewer: %d\n", len(same))
+	return nil
+}

@@ -1,0 +1,80 @@
+// Methodcompare runs the three group-finding methods of §III-C on one
+// synthetic matrix and compares their running time and recall — a
+// single-point version of the paper's Figure 2/3 sweeps.
+//
+// Run with:
+//
+//	go run ./examples/methodcompare -roles 2000 -users 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		roles = flag.Int("roles", 2000, "number of roles (matrix rows)")
+		users = flag.Int("users", 1000, "number of users (matrix columns)")
+		k     = flag.Int("threshold", 0, "group threshold (0 = identical rows)")
+	)
+	flag.Parse()
+	if err := run(*roles, *users, *k); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(roles, users, k int) error {
+	// The paper's generator settings: 20% of roles sit in clusters of
+	// up to 10 identical rows.
+	g, err := gen.Matrix(gen.MatrixParams{
+		Rows:              roles,
+		Cols:              users,
+		ClusterProportion: 0.2,
+		MaxClusterSize:    10,
+		Seed:              42,
+	})
+	if err != nil {
+		return err
+	}
+	planted := 0
+	for _, grp := range g.Planted {
+		planted += len(grp)
+	}
+	fmt.Printf("matrix: %d roles x %d users, %d roles planted in %d identical clusters\n\n",
+		roles, users, planted, len(g.Planted))
+	fmt.Printf("%-10s %14s %8s %8s %8s\n", "method", "duration", "groups", "roles", "recall")
+
+	methods := []core.Method{
+		core.MethodRoleDiet, core.MethodDBSCAN, core.MethodHNSW, core.MethodLSH,
+	}
+	for _, m := range methods {
+		start := time.Now()
+		groups, err := core.FindRoleGroups(g.Rows, core.GroupOptions{Method: m, Threshold: k})
+		if err != nil {
+			return err
+		}
+		dur := time.Since(start)
+		found := 0
+		for _, grp := range groups {
+			found += len(grp)
+		}
+		recall := 1.0
+		if planted > 0 {
+			recall = float64(found) / float64(planted)
+		}
+		fmt.Printf("%-10s %14s %8d %8d %7.1f%%\n",
+			m, dur.Round(time.Microsecond), len(groups), found, 100*recall)
+	}
+
+	fmt.Println("\nexpected shape (paper §IV-A): rolediet fastest and exact; dbscan exact but")
+	fmt.Println("quadratic in roles; hnsw pays an index-build constant and may trade recall")
+	fmt.Println("for speed, catching up to dbscan as the role count grows; lsh (extension)")
+	fmt.Println("is exact at threshold 0 and probabilistic above")
+	return nil
+}

@@ -1,0 +1,155 @@
+package auditor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rbac"
+)
+
+func newTestAuditor(t *testing.T, cfg Config) (*Auditor, chan *core.Report) {
+	t.Helper()
+	reports := make(chan *core.Report, 16)
+	cfg.OnReport = func(r *core.Report) { reports <- r }
+	if cfg.Source == nil {
+		cfg.Source = rbac.Figure1
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Shutdown)
+	return a, reports
+}
+
+func waitReport(t *testing.T, ch chan *core.Report) *core.Report {
+	t.Helper()
+	select {
+	case r := <-ch:
+		return r
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a report")
+		return nil
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := New(Config{Source: rbac.Figure1, Interval: -time.Second}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	if _, err := New(Config{Source: rbac.Figure1,
+		Options: core.Options{SimilarThreshold: -1}}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestManualTrigger(t *testing.T) {
+	a, reports := newTestAuditor(t, Config{})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Latest() != nil {
+		t.Fatal("report before any run")
+	}
+	a.TriggerNow()
+	rep := waitReport(t, reports)
+	if len(rep.SameUserGroups) != 1 {
+		t.Fatalf("report = %+v", rep.SameUserGroups)
+	}
+	if a.Latest() == nil || a.Runs() < 1 {
+		t.Fatalf("latest/runs not updated: runs=%d", a.Runs())
+	}
+	if a.LastError() != nil {
+		t.Fatalf("LastError = %v", a.LastError())
+	}
+}
+
+func TestIntervalRuns(t *testing.T) {
+	a, reports := newTestAuditor(t, Config{Interval: 5 * time.Millisecond})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitReport(t, reports)
+	waitReport(t, reports)
+	if a.Runs() < 2 {
+		t.Fatalf("runs = %d, want >= 2", a.Runs())
+	}
+}
+
+func TestSparseMode(t *testing.T) {
+	a, reports := newTestAuditor(t, Config{Sparse: true})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	a.TriggerNow()
+	rep := waitReport(t, reports)
+	if rep.Method != "rolediet" {
+		t.Fatalf("method = %q", rep.Method)
+	}
+}
+
+func TestErrorPath(t *testing.T) {
+	errs := make(chan error, 1)
+	a, err := New(Config{
+		Source:  rbac.Figure1,
+		Sparse:  true,
+		Options: core.Options{Method: core.MethodDBSCAN}, // sparse rejects dbscan
+		OnError: func(e error) { errs <- e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Shutdown)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	a.TriggerNow()
+	select {
+	case e := <-errs:
+		if e == nil {
+			t.Fatal("nil error delivered")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for error")
+	}
+	if a.LastError() == nil {
+		t.Fatal("LastError not set")
+	}
+	if a.Latest() != nil {
+		t.Fatal("failed run produced a report")
+	}
+}
+
+func TestStartTwice(t *testing.T) {
+	a, _ := newTestAuditor(t, Config{})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+}
+
+func TestShutdownIdempotentAndWithoutStart(t *testing.T) {
+	a, err := New(Config{Source: rbac.Figure1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Shutdown() // never started
+	a.Shutdown() // again
+	if err := a.Start(); err == nil {
+		t.Fatal("start after shutdown accepted")
+	}
+
+	b, _ := newTestAuditor(t, Config{})
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	b.Shutdown()
+	b.Shutdown()
+	b.TriggerNow() // no-op after shutdown, must not panic or block
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the sweep as an ASCII line chart in the spirit of the
+// paper's Figures 2 and 3: x axis is the varied dimension, y axis is
+// log10 of the mean duration in seconds (the series span three orders
+// of magnitude, so a linear axis would flatten the fast methods).
+// Each method gets a marker; overlapping points show the later marker.
+func (r *SweepResult) Plot(width, height int) string {
+	if len(r.Points) == 0 {
+		return "(no data)\n"
+	}
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+
+	methods := make([]string, 0, len(r.Config.Methods))
+	for _, m := range r.Config.Methods {
+		methods = append(methods, m.String())
+	}
+	markers := []byte{'R', 'D', 'H', 'F', 'L', '*'}
+
+	// Collect log10(seconds) values and their range.
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	ys := make(map[string][]float64, len(methods))
+	for _, m := range methods {
+		series := make([]float64, len(r.Points))
+		for i, p := range r.Points {
+			sec := p.Timings[m].Mean.Seconds()
+			if sec <= 0 {
+				sec = 1e-9
+			}
+			v := math.Log10(sec)
+			series[i] = v
+			if v < minY {
+				minY = v
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+		ys[m] = series
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	minX, maxX := float64(r.Points[0].X), float64(r.Points[len(r.Points)-1].X)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plotCell := func(x, yv float64, marker byte) {
+		col := int((x - minX) / (maxX - minX) * float64(width-1))
+		row := int((maxY - yv) / (maxY - minY) * float64(height-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][col] = marker
+	}
+	for mi, m := range methods {
+		marker := markers[mi%len(markers)]
+		series := ys[m]
+		for i, p := range r.Points {
+			plotCell(float64(p.X), series[i], marker)
+			// Linear interpolation toward the next point for a line feel.
+			if i+1 < len(r.Points) {
+				x0, y0 := float64(p.X), series[i]
+				x1, y1 := float64(r.Points[i+1].X), series[i+1]
+				const steps = 12
+				for s := 1; s < steps; s++ {
+					f := float64(s) / steps
+					plotCell(x0+f*(x1-x0), y0+f*(y1-y0), markerLine(marker))
+				}
+			}
+		}
+	}
+	// Re-plot the markers so they sit on top of the interpolation dots.
+	for mi, m := range methods {
+		marker := markers[mi%len(markers)]
+		for i, p := range r.Points {
+			plotCell(float64(p.X), ys[m][i], marker)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "duration vs %s (log10 seconds, %.2g .. %.2g s)\n",
+		r.Config.Axis, math.Pow(10, minY), math.Pow(10, maxY))
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", minY)
+		case height / 2:
+			label = fmt.Sprintf("%7.1f ", (minY+maxY)/2)
+		}
+		b.WriteString(label)
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("        " + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "        %-10d%s%10d\n", r.Points[0].X,
+		strings.Repeat(" ", max(0, width-20)), r.Points[len(r.Points)-1].X)
+	b.WriteString("legend: ")
+	for mi, m := range methods {
+		if mi > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%c=%s", markers[mi%len(markers)], m)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// markerLine is the low-key glyph for interpolated segments.
+func markerLine(marker byte) byte {
+	switch marker {
+	case 'R':
+		return '.'
+	case 'D':
+		return ':'
+	case 'H':
+		return '\''
+	default:
+		return '`'
+	}
+}

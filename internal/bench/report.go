@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ReportConfig sizes a full evaluation run: both figure sweeps plus the
+// organisation-scale audit, rendered as one Markdown document. Quick
+// presets let CI regenerate a miniature of the whole evaluation in
+// seconds; the full preset reproduces the paper's axes.
+type ReportConfig struct {
+	// Fixed is the constant dimension for both sweeps (paper: 1,000).
+	Fixed int
+	// Values are the swept sizes (paper: 1,000..10,000).
+	Values []int
+	// Runs per measurement (paper: 5).
+	Runs int
+	// OrgScale divides the §IV-B dataset (1 = full 50k-role scale).
+	OrgScale int
+	// Methods compared in the sweeps; defaults to the paper's three.
+	Methods []core.Method
+	// Progress receives one line per completed measurement.
+	Progress func(string)
+}
+
+// QuickReportConfig is a fast preset exercising every experiment shape.
+func QuickReportConfig() ReportConfig {
+	return ReportConfig{
+		Fixed:    200,
+		Values:   []int{100, 200, 400},
+		Runs:     2,
+		OrgScale: 100,
+	}
+}
+
+// FullReportConfig is the paper's configuration.
+func FullReportConfig() ReportConfig {
+	return ReportConfig{
+		Fixed:    1000,
+		Values:   []int{1000, 2000, 4000, 7000, 10000},
+		Runs:     5,
+		OrgScale: 1,
+	}
+}
+
+func (c ReportConfig) withDefaults() ReportConfig {
+	if c.Fixed == 0 {
+		c.Fixed = 1000
+	}
+	if len(c.Values) == 0 {
+		c.Values = []int{1000, 2000, 4000, 7000, 10000}
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	if c.OrgScale == 0 {
+		c.OrgScale = 1
+	}
+	if len(c.Methods) == 0 {
+		c.Methods = []core.Method{core.MethodRoleDiet, core.MethodDBSCAN, core.MethodHNSW}
+	}
+	return c
+}
+
+// FullReport runs the complete evaluation — Figure 2 sweep, Figure 3
+// sweep, and the §IV-B organisation audit — and renders a Markdown
+// document with one table per experiment.
+func FullReport(cfg ReportConfig) (string, error) {
+	cfg = cfg.withDefaults()
+
+	fig2, err := RunSweep(SweepConfig{
+		Axis:     AxisUsers,
+		Fixed:    cfg.Fixed,
+		Values:   cfg.Values,
+		Methods:  cfg.Methods,
+		Runs:     cfg.Runs,
+		Progress: cfg.Progress,
+	})
+	if err != nil {
+		return "", fmt.Errorf("figure 2 sweep: %w", err)
+	}
+	fig3, err := RunSweep(SweepConfig{
+		Axis:     AxisRoles,
+		Fixed:    cfg.Fixed,
+		Values:   cfg.Values,
+		Methods:  cfg.Methods,
+		Runs:     cfg.Runs,
+		Progress: cfg.Progress,
+	})
+	if err != nil {
+		return "", fmt.Errorf("figure 3 sweep: %w", err)
+	}
+	org, err := RunOrg(cfg.OrgScale)
+	if err != nil {
+		return "", fmt.Errorf("org audit: %w", err)
+	}
+
+	var b strings.Builder
+	b.WriteString("# Evaluation report\n\n")
+	fmt.Fprintf(&b, "Sweeps: fixed dimension %d, %d runs per point. Org scale 1/%d.\n\n",
+		cfg.Fixed, cfg.Runs, cfg.OrgScale)
+
+	writeSweepMarkdown(&b, "Figure 2 — duration vs users (roles fixed)", fig2)
+	writeSweepMarkdown(&b, "Figure 3 — duration vs roles (users fixed)", fig3)
+
+	b.WriteString("## Organisation-scale audit (paper section IV-B)\n\n```\n")
+	b.WriteString(org.Table())
+	b.WriteString("```\n\n")
+	if org.Matches() {
+		b.WriteString("All detected counts match the planted ground truth exactly.\n")
+	} else {
+		b.WriteString("WARNING: detected counts diverge from planted ground truth.\n")
+	}
+	return b.String(), nil
+}
+
+// writeSweepMarkdown renders one sweep as a Markdown table.
+func writeSweepMarkdown(b *strings.Builder, title string, res *SweepResult) {
+	fmt.Fprintf(b, "## %s\n\n", title)
+	methods := make([]string, 0, len(res.Config.Methods))
+	for _, m := range res.Config.Methods {
+		methods = append(methods, m.String())
+	}
+	sort.Strings(methods)
+
+	fmt.Fprintf(b, "| %s |", res.Config.Axis)
+	for _, m := range methods {
+		fmt.Fprintf(b, " %s |", m)
+	}
+	b.WriteString(" recall |\n|")
+	for i := 0; i < len(methods)+2; i++ {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, p := range res.Points {
+		fmt.Fprintf(b, "| %d |", p.X)
+		for _, m := range methods {
+			fmt.Fprintf(b, " %s |", p.Timings[m])
+		}
+		recall := 1.0
+		if p.Planted > 0 {
+			// Report the worst method's recall at this point.
+			recall = 2.0
+			for _, m := range methods {
+				r := float64(p.Found[m]) / float64(p.Planted)
+				if r < recall {
+					recall = r
+				}
+			}
+		}
+		fmt.Fprintf(b, " %.3f |\n", recall)
+	}
+	b.WriteString("\n")
+}

@@ -1,0 +1,386 @@
+// Package bitvec implements fixed-length bit vectors with word-parallel
+// set algebra and counting operations.
+//
+// A Vector is the row representation used throughout the repository for
+// RBAC assignment matrices: bit j of a role's row is 1 iff the role is
+// assigned user (or permission) j. All counting primitives the Role Diet
+// algorithm relies on — norms |R|, co-occurrences g(i,j), and Hamming
+// distances — reduce to popcounts over AND/XOR of packed words, which is
+// what makes the Go reproduction competitive with the paper's
+// numpy-backed implementation.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const (
+	// wordBits is the number of bits per storage word.
+	wordBits = 64
+	// wordShift is log2(wordBits), used for index arithmetic.
+	wordShift = 6
+	// wordMask extracts the in-word bit offset from a bit index.
+	wordMask = wordBits - 1
+)
+
+// Vector is a fixed-length sequence of bits packed into 64-bit words.
+// The zero value is an empty vector of length 0; use New to create a
+// vector with capacity for a given number of bits.
+//
+// Methods that combine two vectors (And, Or, Xor, Hamming, ...) require
+// both operands to have the same length and panic otherwise: mixing row
+// widths is a programming error, not a runtime condition.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Vector holding n bits, all zero.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vector{
+		words: make([]uint64, wordsFor(n)),
+		n:     n,
+	}
+}
+
+// FromBools builds a Vector from a slice of booleans, one bit per element.
+func FromBools(bs []bool) *Vector {
+	v := New(len(bs))
+	for i, b := range bs {
+		if b {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// FromIndices builds a Vector of length n with the given bit positions set.
+// Indices outside [0, n) cause a panic.
+func FromIndices(n int, indices []int) *Vector {
+	v := New(n)
+	for _, i := range indices {
+		v.Set(i)
+	}
+	return v
+}
+
+// wordsFor returns the number of 64-bit words needed to hold n bits.
+func wordsFor(n int) int {
+	return (n + wordBits - 1) >> wordShift
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// checkIndex panics if i is out of range.
+func (v *Vector) checkIndex(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.checkIndex(i)
+	v.words[i>>wordShift] |= 1 << (uint(i) & wordMask)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.checkIndex(i)
+	v.words[i>>wordShift] &^= 1 << (uint(i) & wordMask)
+}
+
+// SetTo sets bit i to the given value.
+func (v *Vector) SetTo(i int, value bool) {
+	if value {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	v.checkIndex(i)
+	return v.words[i>>wordShift]&(1<<(uint(i)&wordMask)) != 0
+}
+
+// Count returns the number of set bits (the vector's norm |R| in the
+// paper's notation).
+func (v *Vector) Count() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Any reports whether at least one bit is set.
+func (v *Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsZero reports whether no bit is set.
+func (v *Vector) IsZero() bool { return !v.Any() }
+
+// Clone returns a deep copy of the vector.
+func (v *Vector) Clone() *Vector {
+	out := &Vector{
+		words: make([]uint64, len(v.words)),
+		n:     v.n,
+	}
+	copy(out.words, v.words)
+	return out
+}
+
+// Reset clears every bit without reallocating.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// checkSameLen panics unless the two vectors have equal length.
+func (v *Vector) checkSameLen(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, o.n))
+	}
+}
+
+// Equal reports whether the two vectors have identical length and bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// And sets v to the bitwise AND of v and o.
+func (v *Vector) And(o *Vector) {
+	v.checkSameLen(o)
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// Or sets v to the bitwise OR of v and o.
+func (v *Vector) Or(o *Vector) {
+	v.checkSameLen(o)
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// Xor sets v to the bitwise XOR of v and o.
+func (v *Vector) Xor(o *Vector) {
+	v.checkSameLen(o)
+	for i := range v.words {
+		v.words[i] ^= o.words[i]
+	}
+}
+
+// AndNot sets v to the bits of v that are not in o (set difference).
+func (v *Vector) AndNot(o *Vector) {
+	v.checkSameLen(o)
+	for i := range v.words {
+		v.words[i] &^= o.words[i]
+	}
+}
+
+// IntersectionCount returns |v AND o| without allocating: the number of
+// positions set in both vectors. This is exactly the co-occurrence count
+// g(i, j) from the paper when v and o are two role rows.
+func (v *Vector) IntersectionCount(o *Vector) int {
+	v.checkSameLen(o)
+	total := 0
+	for i, w := range v.words {
+		total += bits.OnesCount64(w & o.words[i])
+	}
+	return total
+}
+
+// UnionCount returns |v OR o| without allocating.
+func (v *Vector) UnionCount(o *Vector) int {
+	v.checkSameLen(o)
+	total := 0
+	for i, w := range v.words {
+		total += bits.OnesCount64(w | o.words[i])
+	}
+	return total
+}
+
+// Hamming returns the Hamming distance |v XOR o| without allocating: the
+// number of positions where the two vectors differ. For binary assignment
+// rows this equals the number of distinct users (or permissions) between
+// two roles, the similarity measure used by inefficiency class 5.
+func (v *Vector) Hamming(o *Vector) int {
+	v.checkSameLen(o)
+	total := 0
+	for i, w := range v.words {
+		total += bits.OnesCount64(w ^ o.words[i])
+	}
+	return total
+}
+
+// HammingAtMost reports whether Hamming(v, o) <= k, short-circuiting as
+// soon as the running count exceeds k. For the similar-roles detector the
+// threshold k is small (typically 1), so most comparisons abort within a
+// word or two.
+func (v *Vector) HammingAtMost(o *Vector, k int) bool {
+	v.checkSameLen(o)
+	if k < 0 {
+		return false
+	}
+	total := 0
+	for i, w := range v.words {
+		total += bits.OnesCount64(w ^ o.words[i])
+		if total > k {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every set bit of v is also set in o.
+func (v *Vector) IsSubsetOf(o *Vector) bool {
+	v.checkSameLen(o)
+	for i, w := range v.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Indices returns the positions of all set bits in ascending order.
+func (v *Vector) Indices() []int {
+	out := make([]int, 0, v.Count())
+	for wi, w := range v.words {
+		base := wi << wordShift
+		for w != 0 {
+			out = append(out, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for each set bit position in ascending order. It stops
+// early if fn returns false.
+func (v *Vector) ForEach(fn func(i int) bool) {
+	for wi, w := range v.words {
+		base := wi << wordShift
+		for w != 0 {
+			if !fn(base + bits.TrailingZeros64(w)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the position of the first set bit at or after i, and
+// whether such a bit exists.
+func (v *Vector) NextSet(i int) (int, bool) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.n {
+		return 0, false
+	}
+	wi := i >> wordShift
+	w := v.words[wi] >> (uint(i) & wordMask)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w), true
+	}
+	for wi++; wi < len(v.words); wi++ {
+		if v.words[wi] != 0 {
+			return wi<<wordShift + bits.TrailingZeros64(v.words[wi]), true
+		}
+	}
+	return 0, false
+}
+
+// Hash returns a 64-bit FNV-1a style hash over the vector's words.
+// Vectors with equal bits always hash equally; it is used by the Role
+// Diet exact-group fast path to pre-bucket identical rows.
+func (v *Vector) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range v.words {
+		for s := 0; s < wordBits; s += 8 {
+			h ^= (w >> uint(s)) & 0xff
+			h *= prime64
+		}
+	}
+	// Mix the length so vectors of different widths never collide by
+	// construction, even when their word slices coincide.
+	h ^= uint64(v.n)
+	h *= prime64
+	return h
+}
+
+// Words exposes the underlying packed words. The returned slice aliases
+// the vector's storage; callers must treat it as read-only. Used by the
+// matrix package to serialise without re-walking bits.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Floats expands the vector into a []float64 of 0.0/1.0 values. The
+// clustering baselines (DBSCAN with scikit-learn semantics, HNSW) operate
+// on float vectors exactly as the paper's Python implementation does.
+func (v *Vector) Floats() []float64 {
+	out := make([]float64, v.n)
+	v.ForEach(func(i int) bool {
+		out[i] = 1.0
+		return true
+	})
+	return out
+}
+
+// String renders the vector as a compact 0/1 string, e.g. "01101".
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Parse builds a Vector from a 0/1 string as produced by String.
+func Parse(s string) (*Vector, error) {
+	v := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			v.Set(i)
+		case '0':
+		default:
+			return nil, fmt.Errorf("bitvec: invalid character %q at position %d", s[i], i)
+		}
+	}
+	return v, nil
+}

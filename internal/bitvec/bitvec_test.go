@@ -1,0 +1,405 @@
+package bitvec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZero(t *testing.T) {
+	v := New(0)
+	if v.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", v.Len())
+	}
+	if v.Count() != 0 {
+		t.Fatalf("Count() = %d, want 0", v.Count())
+	}
+	if v.Any() {
+		t.Fatal("Any() = true on empty vector")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130) // spans three words
+	positions := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, p := range positions {
+		v.Set(p)
+	}
+	for _, p := range positions {
+		if !v.Get(p) {
+			t.Errorf("Get(%d) = false after Set", p)
+		}
+	}
+	if got := v.Count(); got != len(positions) {
+		t.Fatalf("Count() = %d, want %d", got, len(positions))
+	}
+	for _, p := range positions {
+		v.Clear(p)
+		if v.Get(p) {
+			t.Errorf("Get(%d) = true after Clear", p)
+		}
+	}
+	if v.Any() {
+		t.Fatal("Any() = true after clearing all bits")
+	}
+}
+
+func TestSetTo(t *testing.T) {
+	v := New(10)
+	v.SetTo(3, true)
+	if !v.Get(3) {
+		t.Fatal("SetTo(3, true) did not set")
+	}
+	v.SetTo(3, false)
+	if v.Get(3) {
+		t.Fatal("SetTo(3, false) did not clear")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	v := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestFromBoolsAndIndices(t *testing.T) {
+	bools := []bool{true, false, true, true, false}
+	v := FromBools(bools)
+	w := FromIndices(5, []int{0, 2, 3})
+	if !v.Equal(w) {
+		t.Fatalf("FromBools %v != FromIndices: %v vs %v", bools, v, w)
+	}
+	if got := v.Indices(); !reflect.DeepEqual(got, []int{0, 2, 3}) {
+		t.Fatalf("Indices() = %v, want [0 2 3]", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := FromIndices(70, []int{1, 65})
+	c := v.Clone()
+	c.Set(2)
+	if v.Get(2) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.Get(65) {
+		t.Fatal("clone lost bit 65")
+	}
+}
+
+func TestReset(t *testing.T) {
+	v := FromIndices(100, []int{5, 50, 99})
+	v.Reset()
+	if v.Any() {
+		t.Fatal("Reset left set bits")
+	}
+	if v.Len() != 100 {
+		t.Fatal("Reset changed length")
+	}
+}
+
+func TestEqualLengthMismatch(t *testing.T) {
+	if New(5).Equal(New(6)) {
+		t.Fatal("vectors of different length compared equal")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromIndices(8, []int{0, 1, 2, 3})
+	b := FromIndices(8, []int{2, 3, 4, 5})
+
+	and := a.Clone()
+	and.And(b)
+	if got := and.Indices(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("And = %v, want [2 3]", got)
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	if got := or.Indices(); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5}) {
+		t.Errorf("Or = %v, want [0..5]", got)
+	}
+
+	xor := a.Clone()
+	xor.Xor(b)
+	if got := xor.Indices(); !reflect.DeepEqual(got, []int{0, 1, 4, 5}) {
+		t.Errorf("Xor = %v, want [0 1 4 5]", got)
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	if got := diff.Indices(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("AndNot = %v, want [0 1]", got)
+	}
+}
+
+func TestAlgebraLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched lengths did not panic")
+		}
+	}()
+	New(5).And(New(6))
+}
+
+func TestCounts(t *testing.T) {
+	a := FromIndices(200, []int{0, 64, 128, 199})
+	b := FromIndices(200, []int{0, 65, 128, 198})
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Errorf("IntersectionCount = %d, want 2", got)
+	}
+	if got := a.UnionCount(b); got != 6 {
+		t.Errorf("UnionCount = %d, want 6", got)
+	}
+	if got := a.Hamming(b); got != 4 {
+		t.Errorf("Hamming = %d, want 4", got)
+	}
+}
+
+func TestHammingAtMost(t *testing.T) {
+	a := FromIndices(100, []int{1, 2, 3})
+	b := FromIndices(100, []int{1, 2, 4})
+	tests := []struct {
+		k    int
+		want bool
+	}{
+		{-1, false},
+		{0, false},
+		{1, false},
+		{2, true},
+		{3, true},
+		{100, true},
+	}
+	for _, tt := range tests {
+		if got := a.HammingAtMost(b, tt.k); got != tt.want {
+			t.Errorf("HammingAtMost(k=%d) = %v, want %v", tt.k, got, tt.want)
+		}
+	}
+	if !a.HammingAtMost(a, 0) {
+		t.Error("HammingAtMost(self, 0) = false")
+	}
+}
+
+func TestIsSubsetOf(t *testing.T) {
+	a := FromIndices(70, []int{1, 65})
+	b := FromIndices(70, []int{1, 5, 65})
+	if !a.IsSubsetOf(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.IsSubsetOf(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !a.IsSubsetOf(a) {
+		t.Error("a should be subset of itself")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	v := FromIndices(100, []int{1, 5, 80})
+	var seen []int
+	v.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if !reflect.DeepEqual(seen, []int{1, 5}) {
+		t.Fatalf("ForEach early stop saw %v, want [1 5]", seen)
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	v := FromIndices(200, []int{3, 64, 190})
+	tests := []struct {
+		from   int
+		want   int
+		wantOK bool
+	}{
+		{0, 3, true},
+		{3, 3, true},
+		{4, 64, true},
+		{65, 190, true},
+		{191, 0, false},
+		{-5, 3, true},
+		{1000, 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := v.NextSet(tt.from)
+		if ok != tt.wantOK || (ok && got != tt.want) {
+			t.Errorf("NextSet(%d) = (%d, %v), want (%d, %v)", tt.from, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestHashEqualVectors(t *testing.T) {
+	a := FromIndices(100, []int{1, 50, 99})
+	b := FromIndices(100, []int{1, 50, 99})
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal vectors hash differently")
+	}
+	b.Set(2)
+	if a.Hash() == b.Hash() {
+		t.Fatal("distinct vectors hash equally (possible but astronomically unlikely for this pair)")
+	}
+}
+
+func TestHashLengthSensitivity(t *testing.T) {
+	// Same words, different logical length, must hash differently.
+	a := New(10)
+	b := New(12)
+	if a.Hash() == b.Hash() {
+		t.Fatal("vectors of different lengths with zero words hash equally")
+	}
+}
+
+func TestFloats(t *testing.T) {
+	v := FromIndices(4, []int{1, 3})
+	want := []float64{0, 1, 0, 1}
+	if got := v.Floats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Floats() = %v, want %v", got, want)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	v := FromIndices(9, []int{0, 4, 8})
+	s := v.String()
+	if s != "100010001" {
+		t.Fatalf("String() = %q", s)
+	}
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !v.Equal(back) {
+		t.Fatal("Parse(String()) round trip failed")
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	if _, err := Parse("01x"); err == nil {
+		t.Fatal("Parse accepted invalid character")
+	}
+}
+
+// randVector builds a deterministic pseudo-random vector for property tests.
+func randVector(rng *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestPropertyHammingIdentity(t *testing.T) {
+	// Hamming(a,b) == |a| + |b| - 2*|a AND b| for all binary vectors.
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a := randVector(r, n)
+		b := randVector(r, n)
+		return a.Hamming(b) == a.Count()+b.Count()-2*a.IntersectionCount(b)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUnionInclusionExclusion(t *testing.T) {
+	// |a OR b| == |a| + |b| - |a AND b|.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a := randVector(r, n)
+		b := randVector(r, n)
+		return a.UnionCount(b) == a.Count()+b.Count()-a.IntersectionCount(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyXorMatchesHamming(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a := randVector(r, n)
+		b := randVector(r, n)
+		x := a.Clone()
+		x.Xor(b)
+		return x.Count() == a.Hamming(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIndicesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a := randVector(r, n)
+		return a.Equal(FromIndices(n, a.Indices()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHammingSymmetricAndTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a := randVector(r, n)
+		b := randVector(r, n)
+		c := randVector(r, n)
+		if a.Hamming(b) != b.Hamming(a) {
+			return false
+		}
+		if a.Hamming(a) != 0 {
+			return false
+		}
+		return a.Hamming(c) <= a.Hamming(b)+b.Hamming(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHamming1000(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randVector(r, 1000)
+	y := randVector(r, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Hamming(y)
+	}
+}
+
+func BenchmarkIntersectionCount1000(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randVector(r, 1000)
+	y := randVector(r, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.IntersectionCount(y)
+	}
+}

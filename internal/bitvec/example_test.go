@@ -1,0 +1,26 @@
+package bitvec_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Example shows the counting primitives the Role Diet algorithm builds
+// on: norms, co-occurrences and Hamming distances over packed rows.
+func Example() {
+	r1 := bitvec.FromIndices(6, []int{0, 1, 2}) // role 1's users
+	r2 := bitvec.FromIndices(6, []int{1, 2, 3}) // role 2's users
+
+	fmt.Println("|R1| =", r1.Count())
+	fmt.Println("g(R1,R2) =", r1.IntersectionCount(r2))
+	fmt.Println("Hamming =", r1.Hamming(r2))
+	// The paper's identity: Hamming = |R1| + |R2| - 2 g.
+	fmt.Println("identity holds:",
+		r1.Hamming(r2) == r1.Count()+r2.Count()-2*r1.IntersectionCount(r2))
+	// Output:
+	// |R1| = 3
+	// g(R1,R2) = 2
+	// Hamming = 2
+	// identity holds: true
+}

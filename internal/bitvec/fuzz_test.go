@@ -1,0 +1,59 @@
+package bitvec
+
+import "testing"
+
+// FuzzParse exercises the 0/1 string parser: valid inputs must round
+// trip exactly, invalid ones must be rejected without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("0")
+	f.Add("1")
+	f.Add("0101101")
+	f.Add("02")
+	f.Add("abc")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if v.Len() != len(s) {
+			t.Fatalf("Len = %d for input of %d bytes", v.Len(), len(s))
+		}
+		if v.String() != s {
+			t.Fatalf("round trip %q -> %q", s, v.String())
+		}
+	})
+}
+
+// FuzzHammingIdentity checks the core identity on arbitrary bit
+// patterns reconstructed from fuzzed bytes.
+func FuzzHammingIdentity(f *testing.F) {
+	f.Add([]byte{0x00}, []byte{0xff})
+	f.Add([]byte{0xaa, 0x55}, []byte{0x55, 0xaa})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 || n > 64 {
+			return
+		}
+		va, vb := New(n*8), New(n*8)
+		for i := 0; i < n; i++ {
+			for bit := 0; bit < 8; bit++ {
+				if a[i]&(1<<bit) != 0 {
+					va.Set(i*8 + bit)
+				}
+				if b[i]&(1<<bit) != 0 {
+					vb.Set(i*8 + bit)
+				}
+			}
+		}
+		if va.Hamming(vb) != va.Count()+vb.Count()-2*va.IntersectionCount(vb) {
+			t.Fatal("Hamming identity violated")
+		}
+		if va.Hamming(vb) != vb.Hamming(va) {
+			t.Fatal("Hamming asymmetric")
+		}
+	})
+}

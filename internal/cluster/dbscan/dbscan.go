@@ -1,0 +1,212 @@
+// Package dbscan implements Density-Based Spatial Clustering of
+// Applications with Noise (Ester et al., KDD 1996) from scratch.
+//
+// It is the paper's "exact clustering" baseline (§III-C): every role row
+// is a point in {0,1}^u space, minPts is fixed to 2 (even two akin roles
+// form a group), the metric is Hamming, and eps is 0 (+ a small epsilon
+// for float-comparison parity with scikit-learn) for roles sharing the
+// *same* users, or the threshold k for roles sharing *similar* users.
+//
+// The implementation mirrors scikit-learn's fit_predict contract: it
+// returns one integer label per input row, with -1 reserved for noise.
+// Neighbour search is a brute-force scan, exactly as a generic DBSCAN
+// must do for arbitrary metrics — this O(n²) behaviour is the point of
+// the baseline, and what the Role Diet algorithm beats.
+package dbscan
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/metric"
+)
+
+// Noise is the label assigned to points that belong to no cluster,
+// matching scikit-learn's -1 convention.
+const Noise = -1
+
+// Config carries the DBSCAN parameters.
+type Config struct {
+	// Eps is the maximum distance between two samples for one to be
+	// considered in the neighbourhood of the other. For exact-duplicate
+	// detection the paper sets it to 0 plus a small epsilon; Run treats
+	// any distance <= Eps as a neighbour.
+	Eps float64
+	// MinPts is the number of samples in a neighbourhood (including the
+	// point itself) for a point to be a core point. The paper fixes it
+	// to 2: a pair of akin roles is already a group worth reporting.
+	MinPts int
+	// Metric is the distance function. Defaults to Hamming when zero,
+	// per the paper's choice for binary assignment rows.
+	Metric metric.Kind
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Eps < 0 {
+		return fmt.Errorf("dbscan: negative eps %v", c.Eps)
+	}
+	if c.MinPts < 1 {
+		return fmt.Errorf("dbscan: minPts %d < 1", c.MinPts)
+	}
+	return nil
+}
+
+// ErrNoPoints is returned when Run is called with an empty dataset.
+var ErrNoPoints = errors.New("dbscan: no points")
+
+// Result holds the clustering outcome.
+type Result struct {
+	// Labels has one entry per input point: a cluster id >= 0, or Noise.
+	Labels []int
+	// NumClusters is the number of distinct non-noise clusters.
+	NumClusters int
+}
+
+// Groups converts the label vector into explicit clusters: a slice of
+// point-index slices, one per cluster id, ascending. Noise points are
+// omitted. This is the "iterate over the label vector to list role
+// groups" step from §III-D.
+func (r *Result) Groups() [][]int {
+	groups := make([][]int, r.NumClusters)
+	for i, l := range r.Labels {
+		if l >= 0 {
+			groups[l] = append(groups[l], i)
+		}
+	}
+	return groups
+}
+
+// Run clusters the rows of the given bit-vector dataset.
+//
+// The classic algorithm: visit each unvisited point, compute its
+// eps-neighbourhood; if it has at least MinPts members the point is a
+// core point seeding a new cluster, which is then expanded breadth-first
+// through the neighbourhoods of its core members. Border points adopt
+// the first cluster that reaches them; points reached by nobody stay
+// noise.
+func Run(points []*bitvec.Vector, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	kind := cfg.Metric
+	if kind == 0 {
+		kind = metric.Hamming
+	}
+	dist := kind.Bits()
+
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+
+	// regionQuery returns every point within Eps of p, including p.
+	regionQuery := func(p int) []int {
+		var out []int
+		for q := 0; q < n; q++ {
+			if dist(points[p], points[q]) <= cfg.Eps {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+
+	cluster := 0
+	for p := 0; p < n; p++ {
+		if visited[p] {
+			continue
+		}
+		visited[p] = true
+		neighbours := regionQuery(p)
+		if len(neighbours) < cfg.MinPts {
+			continue // stays noise unless a later cluster reaches it
+		}
+		labels[p] = cluster
+		// Expand: seed set grows as new core points are discovered.
+		for qi := 0; qi < len(neighbours); qi++ {
+			q := neighbours[qi]
+			if labels[q] == Noise {
+				labels[q] = cluster // border or reclaimed-noise point
+			}
+			if visited[q] {
+				continue
+			}
+			visited[q] = true
+			qNeighbours := regionQuery(q)
+			if len(qNeighbours) >= cfg.MinPts {
+				neighbours = append(neighbours, qNeighbours...)
+			}
+		}
+		cluster++
+	}
+
+	return &Result{Labels: labels, NumClusters: cluster}, nil
+}
+
+// RunFloats clusters float vectors with the metric's float implementation.
+// It exists for parity with the Python baseline, which feeds numpy float
+// arrays to scikit-learn; the benchmark harness uses it to quantify the
+// bit-packing speedup (ablation in DESIGN.md §6).
+func RunFloats(points [][]float64, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	kind := cfg.Metric
+	if kind == 0 {
+		kind = metric.Hamming
+	}
+	dist := kind.Float()
+
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+	regionQuery := func(p int) []int {
+		var out []int
+		for q := 0; q < n; q++ {
+			if dist(points[p], points[q]) <= cfg.Eps {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	cluster := 0
+	for p := 0; p < n; p++ {
+		if visited[p] {
+			continue
+		}
+		visited[p] = true
+		neighbours := regionQuery(p)
+		if len(neighbours) < cfg.MinPts {
+			continue
+		}
+		labels[p] = cluster
+		for qi := 0; qi < len(neighbours); qi++ {
+			q := neighbours[qi]
+			if labels[q] == Noise {
+				labels[q] = cluster
+			}
+			if visited[q] {
+				continue
+			}
+			visited[q] = true
+			qNeighbours := regionQuery(q)
+			if len(qNeighbours) >= cfg.MinPts {
+				neighbours = append(neighbours, qNeighbours...)
+			}
+		}
+		cluster++
+	}
+	return &Result{Labels: labels, NumClusters: cluster}, nil
+}

@@ -1,0 +1,333 @@
+package dbscan
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/metric"
+)
+
+func vecs(rows ...string) []*bitvec.Vector {
+	out := make([]*bitvec.Vector, len(rows))
+	for i, r := range rows {
+		v, err := bitvec.Parse(r)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// sortGroups normalises group output for comparison.
+func sortGroups(gs [][]int) [][]int {
+	for _, g := range gs {
+		sort.Ints(g)
+	}
+	sort.Slice(gs, func(i, j int) bool {
+		if len(gs[i]) == 0 || len(gs[j]) == 0 {
+			return len(gs[i]) < len(gs[j])
+		}
+		return gs[i][0] < gs[j][0]
+	})
+	return gs
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{Eps: -1, MinPts: 2}).Validate(); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if err := (Config{Eps: 0, MinPts: 0}).Validate(); err == nil {
+		t.Error("minPts 0 accepted")
+	}
+	if err := (Config{Eps: 0, MinPts: 2}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if _, err := Run(nil, Config{Eps: 0, MinPts: 2}); !errors.Is(err, ErrNoPoints) {
+		t.Fatalf("err = %v, want ErrNoPoints", err)
+	}
+	if _, err := RunFloats(nil, Config{Eps: 0, MinPts: 2}); !errors.Is(err, ErrNoPoints) {
+		t.Fatalf("err = %v, want ErrNoPoints", err)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	pts := vecs("01")
+	if _, err := Run(pts, Config{Eps: -1, MinPts: 2}); err == nil {
+		t.Fatal("Run accepted invalid config")
+	}
+	if _, err := RunFloats([][]float64{{0}}, Config{Eps: 0, MinPts: 0}); err == nil {
+		t.Fatal("RunFloats accepted invalid config")
+	}
+}
+
+func TestExactDuplicates(t *testing.T) {
+	// Rows 0 and 2 identical, rows 1 and 3 identical, row 4 unique.
+	pts := vecs(
+		"1100",
+		"0011",
+		"1100",
+		"0011",
+		"1000",
+	)
+	res, err := Run(pts, Config{Eps: 0, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("NumClusters = %d, want 2", res.NumClusters)
+	}
+	if res.Labels[4] != Noise {
+		t.Fatalf("unique row labelled %d, want Noise", res.Labels[4])
+	}
+	if res.Labels[0] != res.Labels[2] || res.Labels[1] != res.Labels[3] {
+		t.Fatalf("duplicate rows not co-clustered: %v", res.Labels)
+	}
+	if res.Labels[0] == res.Labels[1] {
+		t.Fatalf("distinct groups merged: %v", res.Labels)
+	}
+	got := sortGroups(res.Groups())
+	want := [][]int{{0, 2}, {1, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Groups = %v, want %v", got, want)
+	}
+}
+
+func TestEpsilonToleranceForExact(t *testing.T) {
+	// The paper adds a small epsilon to eps=0 for float-comparison
+	// robustness; identical points are still the only ones joined.
+	pts := vecs("110", "110", "111")
+	res, err := Run(pts, Config{Eps: 1e-9, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 || res.Labels[2] != Noise {
+		t.Fatalf("labels = %v, want rows 0,1 grouped and 2 noise", res.Labels)
+	}
+}
+
+func TestSimilarWithinHammingOne(t *testing.T) {
+	// Rows 0,1 differ by one bit; row 2 differs from both by >= 2.
+	pts := vecs(
+		"1100",
+		"1101",
+		"0011",
+	)
+	res, err := Run(pts, Config{Eps: 1, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[0] != res.Labels[1] || res.Labels[0] == Noise {
+		t.Fatalf("similar rows not grouped: %v", res.Labels)
+	}
+	if res.Labels[2] != Noise {
+		t.Fatalf("distant row grouped: %v", res.Labels)
+	}
+}
+
+func TestChainingBehaviour(t *testing.T) {
+	// DBSCAN is transitive through core points: 000, 001, 011 chain with
+	// eps=1 even though Hamming(000,011)=2. This documents the density
+	// semantics the exact baseline inherits.
+	pts := vecs("000", "001", "011")
+	res, err := Run(pts, Config{Eps: 1, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("NumClusters = %d, want 1 (chained)", res.NumClusters)
+	}
+	for i, l := range res.Labels {
+		if l != 0 {
+			t.Fatalf("point %d labelled %d, want 0", i, l)
+		}
+	}
+}
+
+func TestMinPtsAboveTwo(t *testing.T) {
+	// With minPts=3, a pair of duplicates is no longer a cluster.
+	pts := vecs("11", "11", "00")
+	res, err := Run(pts, Config{Eps: 0, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 {
+		t.Fatalf("NumClusters = %d, want 0", res.NumClusters)
+	}
+	for _, l := range res.Labels {
+		if l != Noise {
+			t.Fatalf("labels = %v, want all noise", res.Labels)
+		}
+	}
+}
+
+func TestAllIdentical(t *testing.T) {
+	pts := vecs("101", "101", "101", "101")
+	res, err := Run(pts, Config{Eps: 0, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("NumClusters = %d, want 1", res.NumClusters)
+	}
+	if got := res.Groups(); len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("Groups = %v", got)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	res, err := Run(vecs("1"), Config{Eps: 0, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 || res.Labels[0] != Noise {
+		t.Fatalf("single point: labels=%v clusters=%d", res.Labels, res.NumClusters)
+	}
+}
+
+func TestDefaultMetricIsHamming(t *testing.T) {
+	// With the zero-value metric the config must behave like Hamming.
+	pts := vecs("1100", "1101")
+	a, err := Run(pts, Config{Eps: 1, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(pts, Config{Eps: 1, MinPts: 2, Metric: metric.Hamming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Labels, b.Labels) {
+		t.Fatalf("default metric labels %v != hamming labels %v", a.Labels, b.Labels)
+	}
+}
+
+func TestRunFloatsMatchesRunOnBinary(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		d := 1 + r.Intn(16)
+		pts := make([]*bitvec.Vector, n)
+		fpts := make([][]float64, n)
+		for i := range pts {
+			v := bitvec.New(d)
+			for j := 0; j < d; j++ {
+				if r.Intn(2) == 1 {
+					v.Set(j)
+				}
+			}
+			pts[i] = v
+			fpts[i] = v.Floats()
+		}
+		eps := float64(r.Intn(3))
+		cfg := Config{Eps: eps, MinPts: 2, Metric: metric.Hamming}
+		a, err := Run(pts, cfg)
+		if err != nil {
+			return false
+		}
+		b, err := RunFloats(fpts, cfg)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(a.Labels, b.Labels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceDuplicateGroups groups indices by exact vector equality and
+// keeps groups of size >= 2 — the ground truth for eps=0 clustering.
+func bruteForceDuplicateGroups(pts []*bitvec.Vector) [][]int {
+	byKey := map[string][]int{}
+	for i, p := range pts {
+		byKey[p.String()] = append(byKey[p.String()], i)
+	}
+	var out [][]int
+	for _, g := range byKey {
+		if len(g) >= 2 {
+			out = append(out, g)
+		}
+	}
+	return sortGroups(out)
+}
+
+func TestPropertyEpsZeroEqualsDuplicateGroups(t *testing.T) {
+	// Invariant from DESIGN.md §7: DBSCAN with eps=0, minPts=2 finds
+	// exactly the duplicate-vector groups.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		d := 1 + r.Intn(8) // narrow so duplicates actually occur
+		pts := make([]*bitvec.Vector, n)
+		for i := range pts {
+			v := bitvec.New(d)
+			for j := 0; j < d; j++ {
+				if r.Intn(2) == 1 {
+					v.Set(j)
+				}
+			}
+			pts[i] = v
+		}
+		res, err := Run(pts, Config{Eps: 0, MinPts: 2})
+		if err != nil {
+			return false
+		}
+		got := sortGroups(res.Groups())
+		want := bruteForceDuplicateGroups(pts)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLabelsWellFormed(t *testing.T) {
+	// Labels are exactly {Noise} ∪ [0, NumClusters), every cluster id is
+	// used, and every non-noise cluster has >= 2 members when minPts=2.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		d := 2 + r.Intn(10)
+		pts := make([]*bitvec.Vector, n)
+		for i := range pts {
+			v := bitvec.New(d)
+			for j := 0; j < d; j++ {
+				if r.Intn(2) == 1 {
+					v.Set(j)
+				}
+			}
+			pts[i] = v
+		}
+		res, err := Run(pts, Config{Eps: 1, MinPts: 2})
+		if err != nil {
+			return false
+		}
+		seen := map[int]int{}
+		for _, l := range res.Labels {
+			if l != Noise && (l < 0 || l >= res.NumClusters) {
+				return false
+			}
+			seen[l]++
+		}
+		for c := 0; c < res.NumClusters; c++ {
+			if seen[c] < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

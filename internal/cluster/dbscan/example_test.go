@@ -1,0 +1,28 @@
+package dbscan_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/cluster/dbscan"
+)
+
+// Example clusters assignment rows with the paper's exact-baseline
+// settings: minPts 2, eps 0 (identical rows only), Hamming metric.
+func Example() {
+	rows := []*bitvec.Vector{
+		bitvec.FromIndices(4, []int{0, 1}),
+		bitvec.FromIndices(4, []int{2, 3}),
+		bitvec.FromIndices(4, []int{0, 1}), // duplicate of row 0
+	}
+	res, err := dbscan.Run(rows, dbscan.Config{Eps: 0, MinPts: 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("labels:", res.Labels)
+	fmt.Println("groups:", res.Groups())
+	// Output:
+	// labels: [0 -1 0]
+	// groups: [[0 2]]
+}

@@ -1,0 +1,35 @@
+package hnsw_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/cluster/hnsw"
+)
+
+// Example builds an index over assignment rows and finds the nearest
+// neighbours of a query row, as the paper's approximate baseline does
+// per role.
+func Example() {
+	rows := []*bitvec.Vector{
+		bitvec.FromIndices(8, []int{0, 1, 2}),
+		bitvec.FromIndices(8, []int{0, 1, 2, 3}),
+		bitvec.FromIndices(8, []int{5, 6, 7}),
+	}
+	idx, err := hnsw.Build(rows, hnsw.Config{Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	hits, err := idx.Search(rows[0], 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, h := range hits {
+		fmt.Printf("id=%d dist=%.0f\n", h.ID, h.Dist)
+	}
+	// Output:
+	// id=0 dist=0
+	// id=1 dist=1
+}

@@ -1,0 +1,107 @@
+package hnsw
+
+// candidate is an (id, distance) pair flowing through the search heaps.
+type candidate struct {
+	id   int
+	dist float64
+}
+
+// minHeap is a binary heap of candidates ordered by ascending distance
+// (closest first). It is used for the expansion frontier during layer
+// search.
+type minHeap []candidate
+
+func (h *minHeap) push(c candidate) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) pop() candidate {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *minHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h)[l].dist < (*h)[smallest].dist {
+			smallest = l
+		}
+		if r < n && (*h)[r].dist < (*h)[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+}
+
+func (h minHeap) len() int       { return len(h) }
+func (h minHeap) top() candidate { return h[0] }
+
+// maxHeap is a binary heap of candidates ordered by descending distance
+// (farthest first). It holds the current best-ef result set so the worst
+// member can be evicted in O(log n).
+type maxHeap []candidate
+
+func (h *maxHeap) push(c candidate) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist >= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *maxHeap) pop() candidate {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *maxHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && (*h)[l].dist > (*h)[largest].dist {
+			largest = l
+		}
+		if r < n && (*h)[r].dist > (*h)[largest].dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+}
+
+func (h maxHeap) len() int       { return len(h) }
+func (h maxHeap) top() candidate { return h[0] }

@@ -1,0 +1,426 @@
+// Package hnsw implements Hierarchical Navigable Small World graphs
+// (Malkov & Yashunin, 2018) from scratch — the paper's "approximate
+// clustering" baseline (§III-C/D).
+//
+// The index is a stack of proximity graphs. Each inserted element is
+// assigned a maximum layer drawn from an exponential distribution; upper
+// layers form an expressway of long links for greedy descent, while
+// layer 0 contains every element with denser connectivity. A query
+// greedily descends from the top-layer entry point to layer 1 with beam
+// width 1, then runs a best-first beam search with width ef at layer 0.
+//
+// Matching the paper, the default distance is Manhattan (identical to
+// Hamming on the binary assignment rows). Level assignment uses a seeded
+// deterministic generator so benchmark runs are reproducible.
+package hnsw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/metric"
+)
+
+// Config carries the HNSW construction parameters.
+type Config struct {
+	// M is the target out-degree per node on upper layers. Layer 0
+	// allows 2*M links, per the original paper. Defaults to 16.
+	M int
+	// EfConstruction is the beam width used while inserting. Larger
+	// values yield better graphs at higher build cost. Defaults to 200,
+	// the datasketch default used in the paper's implementation.
+	EfConstruction int
+	// EfSearch is the default beam width for queries; it can be
+	// overridden per call. Defaults to 50.
+	EfSearch int
+	// Metric is the distance function; defaults to Manhattan, matching
+	// the paper's HNSW setup.
+	Metric metric.Kind
+	// Seed seeds the level generator. The zero value selects seed 1 so
+	// a zero Config is still deterministic.
+	Seed int64
+	// Heuristic enables the neighbour-selection heuristic from the HNSW
+	// paper (algorithm 4) instead of picking the M closest candidates.
+	// The heuristic keeps a candidate only if it is closer to the query
+	// than to every already-kept neighbour, improving graph diversity on
+	// clustered data — exactly the regime RBAC rows live in.
+	Heuristic bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 50
+	}
+	if c.Metric == 0 {
+		c.Metric = metric.Manhattan
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Validate checks user-supplied parameter combinations.
+func (c Config) Validate() error {
+	if c.M < 0 || c.EfConstruction < 0 || c.EfSearch < 0 {
+		return fmt.Errorf("hnsw: negative parameter (M=%d efConstruction=%d efSearch=%d)",
+			c.M, c.EfConstruction, c.EfSearch)
+	}
+	return nil
+}
+
+// node is one element of the index with its per-layer adjacency lists.
+type node struct {
+	vec *bitvec.Vector
+	// neighbours[l] lists the ids linked to this node at layer l.
+	neighbours [][]int
+}
+
+// Index is a hierarchical navigable small world graph over bit vectors.
+// It is not safe for concurrent mutation; concurrent Search calls after
+// construction are safe.
+type Index struct {
+	cfg       Config
+	dist      metric.BitFunc
+	nodes     []*node
+	entry     int // id of the entry point, -1 when empty
+	maxLayer  int
+	levelMul  float64
+	rng       *rand.Rand
+	dim       int
+	distCalls int // cumulative distance evaluations, for the bench harness
+}
+
+// New creates an empty index. Vector dimensionality is fixed by the
+// first Add.
+func New(cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Index{
+		cfg:      cfg,
+		dist:     cfg.Metric.Bits(),
+		entry:    -1,
+		maxLayer: -1,
+		levelMul: 1.0 / math.Log(float64(cfg.M)),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Build constructs an index over all rows in one call.
+func Build(rows []*bitvec.Vector, cfg Config) (*Index, error) {
+	idx, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if err := idx.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return idx, nil
+}
+
+// Len returns the number of indexed vectors.
+func (x *Index) Len() int { return len(x.nodes) }
+
+// DistCalls returns the cumulative number of distance evaluations made
+// during construction and searches. The benchmark harness reports it to
+// contrast HNSW's sublinear query cost with DBSCAN's full scans.
+func (x *Index) DistCalls() int { return x.distCalls }
+
+// ErrDimensionMismatch is returned when an added or queried vector does
+// not match the index dimensionality.
+var ErrDimensionMismatch = errors.New("hnsw: vector dimension mismatch")
+
+// randomLevel draws the insertion layer: floor(-ln(U) * mL).
+func (x *Index) randomLevel() int {
+	u := x.rng.Float64()
+	for u == 0 { // avoid +Inf
+		u = x.rng.Float64()
+	}
+	return int(-math.Log(u) * x.levelMul)
+}
+
+// maxNeighbours is the degree bound at a layer (2M at layer 0, M above).
+func (x *Index) maxNeighbours(layer int) int {
+	if layer == 0 {
+		return 2 * x.cfg.M
+	}
+	return x.cfg.M
+}
+
+// d computes the configured distance and counts the evaluation.
+func (x *Index) d(a, b *bitvec.Vector) float64 {
+	x.distCalls++
+	return x.dist(a, b)
+}
+
+// Add inserts a vector into the index. The vector is retained by
+// reference and must not be mutated afterwards.
+func (x *Index) Add(v *bitvec.Vector) error {
+	if len(x.nodes) == 0 {
+		x.dim = v.Len()
+	} else if v.Len() != x.dim {
+		return fmt.Errorf("%w: got %d, index has %d", ErrDimensionMismatch, v.Len(), x.dim)
+	}
+
+	level := x.randomLevel()
+	n := &node{
+		vec:        v,
+		neighbours: make([][]int, level+1),
+	}
+	id := len(x.nodes)
+	x.nodes = append(x.nodes, n)
+
+	if x.entry == -1 {
+		x.entry = id
+		x.maxLayer = level
+		return nil
+	}
+
+	ep := x.entry
+	// Greedy descent through layers above the insertion level.
+	for l := x.maxLayer; l > level; l-- {
+		ep = x.greedyClosest(v, ep, l)
+	}
+
+	// Beam search and linking from min(level, maxLayer) down to 0.
+	startLayer := level
+	if startLayer > x.maxLayer {
+		startLayer = x.maxLayer
+	}
+	eps := []int{ep}
+	for l := startLayer; l >= 0; l-- {
+		found := x.searchLayer(v, eps, x.cfg.EfConstruction, l)
+		selected := x.selectNeighbours(v, found, x.cfg.M)
+		n.neighbours[l] = append(n.neighbours[l], selected...)
+		for _, nb := range selected {
+			x.link(nb, id, l)
+		}
+		// Seed the next layer's search with this layer's results.
+		eps = eps[:0]
+		for _, c := range found {
+			eps = append(eps, c.id)
+		}
+		if len(eps) == 0 {
+			eps = []int{ep}
+		}
+	}
+
+	if level > x.maxLayer {
+		x.maxLayer = level
+		x.entry = id
+	}
+	return nil
+}
+
+// link adds dst to src's adjacency at the given layer, shrinking the
+// list with the neighbour-selection policy when it overflows.
+func (x *Index) link(src, dst, layer int) {
+	n := x.nodes[src]
+	n.neighbours[layer] = append(n.neighbours[layer], dst)
+	limit := x.maxNeighbours(layer)
+	if len(n.neighbours[layer]) <= limit {
+		return
+	}
+	cands := make([]candidate, 0, len(n.neighbours[layer]))
+	for _, nb := range n.neighbours[layer] {
+		cands = append(cands, candidate{id: nb, dist: x.d(n.vec, x.nodes[nb].vec)})
+	}
+	n.neighbours[layer] = x.selectNeighbours(n.vec, cands, limit)
+}
+
+// greedyClosest walks layer l from ep, moving to any strictly closer
+// neighbour until a local minimum is reached (beam width 1).
+func (x *Index) greedyClosest(q *bitvec.Vector, ep, layer int) int {
+	cur := ep
+	curDist := x.d(q, x.nodes[cur].vec)
+	for {
+		improved := false
+		for _, nb := range x.nodes[cur].neighbours[layer] {
+			if dd := x.d(q, x.nodes[nb].vec); dd < curDist {
+				cur, curDist = nb, dd
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer is the best-first beam search (algorithm 2 in the HNSW
+// paper): expand the closest unexpanded candidate while it can still
+// improve the worst of the current ef best results. Returns the best
+// candidates sorted ascending by distance.
+func (x *Index) searchLayer(q *bitvec.Vector, eps []int, ef, layer int) []candidate {
+	visited := make(map[int]struct{}, ef*4)
+	var frontier minHeap
+	var best maxHeap
+
+	for _, ep := range eps {
+		if _, ok := visited[ep]; ok {
+			continue
+		}
+		visited[ep] = struct{}{}
+		c := candidate{id: ep, dist: x.d(q, x.nodes[ep].vec)}
+		frontier.push(c)
+		best.push(c)
+	}
+
+	for frontier.len() > 0 {
+		cur := frontier.pop()
+		if best.len() >= ef && cur.dist > best.top().dist {
+			break
+		}
+		for _, nb := range x.nodes[cur.id].neighbours[layer] {
+			if _, ok := visited[nb]; ok {
+				continue
+			}
+			visited[nb] = struct{}{}
+			dd := x.d(q, x.nodes[nb].vec)
+			if best.len() < ef || dd < best.top().dist {
+				c := candidate{id: nb, dist: dd}
+				frontier.push(c)
+				best.push(c)
+				if best.len() > ef {
+					best.pop()
+				}
+			}
+		}
+	}
+
+	out := make([]candidate, best.len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = best.pop()
+	}
+	return out
+}
+
+// selectNeighbours reduces a candidate set to at most m ids, either by
+// simple closest-first selection or by the diversity heuristic.
+func (x *Index) selectNeighbours(q *bitvec.Vector, cands []candidate, m int) []int {
+	sorted := make([]candidate, len(cands))
+	copy(sorted, cands)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].dist < sorted[j].dist })
+
+	if !x.cfg.Heuristic {
+		if len(sorted) > m {
+			sorted = sorted[:m]
+		}
+		out := make([]int, len(sorted))
+		for i, c := range sorted {
+			out[i] = c.id
+		}
+		return out
+	}
+
+	// Heuristic (algorithm 4): keep a candidate only if it is closer to
+	// q than to any already-selected neighbour; this spreads links
+	// across clusters instead of saturating one.
+	out := make([]int, 0, m)
+	for _, c := range sorted {
+		if len(out) >= m {
+			break
+		}
+		keep := true
+		for _, s := range out {
+			if x.d(x.nodes[c.id].vec, x.nodes[s].vec) < c.dist {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c.id)
+		}
+	}
+	// Backfill with the closest rejected candidates if the heuristic was
+	// too aggressive to reach m (keepPrunedConnections variant).
+	if len(out) < m {
+		chosen := make(map[int]struct{}, len(out))
+		for _, s := range out {
+			chosen[s] = struct{}{}
+		}
+		for _, c := range sorted {
+			if len(out) >= m {
+				break
+			}
+			if _, ok := chosen[c.id]; !ok {
+				out = append(out, c.id)
+			}
+		}
+	}
+	return out
+}
+
+// Neighbour is one search hit.
+type Neighbour struct {
+	// ID is the insertion index of the vector (0-based).
+	ID int
+	// Dist is the distance to the query under the index metric.
+	Dist float64
+}
+
+// Search returns up to k approximate nearest neighbours of q, sorted by
+// ascending distance, using the configured EfSearch beam width.
+func (x *Index) Search(q *bitvec.Vector, k int) ([]Neighbour, error) {
+	return x.SearchEf(q, k, x.cfg.EfSearch)
+}
+
+// SearchEf is Search with an explicit beam width ef (>= k recommended).
+func (x *Index) SearchEf(q *bitvec.Vector, k, ef int) ([]Neighbour, error) {
+	if len(x.nodes) == 0 {
+		return nil, nil
+	}
+	if q.Len() != x.dim {
+		return nil, fmt.Errorf("%w: got %d, index has %d", ErrDimensionMismatch, q.Len(), x.dim)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	if ef < k {
+		ef = k
+	}
+	ep := x.entry
+	for l := x.maxLayer; l >= 1; l-- {
+		ep = x.greedyClosest(q, ep, l)
+	}
+	found := x.searchLayer(q, []int{ep}, ef, 0)
+	if len(found) > k {
+		found = found[:k]
+	}
+	out := make([]Neighbour, len(found))
+	for i, c := range found {
+		out[i] = Neighbour{ID: c.id, Dist: c.dist}
+	}
+	return out, nil
+}
+
+// SearchRadius returns all indexed vectors the search can find within
+// the given distance of q (inclusive), using beam width ef. Unlike an
+// exact radius scan this inherits HNSW's approximate recall.
+func (x *Index) SearchRadius(q *bitvec.Vector, radius float64, ef int) ([]Neighbour, error) {
+	hits, err := x.SearchEf(q, ef, ef)
+	if err != nil {
+		return nil, err
+	}
+	out := hits[:0]
+	for _, h := range hits {
+		if h.Dist <= radius {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}

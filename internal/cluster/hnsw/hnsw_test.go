@@ -1,0 +1,352 @@
+package hnsw
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/metric"
+)
+
+func randRow(r *rand.Rand, dim int, density float64) *bitvec.Vector {
+	v := bitvec.New(dim)
+	for i := 0; i < dim; i++ {
+		if r.Float64() < density {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{M: -1}).Validate(); err == nil {
+		t.Fatal("negative M accepted")
+	}
+	if _, err := New(Config{M: -1}); err == nil {
+		t.Fatal("New accepted invalid config")
+	}
+}
+
+func TestEmptyIndexSearch(t *testing.T) {
+	idx, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx.Search(bitvec.New(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != nil {
+		t.Fatalf("Search on empty index = %v, want nil", hits)
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	v := bitvec.FromIndices(8, []int{1, 3})
+	idx, err := Build([]*bitvec.Vector{v}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx.Search(v, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].ID != 0 || hits[0].Dist != 0 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	idx, err := Build([]*bitvec.Vector{bitvec.New(8)}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Add(bitvec.New(9)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("Add wrong dim: err = %v", err)
+	}
+	if _, err := idx.Search(bitvec.New(9), 1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("Search wrong dim: err = %v", err)
+	}
+}
+
+func TestKZeroOrNegative(t *testing.T) {
+	idx, err := Build([]*bitvec.Vector{bitvec.New(4)}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, -3} {
+		hits, err := idx.Search(bitvec.New(4), k)
+		if err != nil || hits != nil {
+			t.Fatalf("Search(k=%d) = (%v, %v)", k, hits, err)
+		}
+	}
+}
+
+func TestFindsExactDuplicate(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	rows := make([]*bitvec.Vector, 50)
+	for i := range rows {
+		rows[i] = randRow(r, 64, 0.3)
+	}
+	rows[37] = rows[5].Clone() // plant a duplicate
+	idx, err := Build(rows, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx.Search(rows[5], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) < 2 {
+		t.Fatalf("got %d hits, want 2", len(hits))
+	}
+	ids := map[int]bool{hits[0].ID: true, hits[1].ID: true}
+	if !ids[5] || !ids[37] {
+		t.Fatalf("duplicate pair not found: %v", hits)
+	}
+	if hits[0].Dist != 0 || hits[1].Dist != 0 {
+		t.Fatalf("duplicate distances = %v", hits)
+	}
+}
+
+// bruteKNN computes exact k nearest neighbours for recall measurement.
+func bruteKNN(rows []*bitvec.Vector, q *bitvec.Vector, k int) []int {
+	type pair struct {
+		id int
+		d  int
+	}
+	ps := make([]pair, len(rows))
+	for i, r := range rows {
+		ps[i] = pair{id: i, d: q.Hamming(r)}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].d != ps[j].d {
+			return ps[i].d < ps[j].d
+		}
+		return ps[i].id < ps[j].id
+	})
+	out := make([]int, 0, k)
+	for i := 0; i < k && i < len(ps); i++ {
+		out = append(out, ps[i].id)
+	}
+	return out
+}
+
+func TestRecallAgainstBruteForce(t *testing.T) {
+	const (
+		n      = 400
+		dim    = 128
+		k      = 10
+		trials = 40
+	)
+	r := rand.New(rand.NewSource(5))
+	rows := make([]*bitvec.Vector, n)
+	for i := range rows {
+		rows[i] = randRow(r, dim, 0.25)
+	}
+	idx, err := Build(rows, Config{M: 16, EfConstruction: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitSum, total := 0, 0
+	for tr := 0; tr < trials; tr++ {
+		q := rows[r.Intn(n)]
+		exact := bruteKNN(rows, q, k)
+		// Recall is distance-based: an approximate hit counts if its
+		// distance is within the exact k-th distance (ties are
+		// interchangeable).
+		kth := q.Hamming(rows[exact[len(exact)-1]])
+		hits, err := idx.SearchEf(q, k, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hits {
+			if int(h.Dist) <= kth {
+				hitSum++
+			}
+		}
+		total += k
+	}
+	recall := float64(hitSum) / float64(total)
+	if recall < 0.9 {
+		t.Fatalf("recall = %.3f, want >= 0.9", recall)
+	}
+}
+
+func TestNoFalseDistances(t *testing.T) {
+	// Every reported distance must equal the true metric value.
+	r := rand.New(rand.NewSource(21))
+	rows := make([]*bitvec.Vector, 100)
+	for i := range rows {
+		rows[i] = randRow(r, 64, 0.3)
+	}
+	idx, err := Build(rows, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		q := rows[r.Intn(len(rows))]
+		hits, err := idx.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hits {
+			if want := float64(q.Hamming(rows[h.ID])); h.Dist != want {
+				t.Fatalf("hit %d reported dist %v, true %v", h.ID, h.Dist, want)
+			}
+		}
+	}
+}
+
+func TestResultsSortedAscending(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	rows := make([]*bitvec.Vector, 200)
+	for i := range rows {
+		rows[i] = randRow(r, 64, 0.3)
+	}
+	idx, err := Build(rows, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx.Search(rows[0], 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Dist < hits[i-1].Dist {
+			t.Fatalf("hits not sorted: %v", hits)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	rows := make([]*bitvec.Vector, 150)
+	for i := range rows {
+		rows[i] = randRow(r, 64, 0.3)
+	}
+	build := func() []Neighbour {
+		idx, err := Build(rows, Config{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits, err := idx.Search(rows[3], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hits
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic result sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic results: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSearchRadius(t *testing.T) {
+	rows := []*bitvec.Vector{
+		bitvec.FromIndices(16, []int{0, 1}),
+		bitvec.FromIndices(16, []int{0, 1}),     // dup of 0
+		bitvec.FromIndices(16, []int{0, 1, 2}),  // dist 1 from 0
+		bitvec.FromIndices(16, []int{8, 9, 10}), // far
+	}
+	idx, err := Build(rows, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx.SearchRadius(rows[0], 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int]bool{}
+	for _, h := range hits {
+		if h.Dist > 1 {
+			t.Fatalf("hit outside radius: %v", h)
+		}
+		ids[h.ID] = true
+	}
+	for _, want := range []int{0, 1, 2} {
+		if !ids[want] {
+			t.Fatalf("radius search missed id %d: %v", want, hits)
+		}
+	}
+	if ids[3] {
+		t.Fatal("radius search returned far point")
+	}
+}
+
+func TestHeuristicSelection(t *testing.T) {
+	// The heuristic variant must still find planted duplicates.
+	r := rand.New(rand.NewSource(13))
+	rows := make([]*bitvec.Vector, 120)
+	for i := range rows {
+		rows[i] = randRow(r, 64, 0.3)
+	}
+	rows[100] = rows[10].Clone()
+	idx, err := Build(rows, Config{Seed: 8, Heuristic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := idx.SearchEf(rows[10], 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hits {
+		if h.ID == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("heuristic index missed planted duplicate: %v", hits)
+	}
+}
+
+func TestDistCallsMonotone(t *testing.T) {
+	rows := []*bitvec.Vector{bitvec.New(8), bitvec.FromIndices(8, []int{1})}
+	idx, err := Build(rows, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := idx.DistCalls()
+	if before <= 0 {
+		t.Fatal("no distance calls recorded during build")
+	}
+	if _, err := idx.Search(rows[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if idx.DistCalls() <= before {
+		t.Fatal("DistCalls did not grow after a search")
+	}
+}
+
+func TestDefaultMetricIsManhattan(t *testing.T) {
+	idx, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.cfg.Metric != metric.Manhattan {
+		t.Fatalf("default metric = %v, want manhattan", idx.cfg.Metric)
+	}
+}
+
+func TestLenGrows(t *testing.T) {
+	idx, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := idx.Add(bitvec.FromIndices(8, []int{i % 8})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idx.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", idx.Len())
+	}
+}

@@ -1,0 +1,208 @@
+// Package consolidate turns detected class-4 role groups into concrete,
+// provably safe merge plans — the paper's headline that consolidating
+// roles sharing the same users or permissions can remove ~10% of all
+// roles, "without granting extra permissions" (§II, §IV-B).
+//
+// Safety argument: if roles r₁…rₙ have identical user sets U, every
+// u ∈ U already holds every rᵢ, so u's effective permissions are
+// ⋃ perms(rᵢ). Replacing the group with one role (users U, permissions
+// ⋃ perms(rᵢ)) leaves every user's effective permissions unchanged.
+// Symmetrically for identical permission sets. Similar (class-5) groups
+// are NOT safe to merge automatically — a merge would grant the union —
+// so the planner only reports them for administrator review.
+package consolidate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rbac"
+)
+
+// Side says which side of a group is identical.
+type Side int
+
+// Sides of the tripartite graph a group can share.
+const (
+	// SideUsers marks groups sharing the same user set.
+	SideUsers Side = iota + 1
+	// SidePermissions marks groups sharing the same permission set.
+	SidePermissions
+)
+
+// String names the side.
+func (s Side) String() string {
+	switch s {
+	case SideUsers:
+		return "users"
+	case SidePermissions:
+		return "permissions"
+	default:
+		return fmt.Sprintf("consolidate.Side(%d)", int(s))
+	}
+}
+
+// Merge collapses one role group into its first member.
+type Merge struct {
+	// Keep is the surviving role.
+	Keep rbac.RoleID `json:"keep"`
+	// Remove lists the roles to delete after folding their assignments
+	// into Keep.
+	Remove []rbac.RoleID `json:"remove"`
+	// Side is the identical side; the other side is unioned into Keep.
+	Side Side `json:"side"`
+}
+
+// Plan is an ordered set of merges. Each role appears in at most one
+// merge, so the plan can be applied in any order.
+type Plan struct {
+	Merges []Merge `json:"merges"`
+}
+
+// RolesRemoved returns the number of roles the plan deletes.
+func (p *Plan) RolesRemoved() int {
+	n := 0
+	for _, m := range p.Merges {
+		n += len(m.Remove)
+	}
+	return n
+}
+
+// FromReport builds a plan from a detection report's class-4 groups.
+// Same-user groups are planned first; a role already claimed by one
+// merge is skipped by later groups (the paper notes the same role can
+// be linked to multiple inefficiencies — it can still only be merged
+// once per cleanup round; re-running the framework converges).
+func FromReport(rep *core.Report) *Plan {
+	plan := &Plan{}
+	claimed := make(map[rbac.RoleID]struct{})
+	addGroups := func(groups []core.RoleGroup, side Side) {
+		for _, g := range groups {
+			free := make([]rbac.RoleID, 0, len(g.Roles))
+			for _, r := range g.Roles {
+				if _, taken := claimed[r]; !taken {
+					free = append(free, r)
+				}
+			}
+			if len(free) < 2 {
+				continue
+			}
+			for _, r := range free {
+				claimed[r] = struct{}{}
+			}
+			plan.Merges = append(plan.Merges, Merge{
+				Keep:   free[0],
+				Remove: free[1:],
+				Side:   side,
+			})
+		}
+	}
+	addGroups(rep.SameUserGroups, SideUsers)
+	addGroups(rep.SamePermissionGroups, SidePermissions)
+	return plan
+}
+
+// Apply executes the plan on a copy of the dataset and returns the
+// consolidated copy. The input dataset is not modified.
+func Apply(d *rbac.Dataset, plan *Plan) (*rbac.Dataset, error) {
+	out := d.Clone()
+	for mi, m := range plan.Merges {
+		if len(m.Remove) == 0 {
+			continue
+		}
+		for _, victim := range m.Remove {
+			switch m.Side {
+			case SideUsers:
+				// Fold the victim's permissions into the keeper.
+				perms, err := out.RolePermissions(victim)
+				if err != nil {
+					return nil, fmt.Errorf("merge %d: %w", mi, err)
+				}
+				for _, p := range perms {
+					if err := out.AssignPermission(m.Keep, p); err != nil {
+						return nil, fmt.Errorf("merge %d: %w", mi, err)
+					}
+				}
+			case SidePermissions:
+				// Fold the victim's users into the keeper.
+				users, err := out.RoleUsers(victim)
+				if err != nil {
+					return nil, fmt.Errorf("merge %d: %w", mi, err)
+				}
+				for _, u := range users {
+					if err := out.AssignUser(m.Keep, u); err != nil {
+						return nil, fmt.Errorf("merge %d: %w", mi, err)
+					}
+				}
+			default:
+				return nil, fmt.Errorf("merge %d: unknown side %d", mi, int(m.Side))
+			}
+			if err := out.RemoveRole(victim); err != nil {
+				return nil, fmt.Errorf("merge %d: %w", mi, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// VerifySafety checks that consolidation preserved every user's
+// effective permissions exactly: nothing granted, nothing revoked. It
+// returns the first discrepancy found.
+func VerifySafety(before, after *rbac.Dataset) error {
+	beforeEff := effectiveByID(before)
+	afterEff := effectiveByID(after)
+	if len(beforeEff) != len(afterEff) {
+		return fmt.Errorf("consolidate: user count changed from %d to %d",
+			len(beforeEff), len(afterEff))
+	}
+	for uid, b := range beforeEff {
+		a, ok := afterEff[uid]
+		if !ok {
+			return fmt.Errorf("consolidate: user %q disappeared", uid)
+		}
+		for pid := range b {
+			if _, ok := a[pid]; !ok {
+				return fmt.Errorf("consolidate: user %q lost permission %q", uid, pid)
+			}
+		}
+		for pid := range a {
+			if _, ok := b[pid]; !ok {
+				return fmt.Errorf("consolidate: user %q gained permission %q", uid, pid)
+			}
+		}
+	}
+	return nil
+}
+
+// effectiveByID maps each user id to its effective permission id set.
+func effectiveByID(d *rbac.Dataset) map[rbac.UserID]map[rbac.PermissionID]struct{} {
+	eff := d.EffectivePermissions()
+	out := make(map[rbac.UserID]map[rbac.PermissionID]struct{}, len(eff))
+	for ui, perms := range eff {
+		set := make(map[rbac.PermissionID]struct{}, len(perms))
+		for pi := range perms {
+			set[d.Permission(pi)] = struct{}{}
+		}
+		out[d.User(ui)] = set
+	}
+	return out
+}
+
+// Consolidate is the one-call pipeline: analyse, plan, apply, verify.
+// It returns the consolidated dataset and the applied plan.
+func Consolidate(d *rbac.Dataset, opts core.Options) (*rbac.Dataset, *Plan, error) {
+	opts.SkipSimilar = true // plans use class-4 groups only
+	rep, err := core.Analyze(d, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := FromReport(rep)
+	after, err := Apply(d, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := VerifySafety(d, after); err != nil {
+		return nil, nil, err
+	}
+	return after, plan, nil
+}

@@ -1,0 +1,53 @@
+package consolidate_test
+
+import (
+	"fmt"
+
+	"repro/internal/consolidate"
+	"repro/internal/core"
+	"repro/internal/rbac"
+)
+
+// ExampleConsolidate shows the one-call cleanup pipeline: detect
+// class-4 groups, plan merges, apply them, and verify no effective
+// permission changed.
+func ExampleConsolidate() {
+	ds := rbac.Figure1()
+	after, plan, err := consolidate.Consolidate(ds, core.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, m := range plan.Merges {
+		fmt.Printf("merge %v into %s (identical %s)\n", m.Remove, m.Keep, m.Side)
+	}
+	fmt.Printf("roles: %d -> %d\n", ds.NumRoles(), after.NumRoles())
+	fmt.Println("safe:", consolidate.VerifySafety(ds, after) == nil)
+	// Output:
+	// merge [R04] into R02 (identical users)
+	// roles: 5 -> 4
+	// safe: true
+}
+
+// ExampleSuggestSimilar produces reviewable merge proposals for similar
+// (class-5) groups, with the exact grant delta each merge would cause.
+func ExampleSuggestSimilar() {
+	ds := rbac.Figure1()
+	rep, err := core.Analyze(ds, core.Options{SimilarThreshold: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	suggestions, err := consolidate.SuggestSimilar(ds, rep)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, s := range suggestions {
+		fmt.Printf("merge %v (similar %s): %d new grants\n",
+			s.Roles, s.Side, len(s.AddedGrants))
+	}
+	// Output:
+	// merge [R02 R04] (similar users): 0 new grants
+	// merge [R04 R05] (similar permissions): 0 new grants
+}

@@ -1,0 +1,323 @@
+// Package core implements the paper's detection framework: a taxonomy
+// of five RBAC data inefficiencies (§III-A) and detectors for each of
+// them over the RUAM/RPAM assignment matrices (§III-B).
+//
+// Classes 1-3 (standalone nodes, roles without users/permissions, roles
+// with a single user/permission) are linear scans over row and column
+// sums. Classes 4-5 (roles sharing the same or similar users or
+// permissions) delegate to one of the three group-finding methods in
+// methods.go, with the paper's Role Diet algorithm as the default.
+//
+// Detected inefficiencies are reported, never fixed automatically: the
+// paper stresses that each instance may be a legitimate corner case
+// (e.g. a role assigned only to the CEO) and needs administrator
+// review. Fix planning lives in internal/consolidate.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/rbac"
+)
+
+// InefficiencyKind enumerates the taxonomy of §III-A.
+type InefficiencyKind int
+
+// The five inefficiency classes.
+const (
+	// KindStandaloneNode: users/permissions connected to no role, and
+	// roles connected to neither users nor permissions.
+	KindStandaloneNode InefficiencyKind = iota + 1
+	// KindDisconnectedRole: roles with no users, or with no permissions
+	// (but not both — that is a standalone node).
+	KindDisconnectedRole
+	// KindSingleAssignment: roles with exactly one user or exactly one
+	// permission.
+	KindSingleAssignment
+	// KindSameGroup: roles sharing exactly the same users or the same
+	// permissions.
+	KindSameGroup
+	// KindSimilarGroup: roles sharing the same users/permissions up to
+	// an administrator-set threshold of differences.
+	KindSimilarGroup
+)
+
+// String names the inefficiency class.
+func (k InefficiencyKind) String() string {
+	switch k {
+	case KindStandaloneNode:
+		return "standalone-node"
+	case KindDisconnectedRole:
+		return "disconnected-role"
+	case KindSingleAssignment:
+		return "single-assignment"
+	case KindSameGroup:
+		return "same-group"
+	case KindSimilarGroup:
+		return "similar-group"
+	default:
+		return fmt.Sprintf("core.InefficiencyKind(%d)", int(k))
+	}
+}
+
+// Options configures a full analysis run.
+type Options struct {
+	// Method selects the group-finding algorithm for classes 4-5;
+	// defaults to MethodRoleDiet.
+	Method Method
+	// SimilarThreshold is the class-5 threshold k (number of tolerated
+	// differences); defaults to 1, the paper's "all but one" case.
+	SimilarThreshold int
+	// SkipSimilar disables the class-5 detectors (the most expensive
+	// ones after class 4).
+	SkipSimilar bool
+	// SkipGroups disables classes 4 and 5 entirely, leaving only the
+	// linear-time detectors.
+	SkipGroups bool
+	// Group carries method-specific knobs; Threshold and Method inside
+	// it are overwritten per detector run.
+	Group GroupOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Method == 0 {
+		o.Method = MethodRoleDiet
+	}
+	if o.SimilarThreshold == 0 {
+		o.SimilarThreshold = 1
+	}
+	return o
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.SimilarThreshold < 0 {
+		return fmt.Errorf("core: negative similar threshold %d", o.SimilarThreshold)
+	}
+	return nil
+}
+
+// RoleGroup is one detected group of interchangeable roles.
+type RoleGroup struct {
+	// Roles lists the group members.
+	Roles []rbac.RoleID `json:"roles"`
+}
+
+// Report is the outcome of a full analysis. Counts of roles "in" a
+// grouped inefficiency count every member of every group, matching how
+// the paper reports "8,000 roles sharing the same users".
+type Report struct {
+	// Stats snapshots the analysed dataset's shape.
+	Stats rbac.Stats `json:"stats"`
+	// Method is the group-finding algorithm used for classes 4-5.
+	Method string `json:"method"`
+	// SimilarThreshold is the class-5 threshold used.
+	SimilarThreshold int `json:"similarThreshold"`
+
+	// Class 1: standalone nodes.
+	StandaloneUsers       []rbac.UserID       `json:"standaloneUsers"`
+	StandalonePermissions []rbac.PermissionID `json:"standalonePermissions"`
+	StandaloneRoles       []rbac.RoleID       `json:"standaloneRoles"`
+
+	// Class 2: roles connected on one side only.
+	RolesWithoutUsers       []rbac.RoleID `json:"rolesWithoutUsers"`
+	RolesWithoutPermissions []rbac.RoleID `json:"rolesWithoutPermissions"`
+
+	// Class 3: roles with exactly one assignment on a side.
+	RolesWithSingleUser       []rbac.RoleID `json:"rolesWithSingleUser"`
+	RolesWithSinglePermission []rbac.RoleID `json:"rolesWithSinglePermission"`
+
+	// Class 4: roles sharing exactly the same users / permissions.
+	SameUserGroups       []RoleGroup `json:"sameUserGroups"`
+	SamePermissionGroups []RoleGroup `json:"samePermissionGroups"`
+
+	// Class 5: roles within SimilarThreshold differences.
+	SimilarUserGroups       []RoleGroup `json:"similarUserGroups"`
+	SimilarPermissionGroups []RoleGroup `json:"similarPermissionGroups"`
+
+	// Durations per phase, for the scalability story.
+	LinearScanDuration   time.Duration `json:"linearScanDurationNanos"`
+	SameGroupsDuration   time.Duration `json:"sameGroupsDurationNanos"`
+	SimilarGroupDuration time.Duration `json:"similarGroupsDurationNanos"`
+}
+
+// Analyzer runs the detection framework over one dataset snapshot. The
+// matrices are built once and shared by every detector.
+type Analyzer struct {
+	ds   *rbac.Dataset
+	ruam rowset
+	rpam rowset
+}
+
+// rowset caches a matrix's rows and row sums.
+type rowset struct {
+	rows []*bitvec.Vector
+	sums []int
+}
+
+// NewAnalyzer snapshots the dataset. Later dataset mutations are not
+// observed.
+func NewAnalyzer(d *rbac.Dataset) *Analyzer {
+	a := &Analyzer{ds: d.Clone()}
+	ruam := a.ds.RUAM()
+	rpam := a.ds.RPAM()
+	a.ruam = rowset{rows: make([]*bitvec.Vector, ruam.Rows()), sums: ruam.RowSums()}
+	a.rpam = rowset{rows: make([]*bitvec.Vector, rpam.Rows()), sums: rpam.RowSums()}
+	for i := 0; i < ruam.Rows(); i++ {
+		a.ruam.rows[i] = ruam.Row(i)
+		a.rpam.rows[i] = rpam.Row(i)
+	}
+	return a
+}
+
+// Dataset returns the analyzer's snapshot.
+func (a *Analyzer) Dataset() *rbac.Dataset { return a.ds }
+
+// Analyze runs every enabled detector and assembles the report.
+func (a *Analyzer) Analyze(opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	rep := &Report{
+		Stats:            a.ds.Stats(),
+		Method:           opts.Method.String(),
+		SimilarThreshold: opts.SimilarThreshold,
+	}
+
+	start := time.Now()
+	a.detectStandalone(rep)
+	a.detectDisconnected(rep)
+	a.detectSingle(rep)
+	rep.LinearScanDuration = time.Since(start)
+
+	if opts.SkipGroups {
+		return rep, nil
+	}
+
+	gopts := opts.Group
+	gopts.Method = opts.Method
+	// Disconnected roles (class 2) must not resurface as one giant
+	// class-4 group of all-zero rows.
+	gopts.IgnoreEmptyRows = true
+
+	start = time.Now()
+	gopts.Threshold = 0
+	sameUsers, err := FindRoleGroups(a.ruam.rows, gopts)
+	if err != nil {
+		return nil, fmt.Errorf("same-user groups: %w", err)
+	}
+	samePerms, err := FindRoleGroups(a.rpam.rows, gopts)
+	if err != nil {
+		return nil, fmt.Errorf("same-permission groups: %w", err)
+	}
+	rep.SameUserGroups = a.toRoleGroups(sameUsers)
+	rep.SamePermissionGroups = a.toRoleGroups(samePerms)
+	rep.SameGroupsDuration = time.Since(start)
+
+	if opts.SkipSimilar {
+		return rep, nil
+	}
+
+	start = time.Now()
+	gopts.Threshold = opts.SimilarThreshold
+	similarUsers, err := FindRoleGroups(a.ruam.rows, gopts)
+	if err != nil {
+		return nil, fmt.Errorf("similar-user groups: %w", err)
+	}
+	similarPerms, err := FindRoleGroups(a.rpam.rows, gopts)
+	if err != nil {
+		return nil, fmt.Errorf("similar-permission groups: %w", err)
+	}
+	rep.SimilarUserGroups = a.toRoleGroups(similarUsers)
+	rep.SimilarPermissionGroups = a.toRoleGroups(similarPerms)
+	rep.SimilarGroupDuration = time.Since(start)
+
+	return rep, nil
+}
+
+// detectStandalone finds class-1 inefficiencies: all-zero columns in
+// RUAM (users) and RPAM (permissions), and roles whose rows are all-zero
+// in both matrices.
+func (a *Analyzer) detectStandalone(rep *Report) {
+	userDeg := make([]int, a.ds.NumUsers())
+	for _, row := range a.ruam.rows {
+		row.ForEach(func(j int) bool {
+			userDeg[j]++
+			return true
+		})
+	}
+	for ui, deg := range userDeg {
+		if deg == 0 {
+			rep.StandaloneUsers = append(rep.StandaloneUsers, a.ds.User(ui))
+		}
+	}
+	permDeg := make([]int, a.ds.NumPermissions())
+	for _, row := range a.rpam.rows {
+		row.ForEach(func(j int) bool {
+			permDeg[j]++
+			return true
+		})
+	}
+	for pi, deg := range permDeg {
+		if deg == 0 {
+			rep.StandalonePermissions = append(rep.StandalonePermissions, a.ds.Permission(pi))
+		}
+	}
+	for ri := range a.ruam.rows {
+		if a.ruam.sums[ri] == 0 && a.rpam.sums[ri] == 0 {
+			rep.StandaloneRoles = append(rep.StandaloneRoles, a.ds.Role(ri))
+		}
+	}
+}
+
+// detectDisconnected finds class-2 inefficiencies: roles with a zero
+// row sum on exactly one side. Roles with zero on both sides are
+// standalone nodes (class 1), not disconnected roles.
+func (a *Analyzer) detectDisconnected(rep *Report) {
+	for ri := range a.ruam.rows {
+		noUsers := a.ruam.sums[ri] == 0
+		noPerms := a.rpam.sums[ri] == 0
+		switch {
+		case noUsers && noPerms:
+			// class 1, already reported
+		case noUsers:
+			rep.RolesWithoutUsers = append(rep.RolesWithoutUsers, a.ds.Role(ri))
+		case noPerms:
+			rep.RolesWithoutPermissions = append(rep.RolesWithoutPermissions, a.ds.Role(ri))
+		}
+	}
+}
+
+// detectSingle finds class-3 inefficiencies: row sums equal to one.
+func (a *Analyzer) detectSingle(rep *Report) {
+	for ri := range a.ruam.rows {
+		if a.ruam.sums[ri] == 1 {
+			rep.RolesWithSingleUser = append(rep.RolesWithSingleUser, a.ds.Role(ri))
+		}
+		if a.rpam.sums[ri] == 1 {
+			rep.RolesWithSinglePermission = append(rep.RolesWithSinglePermission, a.ds.Role(ri))
+		}
+	}
+}
+
+// toRoleGroups maps index groups to role-id groups.
+func (a *Analyzer) toRoleGroups(groups [][]int) []RoleGroup {
+	out := make([]RoleGroup, len(groups))
+	for gi, g := range groups {
+		ids := make([]rbac.RoleID, len(g))
+		for i, ri := range g {
+			ids[i] = a.ds.Role(ri)
+		}
+		out[gi] = RoleGroup{Roles: ids}
+	}
+	return out
+}
+
+// Analyze is the one-call convenience API: snapshot, detect, report.
+func Analyze(d *rbac.Dataset, opts Options) (*Report, error) {
+	return NewAnalyzer(d).Analyze(opts)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GroupStats summarises a set of role groups the way the paper's §IV-B
+// reports them.
+type GroupStats struct {
+	// Groups is the number of groups.
+	Groups int `json:"groups"`
+	// RolesInGroups counts every member of every group ("8,000 roles
+	// sharing the same users").
+	RolesInGroups int `json:"rolesInGroups"`
+	// Reducible is the number of roles that could be removed by
+	// collapsing each group to a single role: sum(len(g) - 1). The paper
+	// lower-bounds this as half the member count assuming pair groups.
+	Reducible int `json:"reducible"`
+	// LargestGroup is the size of the biggest group.
+	LargestGroup int `json:"largestGroup"`
+}
+
+// StatsOf computes group statistics.
+func StatsOf(groups []RoleGroup) GroupStats {
+	s := GroupStats{Groups: len(groups)}
+	for _, g := range groups {
+		n := len(g.Roles)
+		s.RolesInGroups += n
+		s.Reducible += n - 1
+		if n > s.LargestGroup {
+			s.LargestGroup = n
+		}
+	}
+	return s
+}
+
+// TotalReducibleRoles returns how many roles could be removed by
+// consolidating all class-4 groups — the basis of the paper's "about
+// 10% of all roles" headline.
+func (r *Report) TotalReducibleRoles() int {
+	return StatsOf(r.SameUserGroups).Reducible + StatsOf(r.SamePermissionGroups).Reducible
+}
+
+// Summary renders the report as a human-readable table mirroring the
+// §IV-B narrative: one line per inefficiency class and side.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RBAC inefficiency report (method=%s, similar threshold=%d)\n",
+		r.Method, r.SimilarThreshold)
+	fmt.Fprintf(&b, "dataset: %d users, %d roles, %d permissions, %d+%d assignments\n",
+		r.Stats.Users, r.Stats.Roles, r.Stats.Permissions,
+		r.Stats.UserAssignments, r.Stats.PermissionAssignments)
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "%-46s %8d\n", "1. standalone users", len(r.StandaloneUsers))
+	fmt.Fprintf(&b, "%-46s %8d\n", "1. standalone permissions", len(r.StandalonePermissions))
+	fmt.Fprintf(&b, "%-46s %8d\n", "1. standalone roles", len(r.StandaloneRoles))
+	fmt.Fprintf(&b, "%-46s %8d\n", "2. roles without users", len(r.RolesWithoutUsers))
+	fmt.Fprintf(&b, "%-46s %8d\n", "2. roles without permissions", len(r.RolesWithoutPermissions))
+	fmt.Fprintf(&b, "%-46s %8d\n", "3. roles with a single user", len(r.RolesWithSingleUser))
+	fmt.Fprintf(&b, "%-46s %8d\n", "3. roles with a single permission", len(r.RolesWithSinglePermission))
+
+	su := StatsOf(r.SameUserGroups)
+	sp := StatsOf(r.SamePermissionGroups)
+	fmt.Fprintf(&b, "%-46s %8d (in %d groups, %d reducible)\n",
+		"4. roles sharing the same users", su.RolesInGroups, su.Groups, su.Reducible)
+	fmt.Fprintf(&b, "%-46s %8d (in %d groups, %d reducible)\n",
+		"4. roles sharing the same permissions", sp.RolesInGroups, sp.Groups, sp.Reducible)
+
+	if r.SimilarUserGroups != nil || r.SimilarPermissionGroups != nil {
+		xu := StatsOf(r.SimilarUserGroups)
+		xp := StatsOf(r.SimilarPermissionGroups)
+		fmt.Fprintf(&b, "%-46s %8d (in %d groups)\n",
+			fmt.Sprintf("5. roles sharing all but <=%d users", r.SimilarThreshold),
+			xu.RolesInGroups, xu.Groups)
+		fmt.Fprintf(&b, "%-46s %8d (in %d groups)\n",
+			fmt.Sprintf("5. roles sharing all but <=%d permissions", r.SimilarThreshold),
+			xp.RolesInGroups, xp.Groups)
+	}
+
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "linear detectors: %v, same groups: %v, similar groups: %v\n",
+		r.LinearScanDuration, r.SameGroupsDuration, r.SimilarGroupDuration)
+	if red := r.TotalReducibleRoles(); red > 0 && r.Stats.Roles > 0 {
+		fmt.Fprintf(&b, "consolidating class-4 groups removes %d of %d roles (%.1f%%)\n",
+			red, r.Stats.Roles, 100*float64(red)/float64(r.Stats.Roles))
+	}
+	return b.String()
+}

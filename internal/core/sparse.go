@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster/rolediet"
+	"repro/internal/matrix"
+	"repro/internal/rbac"
+)
+
+// AnalyzeSparse runs the full detection framework over CSR matrices
+// instead of dense bit matrices. This is the configuration that handles
+// the paper's organisation-scale dataset (§IV-B: ~50k roles, ~90k
+// users, ~350k permissions) on a laptop: the dense RUAM/RPAM would need
+// gigabytes, the CSR form a few megabytes.
+//
+// Only MethodRoleDiet supports the sparse path — which mirrors the
+// paper's finding that the DBSCAN and HNSW baselines were halted after
+// 24 hours on the real dataset while the custom algorithm finished in
+// about two minutes. Requesting another method returns an error rather
+// than silently densifying.
+func AnalyzeSparse(d *rbac.Dataset, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.Method != MethodRoleDiet {
+		return nil, fmt.Errorf("core: sparse analysis supports only rolediet, got %s", opts.Method)
+	}
+
+	ruam := d.RUAMCSR()
+	rpam := d.RPAMCSR()
+
+	rep := &Report{
+		Stats:            d.Stats(),
+		Method:           opts.Method.String(),
+		SimilarThreshold: opts.SimilarThreshold,
+	}
+
+	start := time.Now()
+	detectLinearSparse(d, ruam, rpam, rep)
+	rep.LinearScanDuration = time.Since(start)
+
+	if opts.SkipGroups {
+		return rep, nil
+	}
+
+	toGroups := func(c *matrix.CSR, k int) ([]RoleGroup, error) {
+		kept, remap := filterEmptyRows(c)
+		res, err := rolediet.GroupsCSR(kept, rolediet.Options{Threshold: k})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]RoleGroup, len(res.Groups))
+		for gi, g := range res.Groups {
+			ids := make([]rbac.RoleID, len(g))
+			for i, ri := range g {
+				ids[i] = d.Role(remap[ri])
+			}
+			out[gi] = RoleGroup{Roles: ids}
+		}
+		return out, nil
+	}
+
+	start = time.Now()
+	var err error
+	if rep.SameUserGroups, err = toGroups(ruam, 0); err != nil {
+		return nil, fmt.Errorf("same-user groups: %w", err)
+	}
+	if rep.SamePermissionGroups, err = toGroups(rpam, 0); err != nil {
+		return nil, fmt.Errorf("same-permission groups: %w", err)
+	}
+	rep.SameGroupsDuration = time.Since(start)
+
+	if opts.SkipSimilar {
+		return rep, nil
+	}
+
+	start = time.Now()
+	if rep.SimilarUserGroups, err = toGroups(ruam, opts.SimilarThreshold); err != nil {
+		return nil, fmt.Errorf("similar-user groups: %w", err)
+	}
+	if rep.SimilarPermissionGroups, err = toGroups(rpam, opts.SimilarThreshold); err != nil {
+		return nil, fmt.Errorf("similar-permission groups: %w", err)
+	}
+	rep.SimilarGroupDuration = time.Since(start)
+
+	return rep, nil
+}
+
+// detectLinearSparse runs the class-1/2/3 detectors over CSR matrices.
+func detectLinearSparse(d *rbac.Dataset, ruam, rpam *matrix.CSR, rep *Report) {
+	for ui, deg := range ruam.ColSums() {
+		if deg == 0 {
+			rep.StandaloneUsers = append(rep.StandaloneUsers, d.User(ui))
+		}
+	}
+	for pi, deg := range rpam.ColSums() {
+		if deg == 0 {
+			rep.StandalonePermissions = append(rep.StandalonePermissions, d.Permission(pi))
+		}
+	}
+	for ri := 0; ri < ruam.Rows(); ri++ {
+		users := ruam.RowSum(ri)
+		perms := rpam.RowSum(ri)
+		switch {
+		case users == 0 && perms == 0:
+			rep.StandaloneRoles = append(rep.StandaloneRoles, d.Role(ri))
+		case users == 0:
+			rep.RolesWithoutUsers = append(rep.RolesWithoutUsers, d.Role(ri))
+		case perms == 0:
+			rep.RolesWithoutPermissions = append(rep.RolesWithoutPermissions, d.Role(ri))
+		}
+		if users == 1 {
+			rep.RolesWithSingleUser = append(rep.RolesWithSingleUser, d.Role(ri))
+		}
+		if perms == 1 {
+			rep.RolesWithSinglePermission = append(rep.RolesWithSinglePermission, d.Role(ri))
+		}
+	}
+}
+
+// filterEmptyRows drops all-zero rows from a CSR matrix and returns the
+// kept matrix plus a kept-index → original-index map.
+func filterEmptyRows(c *matrix.CSR) (*matrix.CSR, []int) {
+	remap := make([]int, 0, c.Rows())
+	out := matrix.NewCSR(0, c.Cols())
+	out.RowPtr = out.RowPtr[:1]
+	for i := 0; i < c.Rows(); i++ {
+		row := c.RowCols(i)
+		if len(row) == 0 {
+			continue
+		}
+		out.ColIdx = append(out.ColIdx, row...)
+		out.RowPtr = append(out.RowPtr, len(out.ColIdx))
+		remap = append(remap, i)
+	}
+	out.NRows = len(remap)
+	return out, remap
+}

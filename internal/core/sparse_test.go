@@ -1,0 +1,98 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rbac"
+)
+
+func TestAnalyzeSparseMatchesDenseOnFigure1(t *testing.T) {
+	ds := rbac.Figure1()
+	dense, err := Analyze(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := AnalyzeSparse(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(dense.StandaloneUsers, sparse.StandaloneUsers) ||
+		!reflect.DeepEqual(dense.StandalonePermissions, sparse.StandalonePermissions) ||
+		!reflect.DeepEqual(dense.StandaloneRoles, sparse.StandaloneRoles) {
+		t.Fatal("class-1 findings differ between dense and sparse")
+	}
+	if !reflect.DeepEqual(dense.RolesWithoutUsers, sparse.RolesWithoutUsers) ||
+		!reflect.DeepEqual(dense.RolesWithoutPermissions, sparse.RolesWithoutPermissions) {
+		t.Fatal("class-2 findings differ")
+	}
+	if !reflect.DeepEqual(dense.RolesWithSingleUser, sparse.RolesWithSingleUser) ||
+		!reflect.DeepEqual(dense.RolesWithSinglePermission, sparse.RolesWithSinglePermission) {
+		t.Fatal("class-3 findings differ")
+	}
+	if !reflect.DeepEqual(dense.SameUserGroups, sparse.SameUserGroups) ||
+		!reflect.DeepEqual(dense.SamePermissionGroups, sparse.SamePermissionGroups) {
+		t.Fatal("class-4 findings differ")
+	}
+	if !reflect.DeepEqual(dense.SimilarUserGroups, sparse.SimilarUserGroups) ||
+		!reflect.DeepEqual(dense.SimilarPermissionGroups, sparse.SimilarPermissionGroups) {
+		t.Fatal("class-5 findings differ")
+	}
+}
+
+func TestAnalyzeSparseRejectsOtherMethods(t *testing.T) {
+	for _, m := range []Method{MethodDBSCAN, MethodHNSW} {
+		if _, err := AnalyzeSparse(rbac.Figure1(), Options{Method: m}); err == nil {
+			t.Errorf("sparse analysis accepted %s", m)
+		}
+	}
+}
+
+func TestAnalyzeSparseSkipFlags(t *testing.T) {
+	ds := rbac.Figure1()
+	rep, err := AnalyzeSparse(ds, Options{SkipGroups: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SameUserGroups != nil {
+		t.Fatal("SkipGroups ignored")
+	}
+	rep, err = AnalyzeSparse(ds, Options{SkipSimilar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SameUserGroups == nil || rep.SimilarUserGroups != nil {
+		t.Fatal("SkipSimilar handling wrong")
+	}
+}
+
+func TestAnalyzeSparseInvalidOptions(t *testing.T) {
+	if _, err := AnalyzeSparse(rbac.Figure1(), Options{SimilarThreshold: -2}); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestAnalyzeSparseEmptyDataset(t *testing.T) {
+	rep, err := AnalyzeSparse(rbac.NewDataset(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Roles != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestAnalyzeSparseStandaloneRole(t *testing.T) {
+	ds := rbac.NewDataset()
+	if err := ds.AddRole("lonely"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeSparse(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.StandaloneRoles, []rbac.RoleID{"lonely"}) {
+		t.Fatalf("standalone roles = %v", rep.StandaloneRoles)
+	}
+}

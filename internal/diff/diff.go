@@ -1,0 +1,264 @@
+// Package diff compares two RBAC dataset snapshots and two inefficiency
+// reports. The paper's cleanup model is periodic: the framework runs,
+// administrators approve fixes, and the next run converges further.
+// Diffing consecutive snapshots and reports is how operators see the
+// trend — which inefficiencies were fixed, which regressed, and what
+// structurally changed in between.
+package diff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rbac"
+)
+
+// DatasetDiff lists structural changes between two dataset snapshots.
+type DatasetDiff struct {
+	AddedUsers   []rbac.UserID `json:"addedUsers"`
+	RemovedUsers []rbac.UserID `json:"removedUsers"`
+
+	AddedRoles   []rbac.RoleID `json:"addedRoles"`
+	RemovedRoles []rbac.RoleID `json:"removedRoles"`
+
+	AddedPermissions   []rbac.PermissionID `json:"addedPermissions"`
+	RemovedPermissions []rbac.PermissionID `json:"removedPermissions"`
+
+	// AddedUserEdges / RemovedUserEdges are user-assignment changes on
+	// roles present in both snapshots.
+	AddedUserEdges   []UserEdge `json:"addedUserEdges"`
+	RemovedUserEdges []UserEdge `json:"removedUserEdges"`
+
+	AddedPermEdges   []PermEdge `json:"addedPermissionEdges"`
+	RemovedPermEdges []PermEdge `json:"removedPermissionEdges"`
+}
+
+// UserEdge is one user–role assignment.
+type UserEdge struct {
+	Role rbac.RoleID `json:"role"`
+	User rbac.UserID `json:"user"`
+}
+
+// PermEdge is one role–permission assignment.
+type PermEdge struct {
+	Role       rbac.RoleID       `json:"role"`
+	Permission rbac.PermissionID `json:"permission"`
+}
+
+// Empty reports whether the diff contains no changes.
+func (d *DatasetDiff) Empty() bool {
+	return len(d.AddedUsers) == 0 && len(d.RemovedUsers) == 0 &&
+		len(d.AddedRoles) == 0 && len(d.RemovedRoles) == 0 &&
+		len(d.AddedPermissions) == 0 && len(d.RemovedPermissions) == 0 &&
+		len(d.AddedUserEdges) == 0 && len(d.RemovedUserEdges) == 0 &&
+		len(d.AddedPermEdges) == 0 && len(d.RemovedPermEdges) == 0
+}
+
+// Datasets computes the structural diff from before to after.
+func Datasets(before, after *rbac.Dataset) *DatasetDiff {
+	d := &DatasetDiff{}
+
+	d.AddedUsers, d.RemovedUsers = diffIDs(
+		toStrings(before.Users()), toStrings(after.Users()),
+		func(s string) rbac.UserID { return rbac.UserID(s) })
+	d.AddedRoles, d.RemovedRoles = diffIDs(
+		toStrings2(before.Roles()), toStrings2(after.Roles()),
+		func(s string) rbac.RoleID { return rbac.RoleID(s) })
+	d.AddedPermissions, d.RemovedPermissions = diffIDs(
+		toStrings3(before.Permissions()), toStrings3(after.Permissions()),
+		func(s string) rbac.PermissionID { return rbac.PermissionID(s) })
+
+	// Edge diffs over roles present in both.
+	for _, role := range after.Roles() {
+		if _, inBefore := before.RoleIndex(role); !inBefore {
+			continue
+		}
+		bu, _ := before.RoleUsers(role)
+		au, _ := after.RoleUsers(role)
+		addedU, removedU := diffSortedUsers(bu, au)
+		for _, u := range addedU {
+			d.AddedUserEdges = append(d.AddedUserEdges, UserEdge{Role: role, User: u})
+		}
+		for _, u := range removedU {
+			d.RemovedUserEdges = append(d.RemovedUserEdges, UserEdge{Role: role, User: u})
+		}
+		bp, _ := before.RolePermissions(role)
+		ap, _ := after.RolePermissions(role)
+		addedP, removedP := diffSortedPerms(bp, ap)
+		for _, p := range addedP {
+			d.AddedPermEdges = append(d.AddedPermEdges, PermEdge{Role: role, Permission: p})
+		}
+		for _, p := range removedP {
+			d.RemovedPermEdges = append(d.RemovedPermEdges, PermEdge{Role: role, Permission: p})
+		}
+	}
+	return d
+}
+
+func toStrings(ids []rbac.UserID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+func toStrings2(ids []rbac.RoleID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+func toStrings3(ids []rbac.PermissionID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+// diffIDs returns (added, removed) id sets, sorted.
+func diffIDs[T ~string](before, after []string, conv func(string) T) (added, removed []T) {
+	bset := make(map[string]struct{}, len(before))
+	for _, id := range before {
+		bset[id] = struct{}{}
+	}
+	aset := make(map[string]struct{}, len(after))
+	for _, id := range after {
+		aset[id] = struct{}{}
+	}
+	for id := range aset {
+		if _, ok := bset[id]; !ok {
+			added = append(added, conv(id))
+		}
+	}
+	for id := range bset {
+		if _, ok := aset[id]; !ok {
+			removed = append(removed, conv(id))
+		}
+	}
+	sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
+	sort.Slice(removed, func(i, j int) bool { return removed[i] < removed[j] })
+	return added, removed
+}
+
+// diffSortedUsers diffs two ascending user lists with a linear merge.
+func diffSortedUsers(before, after []rbac.UserID) (added, removed []rbac.UserID) {
+	i, j := 0, 0
+	for i < len(before) && j < len(after) {
+		switch {
+		case before[i] == after[j]:
+			i++
+			j++
+		case before[i] < after[j]:
+			removed = append(removed, before[i])
+			i++
+		default:
+			added = append(added, after[j])
+			j++
+		}
+	}
+	removed = append(removed, before[i:]...)
+	added = append(added, after[j:]...)
+	return added, removed
+}
+
+func diffSortedPerms(before, after []rbac.PermissionID) (added, removed []rbac.PermissionID) {
+	i, j := 0, 0
+	for i < len(before) && j < len(after) {
+		switch {
+		case before[i] == after[j]:
+			i++
+			j++
+		case before[i] < after[j]:
+			removed = append(removed, before[i])
+			i++
+		default:
+			added = append(added, after[j])
+			j++
+		}
+	}
+	removed = append(removed, before[i:]...)
+	added = append(added, after[j:]...)
+	return added, removed
+}
+
+// CountDelta is one inefficiency counter's movement between two runs.
+type CountDelta struct {
+	Name   string `json:"name"`
+	Before int    `json:"before"`
+	After  int    `json:"after"`
+}
+
+// Delta returns After - Before (negative = improvement).
+func (c CountDelta) Delta() int { return c.After - c.Before }
+
+// ReportDiff summarises how the inefficiency counts moved between two
+// detection reports.
+type ReportDiff struct {
+	Deltas []CountDelta `json:"deltas"`
+}
+
+// Reports compares two detection reports counter by counter.
+func Reports(before, after *core.Report) *ReportDiff {
+	row := func(name string, b, a int) CountDelta {
+		return CountDelta{Name: name, Before: b, After: a}
+	}
+	return &ReportDiff{Deltas: []CountDelta{
+		row("standalone users", len(before.StandaloneUsers), len(after.StandaloneUsers)),
+		row("standalone permissions", len(before.StandalonePermissions), len(after.StandalonePermissions)),
+		row("standalone roles", len(before.StandaloneRoles), len(after.StandaloneRoles)),
+		row("roles without users", len(before.RolesWithoutUsers), len(after.RolesWithoutUsers)),
+		row("roles without permissions", len(before.RolesWithoutPermissions), len(after.RolesWithoutPermissions)),
+		row("roles with a single user", len(before.RolesWithSingleUser), len(after.RolesWithSingleUser)),
+		row("roles with a single permission", len(before.RolesWithSinglePermission), len(after.RolesWithSinglePermission)),
+		row("roles sharing the same users",
+			core.StatsOf(before.SameUserGroups).RolesInGroups,
+			core.StatsOf(after.SameUserGroups).RolesInGroups),
+		row("roles sharing the same permissions",
+			core.StatsOf(before.SamePermissionGroups).RolesInGroups,
+			core.StatsOf(after.SamePermissionGroups).RolesInGroups),
+		row("roles in similar-user groups",
+			core.StatsOf(before.SimilarUserGroups).RolesInGroups,
+			core.StatsOf(after.SimilarUserGroups).RolesInGroups),
+		row("roles in similar-permission groups",
+			core.StatsOf(before.SimilarPermissionGroups).RolesInGroups,
+			core.StatsOf(after.SimilarPermissionGroups).RolesInGroups),
+	}}
+}
+
+// Improved reports whether no counter regressed and at least one
+// shrank.
+func (r *ReportDiff) Improved() bool {
+	improved := false
+	for _, d := range r.Deltas {
+		if d.Delta() > 0 {
+			return false
+		}
+		if d.Delta() < 0 {
+			improved = true
+		}
+	}
+	return improved
+}
+
+// Summary renders the report diff as an aligned table.
+func (r *ReportDiff) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %8s %8s %8s\n", "inefficiency", "before", "after", "delta")
+	for _, d := range r.Deltas {
+		marker := ""
+		switch {
+		case d.Delta() < 0:
+			marker = "  improved"
+		case d.Delta() > 0:
+			marker = "  REGRESSED"
+		}
+		fmt.Fprintf(&b, "%-40s %8d %8d %+8d%s\n", d.Name, d.Before, d.After, d.Delta(), marker)
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package diff
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/consolidate"
+	"repro/internal/core"
+	"repro/internal/rbac"
+)
+
+func TestDatasetsIdentical(t *testing.T) {
+	d := rbac.Figure1()
+	if got := Datasets(d, d.Clone()); !got.Empty() {
+		t.Fatalf("diff of identical datasets not empty: %+v", got)
+	}
+}
+
+func TestDatasetsEntityChanges(t *testing.T) {
+	before := rbac.Figure1()
+	after := before.Clone()
+	if err := after.AddUser("U99"); err != nil {
+		t.Fatal(err)
+	}
+	if err := after.RemoveRole("R03"); err != nil {
+		t.Fatal(err)
+	}
+	if err := after.AddRole("R99"); err != nil {
+		t.Fatal(err)
+	}
+	got := Datasets(before, after)
+	if !reflect.DeepEqual(got.AddedUsers, []rbac.UserID{"U99"}) {
+		t.Fatalf("AddedUsers = %v", got.AddedUsers)
+	}
+	if !reflect.DeepEqual(got.RemovedRoles, []rbac.RoleID{"R03"}) {
+		t.Fatalf("RemovedRoles = %v", got.RemovedRoles)
+	}
+	if !reflect.DeepEqual(got.AddedRoles, []rbac.RoleID{"R99"}) {
+		t.Fatalf("AddedRoles = %v", got.AddedRoles)
+	}
+	if got.Empty() {
+		t.Fatal("diff reported empty")
+	}
+}
+
+func TestDatasetsEdgeChanges(t *testing.T) {
+	before := rbac.Figure1()
+	after := before.Clone()
+	if err := after.AssignUser("R03", "U04"); err != nil {
+		t.Fatal(err)
+	}
+	if err := after.RevokePermission("R04", "P05"); err != nil {
+		t.Fatal(err)
+	}
+	got := Datasets(before, after)
+	if !reflect.DeepEqual(got.AddedUserEdges, []UserEdge{{Role: "R03", User: "U04"}}) {
+		t.Fatalf("AddedUserEdges = %v", got.AddedUserEdges)
+	}
+	if !reflect.DeepEqual(got.RemovedPermEdges, []PermEdge{{Role: "R04", Permission: "P05"}}) {
+		t.Fatalf("RemovedPermEdges = %v", got.RemovedPermEdges)
+	}
+	if len(got.RemovedUserEdges) != 0 || len(got.AddedPermEdges) != 0 {
+		t.Fatalf("spurious edge changes: %+v", got)
+	}
+}
+
+func TestDatasetsIgnoresEdgesOfRemovedRoles(t *testing.T) {
+	before := rbac.Figure1()
+	after := before.Clone()
+	if err := after.RemoveRole("R04"); err != nil {
+		t.Fatal(err)
+	}
+	got := Datasets(before, after)
+	for _, e := range got.RemovedUserEdges {
+		if e.Role == "R04" {
+			t.Fatalf("edge diff includes removed role: %+v", e)
+		}
+	}
+}
+
+func TestReportsConsolidationImproves(t *testing.T) {
+	ds := rbac.Figure1()
+	repBefore, err := core.Analyze(ds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := consolidate.Consolidate(ds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repAfter, err := core.Analyze(after, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := Reports(repBefore, repAfter)
+	// Consolidation removes the same-user pair; that counter must drop.
+	var sameUsers CountDelta
+	for _, d := range rd.Deltas {
+		if d.Name == "roles sharing the same users" {
+			sameUsers = d
+		}
+	}
+	if sameUsers.Delta() >= 0 {
+		t.Fatalf("same-user roles did not improve: %+v", sameUsers)
+	}
+	s := rd.Summary()
+	if !strings.Contains(s, "improved") {
+		t.Fatalf("summary lacks improvement marker:\n%s", s)
+	}
+}
+
+func TestReportsRegression(t *testing.T) {
+	ds := rbac.Figure1()
+	repBefore, err := core.Analyze(ds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := ds.Clone()
+	// Clone R05's user set onto a fresh role: a new same-user pair.
+	if err := worse.AddRole("R06"); err != nil {
+		t.Fatal(err)
+	}
+	if err := worse.AssignUser("R06", "U04"); err != nil {
+		t.Fatal(err)
+	}
+	repAfter, err := core.Analyze(worse, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := Reports(repBefore, repAfter)
+	if rd.Improved() {
+		t.Fatal("regression reported as improvement")
+	}
+	if !strings.Contains(rd.Summary(), "REGRESSED") {
+		t.Fatalf("summary lacks regression marker:\n%s", rd.Summary())
+	}
+}
+
+func TestImprovedRequiresChange(t *testing.T) {
+	ds := rbac.Figure1()
+	rep, err := core.Analyze(ds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := Reports(rep, rep)
+	if rd.Improved() {
+		t.Fatal("no-change diff reported as improvement")
+	}
+}
+
+func TestDiffSortedTails(t *testing.T) {
+	// Exercise the tail-append branches of the sorted-list merges.
+	addedU, removedU := diffSortedUsers(
+		[]rbac.UserID{"a", "b", "z"},
+		[]rbac.UserID{"a", "c", "d"},
+	)
+	if len(addedU) != 2 || len(removedU) != 2 {
+		t.Fatalf("users diff = +%v -%v", addedU, removedU)
+	}
+	addedU, removedU = diffSortedUsers(nil, []rbac.UserID{"x"})
+	if len(addedU) != 1 || len(removedU) != 0 {
+		t.Fatalf("nil-before diff = +%v -%v", addedU, removedU)
+	}
+	addedP, removedP := diffSortedPerms([]rbac.PermissionID{"p", "q"}, nil)
+	if len(addedP) != 0 || len(removedP) != 2 {
+		t.Fatalf("nil-after diff = +%v -%v", addedP, removedP)
+	}
+}

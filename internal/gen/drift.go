@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rbac"
+	"repro/internal/replay"
+)
+
+// DriftParams shapes a synthetic IAM event stream: the kind of
+// unsupervised churn that, per the paper, accumulates into the five
+// inefficiency classes over time.
+type DriftParams struct {
+	// Events is the stream length.
+	Events int
+	// Seed drives the deterministic generator; zero means 1.
+	Seed int64
+	// CloneRoleChance is the probability (in percent) that a role
+	// creation clones an existing role's user set — the "department
+	// recreates an existing role" behaviour that breeds class-4 groups.
+	CloneRoleChance int
+	// OrphanChance is the probability (in percent) that a user or
+	// permission creation is never followed by an assignment, breeding
+	// standalone nodes.
+	OrphanChance int
+}
+
+func (p DriftParams) withDefaults() DriftParams {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.CloneRoleChance == 0 {
+		p.CloneRoleChance = 25
+	}
+	if p.OrphanChance == 0 {
+		p.OrphanChance = 20
+	}
+	return p
+}
+
+// Validate checks the parameters.
+func (p DriftParams) Validate() error {
+	if p.Events < 0 {
+		return fmt.Errorf("gen: negative event count %d", p.Events)
+	}
+	if p.CloneRoleChance < 0 || p.CloneRoleChance > 100 {
+		return fmt.Errorf("gen: clone chance %d outside [0,100]", p.CloneRoleChance)
+	}
+	if p.OrphanChance < 0 || p.OrphanChance > 100 {
+		return fmt.Errorf("gen: orphan chance %d outside [0,100]", p.OrphanChance)
+	}
+	return nil
+}
+
+// Drift generates an event stream that is valid against the given base
+// dataset: replaying it from a clone of base never fails. The returned
+// events model organic churn — joiners, movers, leavers, new systems,
+// and the occasional role cloned from an existing one.
+func Drift(base *rbac.Dataset, p DriftParams) ([]replay.Event, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Work on a shadow copy so generated events are always applicable.
+	shadow := base.Clone()
+	events := make([]replay.Event, 0, p.Events)
+	emit := func(e replay.Event) error {
+		if err := replay.Apply(shadow, e); err != nil {
+			return err
+		}
+		e.Seq = int64(len(events) + 1)
+		events = append(events, e)
+		return nil
+	}
+
+	nextID := 0
+	freshID := func(prefix string) string {
+		nextID++
+		return fmt.Sprintf("%s-drift-%05d", prefix, nextID)
+	}
+	pickRole := func() (rbac.RoleID, bool) {
+		roles := shadow.Roles()
+		if len(roles) == 0 {
+			return "", false
+		}
+		return roles[rng.Intn(len(roles))], true
+	}
+	pickUser := func() (rbac.UserID, bool) {
+		users := shadow.Users()
+		if len(users) == 0 {
+			return "", false
+		}
+		return users[rng.Intn(len(users))], true
+	}
+	pickPerm := func() (rbac.PermissionID, bool) {
+		perms := shadow.Permissions()
+		if len(perms) == 0 {
+			return "", false
+		}
+		return perms[rng.Intn(len(perms))], true
+	}
+
+	for len(events) < p.Events {
+		var err error
+		switch rng.Intn(10) {
+		case 0: // joiner
+			user := rbac.UserID(freshID("u"))
+			err = emit(replay.Event{Op: replay.OpAddUser, User: user})
+			if err == nil && rng.Intn(100) >= p.OrphanChance {
+				if role, ok := pickRole(); ok && len(events) < p.Events {
+					err = emit(replay.Event{Op: replay.OpAssignUser, Role: role, User: user})
+				}
+			}
+		case 1: // new system permission
+			perm := rbac.PermissionID(freshID("p"))
+			err = emit(replay.Event{Op: replay.OpAddPermission, Permission: perm})
+			if err == nil && rng.Intn(100) >= p.OrphanChance {
+				if role, ok := pickRole(); ok && len(events) < p.Events {
+					err = emit(replay.Event{Op: replay.OpAssignPermission, Role: role, Permission: perm})
+				}
+			}
+		case 2: // new role, possibly cloned from an existing one
+			role := rbac.RoleID(freshID("r"))
+			err = emit(replay.Event{Op: replay.OpAddRole, Role: role})
+			if err == nil && rng.Intn(100) < p.CloneRoleChance {
+				if src, ok := pickRole(); ok && src != role {
+					users, uerr := shadow.RoleUsers(src)
+					if uerr == nil {
+						for _, u := range users {
+							if len(events) >= p.Events {
+								break
+							}
+							if err = emit(replay.Event{Op: replay.OpAssignUser, Role: role, User: u}); err != nil {
+								break
+							}
+						}
+					}
+				}
+			}
+		case 3, 4, 5: // mover: gain a role
+			role, okR := pickRole()
+			user, okU := pickUser()
+			if okR && okU {
+				err = emit(replay.Event{Op: replay.OpAssignUser, Role: role, User: user})
+			}
+		case 6, 7: // permission granted to a role
+			role, okR := pickRole()
+			perm, okP := pickPerm()
+			if okR && okP {
+				err = emit(replay.Event{Op: replay.OpAssignPermission, Role: role, Permission: perm})
+			}
+		case 8: // mover: lose a role
+			role, okR := pickRole()
+			user, okU := pickUser()
+			if okR && okU {
+				err = emit(replay.Event{Op: replay.OpRevokeUser, Role: role, User: user})
+			}
+		case 9: // leaver (rare; only drift-created users, to keep the
+			// base's planted structure intact for ground-truth tests)
+			users := shadow.Users()
+			var victim rbac.UserID
+			for _, u := range users {
+				if len(u) > 8 && u[:8] == "u-drift-" {
+					victim = u
+					break
+				}
+			}
+			if victim != "" {
+				err = emit(replay.Event{Op: replay.OpRemoveUser, User: victim})
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gen: drift event %d: %w", len(events), err)
+		}
+	}
+	return events, nil
+}

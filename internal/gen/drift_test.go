@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rbac"
+	"repro/internal/replay"
+)
+
+func TestDriftValidate(t *testing.T) {
+	base := rbac.Figure1()
+	if _, err := Drift(base, DriftParams{Events: -1}); err == nil {
+		t.Fatal("negative events accepted")
+	}
+	if _, err := Drift(base, DriftParams{Events: 1, CloneRoleChance: 101}); err == nil {
+		t.Fatal("bad clone chance accepted")
+	}
+	if _, err := Drift(base, DriftParams{Events: 1, OrphanChance: -1}); err == nil {
+		t.Fatal("bad orphan chance accepted")
+	}
+}
+
+func TestDriftStreamAppliesCleanly(t *testing.T) {
+	base := rbac.Figure1()
+	events, err := Drift(base, DriftParams{Events: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 300 {
+		t.Fatalf("events = %d, want 300", len(events))
+	}
+	ds := base.Clone()
+	r := &replay.Replayer{Dataset: ds}
+	applied, err := r.Run(events)
+	if err != nil {
+		t.Fatalf("replay failed at %d: %v", applied, err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Drift grows the dataset.
+	if ds.NumUsers() <= base.NumUsers() && ds.NumRoles() <= base.NumRoles() {
+		t.Fatal("drift produced no growth")
+	}
+}
+
+func TestDriftDeterministic(t *testing.T) {
+	base := rbac.Figure1()
+	a, err := Drift(base, DriftParams{Events: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Drift(base, DriftParams{Events: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDriftDoesNotTouchBase(t *testing.T) {
+	base := rbac.Figure1()
+	statsBefore := base.Stats()
+	if _, err := Drift(base, DriftParams{Events: 200, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats() != statsBefore {
+		t.Fatal("Drift mutated the base dataset")
+	}
+}
+
+func TestPropertyDriftAlwaysReplayable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := rbac.Figure1()
+		events, err := Drift(base, DriftParams{
+			Events:          1 + r.Intn(200),
+			Seed:            seed,
+			CloneRoleChance: 1 + r.Intn(99),
+			OrphanChance:    1 + r.Intn(99),
+		})
+		if err != nil {
+			return false
+		}
+		ds := base.Clone()
+		rp := &replay.Replayer{Dataset: ds}
+		if _, err := rp.Run(events); err != nil {
+			return false
+		}
+		return ds.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriftZeroEvents(t *testing.T) {
+	events, err := Drift(rbac.Figure1(), DriftParams{Events: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("events = %d", len(events))
+	}
+}

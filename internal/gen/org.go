@@ -1,0 +1,502 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rbac"
+)
+
+// OrgParams sizes the organisation-scale dataset of §IV-B. The defaults
+// (DefaultOrgParams) mirror the paper's anonymised order-of-magnitude
+// figures: ~90,000 users, ~350,000 permissions, ~50,000 roles, with the
+// reported number of instances per inefficiency class planted as ground
+// truth.
+type OrgParams struct {
+	// Users is the total number of user accounts, including standalone.
+	Users int
+	// Permissions is the total number of permissions, including
+	// standalone.
+	Permissions int
+	// Roles is the total number of roles.
+	Roles int
+
+	// StandaloneUsers is the number of users assigned to no role.
+	StandaloneUsers int
+	// StandalonePermissions is the number of permissions linked to no
+	// role — nearly half of all permissions in the paper's dataset.
+	StandalonePermissions int
+
+	// RolesWithoutUsers is the number of roles linked only to
+	// permissions (class 2).
+	RolesWithoutUsers int
+	// RolesWithoutPermissions is the number of roles linked only to
+	// users (class 2).
+	RolesWithoutPermissions int
+
+	// SingleUserRoles / SinglePermissionRoles are class-3 counts.
+	SingleUserRoles       int
+	SinglePermissionRoles int
+
+	// SameUserGroupRoles / SamePermissionGroupRoles are class-4 counts:
+	// roles planted in pairs with identical user (permission) sets.
+	// Must be even.
+	SameUserGroupRoles       int
+	SamePermissionGroupRoles int
+
+	// SimilarUserGroupRoles / SimilarPermissionGroupRoles are class-5
+	// counts: roles planted in pairs at Hamming distance exactly 1.
+	// Must be even.
+	SimilarUserGroupRoles       int
+	SimilarPermissionGroupRoles int
+
+	// UserNorm / PermNorm are the typical assignment-set sizes for
+	// planted pairs and background roles; defaults 5.
+	UserNorm int
+	PermNorm int
+
+	// Seed drives the deterministic layout jitter; zero means 1.
+	Seed int64
+}
+
+// DefaultOrgParams returns the paper-scale configuration.
+func DefaultOrgParams() OrgParams {
+	return OrgParams{
+		Users:                       90_000,
+		Permissions:                 350_000,
+		Roles:                       50_000,
+		StandaloneUsers:             500,
+		StandalonePermissions:       180_000,
+		RolesWithoutUsers:           12_000,
+		RolesWithoutPermissions:     1_000,
+		SingleUserRoles:             4_000,
+		SinglePermissionRoles:       21_000,
+		SameUserGroupRoles:          8_000,
+		SamePermissionGroupRoles:    2_000,
+		SimilarUserGroupRoles:       6_000,
+		SimilarPermissionGroupRoles: 4_000,
+	}
+}
+
+// Scaled divides every count by div (minimum 1 per non-zero count,
+// rounded to evenness where pairs require it), letting tests run a
+// miniature organisation with the same planted structure.
+func (p OrgParams) Scaled(div int) OrgParams {
+	if div <= 1 {
+		return p
+	}
+	scale := func(n int) int {
+		if n == 0 {
+			return 0
+		}
+		s := n / div
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	even := func(n int) int {
+		s := scale(n)
+		if s%2 == 1 {
+			s++
+		}
+		return s
+	}
+	out := p
+	out.Users = scale(p.Users)
+	out.Permissions = scale(p.Permissions)
+	out.Roles = scale(p.Roles)
+	out.StandaloneUsers = scale(p.StandaloneUsers)
+	out.StandalonePermissions = scale(p.StandalonePermissions)
+	out.RolesWithoutUsers = scale(p.RolesWithoutUsers)
+	out.RolesWithoutPermissions = scale(p.RolesWithoutPermissions)
+	out.SingleUserRoles = scale(p.SingleUserRoles)
+	out.SinglePermissionRoles = scale(p.SinglePermissionRoles)
+	out.SameUserGroupRoles = even(p.SameUserGroupRoles)
+	out.SamePermissionGroupRoles = even(p.SamePermissionGroupRoles)
+	out.SimilarUserGroupRoles = even(p.SimilarUserGroupRoles)
+	out.SimilarPermissionGroupRoles = even(p.SimilarPermissionGroupRoles)
+	return out
+}
+
+func (p OrgParams) withDefaults() OrgParams {
+	if p.UserNorm == 0 {
+		p.UserNorm = 5
+	}
+	if p.PermNorm == 0 {
+		p.PermNorm = 5
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Validate checks structural feasibility.
+func (p OrgParams) Validate() error {
+	p = p.withDefaults()
+	for name, n := range map[string]int{
+		"users": p.Users, "permissions": p.Permissions, "roles": p.Roles,
+		"standaloneUsers": p.StandaloneUsers, "standalonePermissions": p.StandalonePermissions,
+		"rolesWithoutUsers": p.RolesWithoutUsers, "rolesWithoutPermissions": p.RolesWithoutPermissions,
+		"singleUserRoles": p.SingleUserRoles, "singlePermissionRoles": p.SinglePermissionRoles,
+		"sameUserGroupRoles": p.SameUserGroupRoles, "samePermissionGroupRoles": p.SamePermissionGroupRoles,
+		"similarUserGroupRoles": p.SimilarUserGroupRoles, "similarPermissionGroupRoles": p.SimilarPermissionGroupRoles,
+	} {
+		if n < 0 {
+			return fmt.Errorf("gen: negative %s (%d)", name, n)
+		}
+	}
+	if p.SameUserGroupRoles%2 != 0 || p.SamePermissionGroupRoles%2 != 0 ||
+		p.SimilarUserGroupRoles%2 != 0 || p.SimilarPermissionGroupRoles%2 != 0 {
+		return fmt.Errorf("gen: pair-group role counts must be even")
+	}
+	if p.StandaloneUsers > p.Users {
+		return fmt.Errorf("gen: %d standalone users > %d users", p.StandaloneUsers, p.Users)
+	}
+	if p.StandalonePermissions > p.Permissions {
+		return fmt.Errorf("gen: %d standalone permissions > %d permissions",
+			p.StandalonePermissions, p.Permissions)
+	}
+	userSide := p.RolesWithoutUsers + p.SingleUserRoles + p.SameUserGroupRoles + p.SimilarUserGroupRoles
+	if userSide > p.Roles {
+		return fmt.Errorf("gen: user-side categories need %d roles, have %d", userSide, p.Roles)
+	}
+	permSide := p.RolesWithoutPermissions + p.SinglePermissionRoles +
+		p.SamePermissionGroupRoles + p.SimilarPermissionGroupRoles
+	if permSide > p.Roles {
+		return fmt.Errorf("gen: permission-side categories need %d roles, have %d", permSide, p.Roles)
+	}
+	// Permission-side categories are laid out starting right after the
+	// user-less block; forbidding overflow keeps user-less and
+	// permission-less roles disjoint and pair runs unsplit.
+	if p.RolesWithoutUsers+permSide > p.Roles {
+		return fmt.Errorf("gen: user-less block (%d) + permission-side categories (%d) exceed %d roles",
+			p.RolesWithoutUsers, permSide, p.Roles)
+	}
+	if userSide == p.Roles && p.Roles > 0 {
+		return fmt.Errorf("gen: no background role left on the user side to absorb leftover users")
+	}
+	if p.RolesWithoutUsers+permSide == p.Roles && p.Roles > 0 {
+		return fmt.Errorf("gen: no background role left on the permission side to absorb leftover permissions")
+	}
+	return nil
+}
+
+// OrgGroundTruth records what was planted, per inefficiency class and
+// side. DetectedSimilar* notes: at threshold 1 the similar detector
+// also co-groups the exact (distance 0) pairs, so the expected detected
+// counts are Same + Similar per side.
+type OrgGroundTruth struct {
+	StandaloneUsers       int `json:"standaloneUsers"`
+	StandalonePermissions int `json:"standalonePermissions"`
+	StandaloneRoles       int `json:"standaloneRoles"`
+
+	RolesWithoutUsers       int `json:"rolesWithoutUsers"`
+	RolesWithoutPermissions int `json:"rolesWithoutPermissions"`
+
+	SingleUserRoles       int `json:"singleUserRoles"`
+	SinglePermissionRoles int `json:"singlePermissionRoles"`
+
+	SameUserGroups           int `json:"sameUserGroups"`
+	SameUserGroupRoles       int `json:"sameUserGroupRoles"`
+	SamePermissionGroups     int `json:"samePermissionGroups"`
+	SamePermissionGroupRoles int `json:"samePermissionGroupRoles"`
+
+	SimilarUserGroups           int `json:"similarUserGroups"`
+	SimilarUserGroupRoles       int `json:"similarUserGroupRoles"`
+	SimilarPermissionGroups     int `json:"similarPermissionGroups"`
+	SimilarPermissionGroupRoles int `json:"similarPermissionGroupRoles"`
+}
+
+// sideCategory is a role's planted structure on one side (users or
+// permissions).
+type sideCategory int
+
+const (
+	catBackground  sideCategory = iota
+	catNone                     // no assignments on this side
+	catSingle                   // exactly one assignment
+	catSamePair                 // first/second member of an identical pair
+	catSimilarPair              // first/second member of a distance-1 pair
+)
+
+// lineAllocator hands out interval windows over [0, size) such that any
+// two distinct windows are at Hamming distance >= 2 from each other
+// (treating a window as a bit set), with no position wasted:
+//
+//   - windows of length >= 2 are packed back to back, so two such
+//     windows are disjoint and differ in all >= 4 of their positions;
+//   - a singleton window vs anything else always differs in >= 2
+//     positions (1 + the other's length);
+//   - singleton windows are paired up inside 2-cells so they leave no
+//     gap; an odd leftover half-cell is reported via stray().
+type lineAllocator struct {
+	size   int
+	cursor int
+	// half is a spare position from a split 2-cell awaiting the next
+	// singleton, or -1.
+	half int
+}
+
+func newLineAllocator(size int) *lineAllocator {
+	return &lineAllocator{size: size, half: -1}
+}
+
+// alloc returns the start of a window of the given length, or an error
+// when the line is exhausted.
+func (l *lineAllocator) alloc(length int) (int, error) {
+	if length == 1 && l.half >= 0 {
+		start := l.half
+		l.half = -1
+		return start, nil
+	}
+	step := length
+	if length == 1 {
+		step = 2
+	}
+	if l.cursor+step > l.size {
+		return 0, fmt.Errorf("gen: line exhausted (cursor %d + %d > %d)", l.cursor, step, l.size)
+	}
+	start := l.cursor
+	l.cursor += step
+	if length == 1 {
+		l.half = start + 1
+	}
+	return start, nil
+}
+
+// stray returns the position of an unconsumed half-cell, or -1.
+func (l *lineAllocator) stray() int { return l.half }
+
+// Org builds the organisation-scale dataset with planted ground truth.
+// All planting is deterministic given the seed; the returned dataset
+// validates and its detected inefficiency counts equal the ground truth
+// exactly for thresholds 0 and 1.
+func Org(p OrgParams) (*rbac.Dataset, *OrgGroundTruth, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	d := rbac.NewDataset()
+	// Shared users first, then standalone, so user index == line index
+	// for shared users.
+	sharedUsers := p.Users - p.StandaloneUsers
+	for i := 0; i < p.Users; i++ {
+		_ = d.AddUser(rbac.UserID(fmt.Sprintf("u%06d", i)))
+	}
+	sharedPerms := p.Permissions - p.StandalonePermissions
+	for i := 0; i < p.Permissions; i++ {
+		_ = d.AddPermission(rbac.PermissionID(fmt.Sprintf("p%06d", i)))
+	}
+	roleID := func(i int) rbac.RoleID { return rbac.RoleID(fmt.Sprintf("r%06d", i)) }
+	for i := 0; i < p.Roles; i++ {
+		_ = d.AddRole(roleID(i))
+	}
+
+	// Assign side categories to role index ranges. The permission-side
+	// ranges start right after the user-less block so that no role is
+	// user-less and permission-less at once.
+	userCat := make([]sideCategory, p.Roles)
+	permCat := make([]sideCategory, p.Roles)
+	fill := func(cats []sideCategory, start int, counts []struct {
+		cat sideCategory
+		n   int
+	}) {
+		i := start
+		for _, c := range counts {
+			for k := 0; k < c.n; k++ {
+				cats[i] = c.cat
+				i++
+			}
+		}
+	}
+	fill(userCat, 0, []struct {
+		cat sideCategory
+		n   int
+	}{
+		{catNone, p.RolesWithoutUsers},
+		{catSingle, p.SingleUserRoles},
+		{catSamePair, p.SameUserGroupRoles},
+		{catSimilarPair, p.SimilarUserGroupRoles},
+	})
+	fill(permCat, p.RolesWithoutUsers, []struct {
+		cat sideCategory
+		n   int
+	}{
+		{catNone, p.RolesWithoutPermissions},
+		{catSingle, p.SinglePermissionRoles},
+		{catSamePair, p.SamePermissionGroupRoles},
+		{catSimilarPair, p.SimilarPermissionGroupRoles},
+	})
+
+	userLine := newLineAllocator(sharedUsers)
+	permLine := newLineAllocator(sharedPerms)
+
+	assignUserWindow := func(ri, start, length int) {
+		for j := 0; j < length; j++ {
+			_ = d.AssignUser(roleID(ri), rbac.UserID(fmt.Sprintf("u%06d", start+j)))
+		}
+	}
+	assignPermWindow := func(ri, start, length int) {
+		for j := 0; j < length; j++ {
+			_ = d.AssignPermission(roleID(ri), rbac.PermissionID(fmt.Sprintf("p%06d", start+j)))
+		}
+	}
+
+	// plantSide walks the roles and allocates windows per category.
+	// Pair categories consume two consecutive roles of the same
+	// category; fill guarantees they are planted in runs of even length.
+	// Background window lengths are budgeted so the planted windows
+	// consume the whole shared pool: every background role gets the
+	// floor of the per-role budget and a deterministic-random subset
+	// gets one extra element.
+	plantSide := func(cats []sideCategory, line *lineAllocator, norm int,
+		assign func(ri, start, length int)) error {
+		singles, sameWindows, similarWindows, background := 0, 0, 0, 0
+		for _, c := range cats {
+			switch c {
+			case catSingle:
+				singles++
+			case catSamePair:
+				sameWindows++
+			case catSimilarPair:
+				similarWindows++
+			case catBackground:
+				background++
+			}
+		}
+		sameWindows /= 2
+		similarWindows /= 2
+		// Singles consume a full 2-cell per pair of singles.
+		fixed := 2*((singles+1)/2) + sameWindows*norm + similarWindows*(norm+1)
+		budget := line.size - fixed
+		baseLen, extras := 0, 0
+		if background > 0 {
+			baseLen = budget / background
+			extras = budget % background
+			if baseLen < 2 {
+				return fmt.Errorf("gen: shared pool of %d too small: %d background roles need >= 2 each after %d fixed",
+					line.size, background, fixed)
+			}
+		} else if budget > 0 {
+			return fmt.Errorf("gen: %d unconsumed shared entities and no background roles", budget)
+		}
+		// Deterministically pick which background windows get the extra
+		// element.
+		extraFor := make([]bool, background)
+		for _, i := range rng.Perm(background)[:extras] {
+			extraFor[i] = true
+		}
+		bgSeen := 0
+		for ri := 0; ri < p.Roles; ri++ {
+			switch cats[ri] {
+			case catNone:
+				// no assignments
+			case catSingle:
+				start, err := line.alloc(1)
+				if err != nil {
+					return err
+				}
+				assign(ri, start, 1)
+			case catSamePair:
+				start, err := line.alloc(norm)
+				if err != nil {
+					return err
+				}
+				assign(ri, start, norm)
+				assign(ri+1, start, norm)
+				ri++
+			case catSimilarPair:
+				// Member A gets the window, member B the window plus one
+				// extra element: Hamming distance exactly 1.
+				start, err := line.alloc(norm + 1)
+				if err != nil {
+					return err
+				}
+				assign(ri, start, norm)
+				assign(ri+1, start, norm+1)
+				ri++
+			case catBackground:
+				length := baseLen
+				if extraFor[bgSeen] {
+					length++
+				}
+				bgSeen++
+				start, err := line.alloc(length)
+				if err != nil {
+					return err
+				}
+				assign(ri, start, length)
+			}
+		}
+		return nil
+	}
+
+	if err := plantSide(userCat, userLine, p.UserNorm, assignUserWindow); err != nil {
+		return nil, nil, fmt.Errorf("user side: %w", err)
+	}
+	if err := plantSide(permCat, permLine, p.PermNorm, assignPermWindow); err != nil {
+		return nil, nil, fmt.Errorf("permission side: %w", err)
+	}
+
+	// Shared users (permissions) past the allocator cursor were never
+	// assigned; without intervention they would surface as standalone
+	// nodes and swamp the planted counts. They are absorbed into one
+	// background role on the corresponding side: adding users no other
+	// role has only *increases* that role's distance to every other
+	// role, so no planted group is disturbed and the standalone nodes
+	// are exactly the dedicated tails.
+	if err := absorbLeftovers(userCat, userLine, sharedUsers, assignUserWindow); err != nil {
+		return nil, nil, fmt.Errorf("user side: %w", err)
+	}
+	if err := absorbLeftovers(permCat, permLine, sharedPerms, assignPermWindow); err != nil {
+		return nil, nil, fmt.Errorf("permission side: %w", err)
+	}
+
+	gt := &OrgGroundTruth{
+		StandaloneUsers:             p.StandaloneUsers,
+		StandalonePermissions:       p.StandalonePermissions,
+		RolesWithoutUsers:           p.RolesWithoutUsers,
+		RolesWithoutPermissions:     p.RolesWithoutPermissions,
+		SingleUserRoles:             p.SingleUserRoles,
+		SinglePermissionRoles:       p.SinglePermissionRoles,
+		SameUserGroups:              p.SameUserGroupRoles / 2,
+		SameUserGroupRoles:          p.SameUserGroupRoles,
+		SamePermissionGroups:        p.SamePermissionGroupRoles / 2,
+		SamePermissionGroupRoles:    p.SamePermissionGroupRoles,
+		SimilarUserGroups:           p.SimilarUserGroupRoles / 2,
+		SimilarUserGroupRoles:       p.SimilarUserGroupRoles,
+		SimilarPermissionGroups:     p.SimilarPermissionGroupRoles / 2,
+		SimilarPermissionGroupRoles: p.SimilarPermissionGroupRoles,
+	}
+	return d, gt, nil
+}
+
+// absorbLeftovers assigns the unconsumed shared range [cursor, shared),
+// plus any stray half-cell position, to the last background role on
+// that side. Validate guarantees at least one background role exists
+// per side.
+func absorbLeftovers(cats []sideCategory, line *lineAllocator, shared int,
+	assign func(ri, start, length int)) error {
+	if line.cursor >= shared && line.stray() < 0 {
+		return nil
+	}
+	for ri := len(cats) - 1; ri >= 0; ri-- {
+		if cats[ri] != catBackground {
+			continue
+		}
+		if line.cursor < shared {
+			assign(ri, line.cursor, shared-line.cursor)
+			line.cursor = shared
+		}
+		if s := line.stray(); s >= 0 {
+			assign(ri, s, 1)
+			line.half = -1
+		}
+		return nil
+	}
+	return fmt.Errorf("gen: leftover entities and no background role to absorb them")
+}

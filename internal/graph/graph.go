@@ -1,0 +1,196 @@
+// Package graph provides the tripartite-graph view of an RBAC dataset
+// used in Figure 1 of the paper: users, roles and permissions as node
+// sets, assignments as edges, plus the Step-1 adjacency-matrix
+// construction and the Step-2/3 sub-matrix extraction.
+//
+// Detection itself never needs the full (r+u+p)² adjacency matrix — the
+// point of the paper's §III-B — but the package builds it on demand for
+// small datasets so the memory claim r*(u+p) vs (r+u+p)² can be
+// demonstrated and tested.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/rbac"
+)
+
+// NodeKind distinguishes the three node sets of the tripartite graph.
+type NodeKind int
+
+// The three node kinds.
+const (
+	KindUser NodeKind = iota + 1
+	KindRole
+	KindPermission
+)
+
+// String returns the kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case KindUser:
+		return "user"
+	case KindRole:
+		return "role"
+	case KindPermission:
+		return "permission"
+	default:
+		return fmt.Sprintf("graph.NodeKind(%d)", int(k))
+	}
+}
+
+// Node is one vertex of the tripartite graph.
+type Node struct {
+	Kind NodeKind
+	// Index is the node's position within its own kind's ordering
+	// (matching dataset and matrix indices).
+	Index int
+	// ID is the human-readable identifier.
+	ID string
+}
+
+// Tripartite is an immutable graph view over a dataset snapshot.
+type Tripartite struct {
+	ruam *matrix.BitMatrix
+	rpam *matrix.BitMatrix
+
+	users []rbac.UserID
+	roles []rbac.RoleID
+	perms []rbac.PermissionID
+}
+
+// FromDataset snapshots a dataset into a graph view. Later mutations of
+// the dataset do not affect the view.
+func FromDataset(d *rbac.Dataset) *Tripartite {
+	return &Tripartite{
+		ruam:  d.RUAM(),
+		rpam:  d.RPAM(),
+		users: d.Users(),
+		roles: d.Roles(),
+		perms: d.Permissions(),
+	}
+}
+
+// RUAM returns the role-user assignment matrix (shared, read-only).
+func (t *Tripartite) RUAM() *matrix.BitMatrix { return t.ruam }
+
+// RPAM returns the role-permission assignment matrix (shared, read-only).
+func (t *Tripartite) RPAM() *matrix.BitMatrix { return t.rpam }
+
+// NumNodes returns the total node count r+u+p.
+func (t *Tripartite) NumNodes() int {
+	return len(t.users) + len(t.roles) + len(t.perms)
+}
+
+// NumEdges returns the total edge count.
+func (t *Tripartite) NumEdges() int {
+	return t.ruam.Count() + t.rpam.Count()
+}
+
+// Nodes lists every node: users first, then roles, then permissions —
+// the ordering the full adjacency matrix uses.
+func (t *Tripartite) Nodes() []Node {
+	out := make([]Node, 0, t.NumNodes())
+	for i, id := range t.users {
+		out = append(out, Node{Kind: KindUser, Index: i, ID: string(id)})
+	}
+	for i, id := range t.roles {
+		out = append(out, Node{Kind: KindRole, Index: i, ID: string(id)})
+	}
+	for i, id := range t.perms {
+		out = append(out, Node{Kind: KindPermission, Index: i, ID: string(id)})
+	}
+	return out
+}
+
+// UserDegree returns the number of roles user ui belongs to.
+func (t *Tripartite) UserDegree(ui int) int {
+	deg := 0
+	for r := 0; r < t.ruam.Rows(); r++ {
+		if t.ruam.Get(r, ui) {
+			deg++
+		}
+	}
+	return deg
+}
+
+// PermissionDegree returns the number of roles granting permission pi.
+func (t *Tripartite) PermissionDegree(pi int) int {
+	deg := 0
+	for r := 0; r < t.rpam.Rows(); r++ {
+		if t.rpam.Get(r, pi) {
+			deg++
+		}
+	}
+	return deg
+}
+
+// RoleDegree returns role ri's degrees toward users and permissions.
+func (t *Tripartite) RoleDegree(ri int) (users, perms int) {
+	return t.ruam.RowSum(ri), t.rpam.RowSum(ri)
+}
+
+// AdjacencyMatrix materialises the full (u+r+p)×(u+r+p) symmetric
+// adjacency matrix of Step 1 in Figure 1, node order users, roles,
+// permissions. Only sensible for small graphs; the detection framework
+// never calls it.
+func (t *Tripartite) AdjacencyMatrix() *matrix.BitMatrix {
+	u, r, p := len(t.users), len(t.roles), len(t.perms)
+	n := u + r + p
+	adj := matrix.NewBitMatrix(n, n)
+	for ri := 0; ri < r; ri++ {
+		t.ruam.Row(ri).ForEach(func(ui int) bool {
+			adj.Set(u+ri, ui)
+			adj.Set(ui, u+ri)
+			return true
+		})
+		t.rpam.Row(ri).ForEach(func(pi int) bool {
+			adj.Set(u+ri, u+r+pi)
+			adj.Set(u+r+pi, u+ri)
+			return true
+		})
+	}
+	return adj
+}
+
+// SubMatrices re-extracts RUAM and RPAM from a full adjacency matrix,
+// mirroring Steps 2-3 in Figure 1. Shapes are implied by the stored
+// node counts. It exists to verify, in tests, that the compact storage
+// loses nothing relative to the full matrix.
+func (t *Tripartite) SubMatrices(adj *matrix.BitMatrix) (ruam, rpam *matrix.BitMatrix, err error) {
+	u, r, p := len(t.users), len(t.roles), len(t.perms)
+	n := u + r + p
+	if adj.Rows() != n || adj.Cols() != n {
+		return nil, nil, fmt.Errorf("graph: adjacency matrix %dx%d, want %dx%d",
+			adj.Rows(), adj.Cols(), n, n)
+	}
+	ruam = matrix.NewBitMatrix(r, u)
+	rpam = matrix.NewBitMatrix(r, p)
+	for ri := 0; ri < r; ri++ {
+		for ui := 0; ui < u; ui++ {
+			if adj.Get(u+ri, ui) {
+				ruam.Set(ri, ui)
+			}
+		}
+		for pi := 0; pi < p; pi++ {
+			if adj.Get(u+ri, u+r+pi) {
+				rpam.Set(ri, pi)
+			}
+		}
+	}
+	return ruam, rpam, nil
+}
+
+// MemoryFull returns the bit count of the full adjacency matrix,
+// (r+u+p)², and MemoryCompact the bit count of the two sub-matrices,
+// r*(u+p) — the paper's §III-B storage comparison.
+func (t *Tripartite) MemoryFull() int {
+	n := t.NumNodes()
+	return n * n
+}
+
+// MemoryCompact returns r*(u+p), the compact two-matrix footprint.
+func (t *Tripartite) MemoryCompact() int {
+	return len(t.roles) * (len(t.users) + len(t.perms))
+}

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rbac"
+)
+
+// figure1 builds the paper's Figure 1 dataset.
+func figure1(t *testing.T) *rbac.Dataset {
+	t.Helper()
+	d := rbac.NewDataset()
+	for _, u := range []rbac.UserID{"U01", "U02", "U03", "U04"} {
+		if err := d.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []rbac.RoleID{"R01", "R02", "R03", "R04", "R05"} {
+		if err := d.AddRole(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []rbac.PermissionID{"P01", "P02", "P03", "P04", "P05", "P06"} {
+		if err := d.AddPermission(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r, us := range map[rbac.RoleID][]rbac.UserID{
+		"R01": {"U03"}, "R02": {"U01", "U02"}, "R04": {"U01", "U02"}, "R05": {"U04"},
+	} {
+		for _, u := range us {
+			if err := d.AssignUser(r, u); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for r, ps := range map[rbac.RoleID][]rbac.PermissionID{
+		"R01": {"P02"}, "R03": {"P03", "P04"}, "R04": {"P05", "P06"}, "R05": {"P05", "P06"},
+	} {
+		for _, p := range ps {
+			if err := d.AssignPermission(r, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+func TestCountsAndNodes(t *testing.T) {
+	g := FromDataset(figure1(t))
+	if g.NumNodes() != 15 {
+		t.Fatalf("NumNodes = %d, want 15", g.NumNodes())
+	}
+	if g.NumEdges() != 13 {
+		t.Fatalf("NumEdges = %d, want 13", g.NumEdges())
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 15 {
+		t.Fatalf("len(Nodes) = %d", len(nodes))
+	}
+	if nodes[0].Kind != KindUser || nodes[0].ID != "U01" {
+		t.Fatalf("nodes[0] = %+v", nodes[0])
+	}
+	if nodes[4].Kind != KindRole || nodes[4].ID != "R01" {
+		t.Fatalf("nodes[4] = %+v", nodes[4])
+	}
+	if nodes[9].Kind != KindPermission || nodes[9].ID != "P01" {
+		t.Fatalf("nodes[9] = %+v", nodes[9])
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindUser.String() != "user" || KindRole.String() != "role" ||
+		KindPermission.String() != "permission" {
+		t.Fatal("kind names wrong")
+	}
+	if NodeKind(9).String() != "graph.NodeKind(9)" {
+		t.Fatalf("unknown kind = %q", NodeKind(9).String())
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := FromDataset(figure1(t))
+	// U01 is in R02 and R04.
+	if got := g.UserDegree(0); got != 2 {
+		t.Fatalf("UserDegree(U01) = %d, want 2", got)
+	}
+	// P01 is standalone.
+	if got := g.PermissionDegree(0); got != 0 {
+		t.Fatalf("PermissionDegree(P01) = %d, want 0", got)
+	}
+	// P05 is granted by R04 and R05.
+	if got := g.PermissionDegree(4); got != 2 {
+		t.Fatalf("PermissionDegree(P05) = %d, want 2", got)
+	}
+	// R02: two users, zero permissions.
+	u, p := g.RoleDegree(1)
+	if u != 2 || p != 0 {
+		t.Fatalf("RoleDegree(R02) = (%d, %d), want (2, 0)", u, p)
+	}
+	// R03: zero users, two permissions.
+	u, p = g.RoleDegree(2)
+	if u != 0 || p != 2 {
+		t.Fatalf("RoleDegree(R03) = (%d, %d), want (0, 2)", u, p)
+	}
+}
+
+func TestAdjacencyRoundTrip(t *testing.T) {
+	g := FromDataset(figure1(t))
+	adj := g.AdjacencyMatrix()
+	if adj.Rows() != 15 || adj.Cols() != 15 {
+		t.Fatalf("adjacency shape %dx%d", adj.Rows(), adj.Cols())
+	}
+	// Symmetric with doubled edge count.
+	if adj.Count() != 2*g.NumEdges() {
+		t.Fatalf("adjacency Count = %d, want %d", adj.Count(), 2*g.NumEdges())
+	}
+	if !adj.Transpose().Equal(adj) {
+		t.Fatal("adjacency matrix not symmetric")
+	}
+	// No user-user, user-perm or role-role edges (tripartite property).
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if adj.Get(i, j) {
+				t.Fatal("user-user edge present")
+			}
+		}
+		for j := 9; j < 15; j++ {
+			if adj.Get(i, j) {
+				t.Fatal("user-permission edge present")
+			}
+		}
+	}
+	for i := 4; i < 9; i++ {
+		for j := 4; j < 9; j++ {
+			if adj.Get(i, j) {
+				t.Fatal("role-role edge present")
+			}
+		}
+	}
+
+	// Steps 2-3: the sub-matrices recovered from the full adjacency
+	// matrix match the directly built RUAM/RPAM.
+	ruam, rpam, err := g.SubMatrices(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ruam.Equal(g.RUAM()) {
+		t.Fatal("extracted RUAM differs")
+	}
+	if !rpam.Equal(g.RPAM()) {
+		t.Fatal("extracted RPAM differs")
+	}
+}
+
+func TestSubMatricesShapeCheck(t *testing.T) {
+	g := FromDataset(figure1(t))
+	small := g.RUAM() // wrong shape on purpose
+	if _, _, err := g.SubMatrices(small); err == nil {
+		t.Fatal("SubMatrices accepted wrong shape")
+	}
+}
+
+func TestMemoryComparison(t *testing.T) {
+	g := FromDataset(figure1(t))
+	// (4+5+6)² = 225 vs 5*(4+6) = 50 — the §III-B saving.
+	if g.MemoryFull() != 225 {
+		t.Fatalf("MemoryFull = %d, want 225", g.MemoryFull())
+	}
+	if g.MemoryCompact() != 50 {
+		t.Fatalf("MemoryCompact = %d, want 50", g.MemoryCompact())
+	}
+	if g.MemoryCompact() >= g.MemoryFull() {
+		t.Fatal("compact representation not smaller")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	d := figure1(t)
+	g := FromDataset(d)
+	before := g.NumEdges()
+	if err := d.AssignUser("R03", "U04"); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != before {
+		t.Fatal("graph view observed later dataset mutation")
+	}
+}

@@ -1,0 +1,38 @@
+package hierarchy_test
+
+import (
+	"fmt"
+
+	"repro/internal/hierarchy"
+	"repro/internal/rbac"
+)
+
+// Example builds a three-level hierarchy with a redundant shortcut and
+// flattens it for the flat detection framework.
+func Example() {
+	d := rbac.NewDataset()
+	_ = d.AddUser("u")
+	for _, r := range []rbac.RoleID{"admin", "editor", "viewer"} {
+		_ = d.AddRole(r)
+	}
+	for _, p := range []rbac.PermissionID{"manage", "write", "read"} {
+		_ = d.AddPermission(p)
+	}
+	_ = d.AssignPermission("admin", "manage")
+	_ = d.AssignPermission("editor", "write")
+	_ = d.AssignPermission("viewer", "read")
+
+	h := hierarchy.New(d)
+	_ = h.AddInheritance("admin", "editor")
+	_ = h.AddInheritance("editor", "viewer")
+	_ = h.AddInheritance("admin", "viewer") // implied by the chain
+
+	fmt.Println("redundant:", h.RedundantEdges())
+
+	flat, _ := h.Flatten()
+	perms, _ := flat.RolePermissions("admin")
+	fmt.Println("admin flattened:", perms)
+	// Output:
+	// redundant: [{admin viewer}]
+	// admin flattened: [manage read write]
+}

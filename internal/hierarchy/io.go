@@ -1,0 +1,58 @@
+package hierarchy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/rbac"
+)
+
+// Edge is one inheritance relation in the sidecar file format.
+type Edge struct {
+	Senior rbac.RoleID `json:"senior"`
+	Junior rbac.RoleID `json:"junior"`
+}
+
+// edgesFile is the JSON sidecar: a dataset file stays hierarchy-free
+// and a second document carries the inheritance edges.
+type edgesFile struct {
+	Inheritance []Edge `json:"inheritance"`
+}
+
+// ReadEdges parses a sidecar document and applies its edges to a new
+// hierarchy over the dataset.
+func ReadEdges(d *rbac.Dataset, r io.Reader) (*Hierarchy, error) {
+	var in edgesFile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("hierarchy: decode edges: %w", err)
+	}
+	h := New(d)
+	for i, e := range in.Inheritance {
+		if err := h.AddInheritance(e.Senior, e.Junior); err != nil {
+			return nil, fmt.Errorf("hierarchy: edge %d: %w", i, err)
+		}
+	}
+	return h, nil
+}
+
+// WriteEdges serialises the hierarchy's edges as a sidecar document
+// with deterministic ordering.
+func (h *Hierarchy) WriteEdges(w io.Writer) error {
+	var out edgesFile
+	for _, senior := range h.ds.Roles() {
+		juniors, err := h.Juniors(senior)
+		if err != nil {
+			return err
+		}
+		for _, j := range juniors {
+			out.Inheritance = append(out.Inheritance, Edge{Senior: senior, Junior: j})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("hierarchy: encode edges: %w", err)
+	}
+	return nil
+}

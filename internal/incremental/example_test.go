@@ -1,0 +1,35 @@
+package incremental_test
+
+import (
+	"fmt"
+
+	"repro/internal/incremental"
+)
+
+// Example tracks duplicate roles live: the clone becomes visible the
+// moment its user set converges with the original, and disappears when
+// it diverges.
+func Example() {
+	x := incremental.New(1)
+	must := func(err error) {
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+	must(x.AddRole(1)) // viewer
+	must(x.AddRole(2)) // viewer-clone
+	must(x.Assign(1, 100))
+	must(x.Assign(1, 101))
+	must(x.Assign(2, 100))
+	fmt.Println(x.Groups(incremental.GroupOptions{IgnoreEmpty: true}))
+
+	must(x.Assign(2, 101)) // clone converges
+	fmt.Println(x.Groups(incremental.GroupOptions{IgnoreEmpty: true}))
+
+	must(x.Assign(2, 102)) // and diverges again
+	fmt.Println(x.Groups(incremental.GroupOptions{IgnoreEmpty: true}))
+	// Output:
+	// []
+	// [[1 2]]
+	// []
+}

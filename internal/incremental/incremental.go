@@ -1,0 +1,240 @@
+// Package incremental maintains the class-4 inefficiency ("roles
+// sharing the same users/permissions") under live mutations.
+//
+// The paper's framework is batch: it assumes the cleanup "is expected to
+// run periodically". This package is the incremental counterpart for
+// deployments that want the duplicate-role index to stay current as
+// assignments churn: each edge mutation updates an order-independent
+// Zobrist hash of the role's assignment set in O(1), and duplicate
+// groups are read off hash buckets (verified by true set equality, so a
+// hash collision can never merge distinct roles).
+//
+// One Index instance covers one side of the tripartite graph: feed it
+// user assignments to track same-user groups, permission assignments to
+// track same-permission groups.
+package incremental
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Index tracks the assignment sets of a collection of roles and answers
+// duplicate-group queries in time proportional to the answer.
+//
+// Roles and columns (users or permissions) are caller-chosen ints. The
+// zero value is not usable; call New.
+type Index struct {
+	seed uint64
+	// rows holds each role's assignment set.
+	rows map[int]map[int]struct{}
+	// hash holds each role's Zobrist hash: XOR of mix(col) over the set.
+	hash map[int]uint64
+	// buckets maps a hash to the roles currently carrying it.
+	buckets map[uint64]map[int]struct{}
+}
+
+// New creates an empty index. The seed perturbs the per-column hash
+// values; any value (including 0) is fine.
+func New(seed uint64) *Index {
+	return &Index{
+		seed:    seed,
+		rows:    make(map[int]map[int]struct{}),
+		hash:    make(map[int]uint64),
+		buckets: make(map[uint64]map[int]struct{}),
+	}
+}
+
+// mix is splitmix64, mapping a column id to a pseudo-random word; XOR
+// of mixed columns is an order-independent, incrementally updatable
+// set hash (Zobrist hashing).
+func (x *Index) mix(col int) uint64 {
+	z := uint64(col)*0x9E3779B97F4A7C15 + x.seed
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Len returns the number of tracked roles.
+func (x *Index) Len() int { return len(x.rows) }
+
+// AddRole registers a role with an empty assignment set.
+func (x *Index) AddRole(role int) error {
+	if _, ok := x.rows[role]; ok {
+		return fmt.Errorf("incremental: role %d already tracked", role)
+	}
+	x.rows[role] = make(map[int]struct{})
+	x.hash[role] = 0
+	x.bucketAdd(0, role)
+	return nil
+}
+
+// RemoveRole forgets a role entirely.
+func (x *Index) RemoveRole(role int) error {
+	if _, ok := x.rows[role]; !ok {
+		return fmt.Errorf("incremental: unknown role %d", role)
+	}
+	x.bucketRemove(x.hash[role], role)
+	delete(x.rows, role)
+	delete(x.hash, role)
+	return nil
+}
+
+// Assign adds column col to the role's set. Assigning an already-held
+// column is a no-op.
+func (x *Index) Assign(role, col int) error {
+	set, ok := x.rows[role]
+	if !ok {
+		return fmt.Errorf("incremental: unknown role %d", role)
+	}
+	if _, dup := set[col]; dup {
+		return nil
+	}
+	set[col] = struct{}{}
+	x.rehash(role, x.hash[role]^x.mix(col))
+	return nil
+}
+
+// Revoke removes column col from the role's set. Revoking an absent
+// column is a no-op.
+func (x *Index) Revoke(role, col int) error {
+	set, ok := x.rows[role]
+	if !ok {
+		return fmt.Errorf("incremental: unknown role %d", role)
+	}
+	if _, held := set[col]; !held {
+		return nil
+	}
+	delete(set, col)
+	x.rehash(role, x.hash[role]^x.mix(col))
+	return nil
+}
+
+// rehash moves a role between hash buckets.
+func (x *Index) rehash(role int, newHash uint64) {
+	x.bucketRemove(x.hash[role], role)
+	x.hash[role] = newHash
+	x.bucketAdd(newHash, role)
+}
+
+func (x *Index) bucketAdd(h uint64, role int) {
+	b := x.buckets[h]
+	if b == nil {
+		b = make(map[int]struct{})
+		x.buckets[h] = b
+	}
+	b[role] = struct{}{}
+}
+
+func (x *Index) bucketRemove(h uint64, role int) {
+	b := x.buckets[h]
+	delete(b, role)
+	if len(b) == 0 {
+		delete(x.buckets, h)
+	}
+}
+
+// setsEqual compares two assignment sets.
+func setsEqual(a, b map[int]struct{}) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SameAs returns the other roles whose assignment sets are identical to
+// the given role's, ascending. Empty sets count as identical to each
+// other, mirroring rolediet.Groups; callers tracking class-4 findings
+// usually exclude empty roles first (they are class-2 findings).
+func (x *Index) SameAs(role int) ([]int, error) {
+	set, ok := x.rows[role]
+	if !ok {
+		return nil, fmt.Errorf("incremental: unknown role %d", role)
+	}
+	var out []int
+	for other := range x.buckets[x.hash[role]] {
+		if other != role && setsEqual(set, x.rows[other]) {
+			out = append(out, other)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// GroupOptions tunes Groups.
+type GroupOptions struct {
+	// IgnoreEmpty excludes roles with empty assignment sets, matching
+	// how the detection framework separates class-2 from class-4
+	// findings.
+	IgnoreEmpty bool
+}
+
+// Groups returns all current duplicate groups: role lists of size >= 2
+// with identical assignment sets, members ascending, groups ordered by
+// smallest member.
+func (x *Index) Groups(opts GroupOptions) [][]int {
+	var groups [][]int
+	for _, bucket := range x.buckets {
+		if len(bucket) < 2 {
+			continue
+		}
+		// Split the bucket by true equality (hash collisions).
+		members := make([]int, 0, len(bucket))
+		for r := range bucket {
+			if opts.IgnoreEmpty && len(x.rows[r]) == 0 {
+				continue
+			}
+			members = append(members, r)
+		}
+		sort.Ints(members)
+		claimed := make([]bool, len(members))
+		for i := range members {
+			if claimed[i] {
+				continue
+			}
+			group := []int{members[i]}
+			for j := i + 1; j < len(members); j++ {
+				if claimed[j] {
+					continue
+				}
+				if setsEqual(x.rows[members[i]], x.rows[members[j]]) {
+					group = append(group, members[j])
+					claimed[j] = true
+				}
+			}
+			if len(group) >= 2 {
+				groups = append(groups, group)
+			}
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
+// Norm returns the size of a role's assignment set.
+func (x *Index) Norm(role int) (int, error) {
+	set, ok := x.rows[role]
+	if !ok {
+		return 0, fmt.Errorf("incremental: unknown role %d", role)
+	}
+	return len(set), nil
+}
+
+// Columns returns a role's assignment set, ascending.
+func (x *Index) Columns(role int) ([]int, error) {
+	set, ok := x.rows[role]
+	if !ok {
+		return nil, fmt.Errorf("incremental: unknown role %d", role)
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,273 @@
+package incremental
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/cluster/rolediet"
+)
+
+func TestAddRemoveRole(t *testing.T) {
+	x := New(1)
+	if err := x.AddRole(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AddRole(7); err == nil {
+		t.Fatal("duplicate role accepted")
+	}
+	if x.Len() != 1 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	if err := x.RemoveRole(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.RemoveRole(7); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if x.Len() != 0 {
+		t.Fatalf("Len = %d after remove", x.Len())
+	}
+}
+
+func TestUnknownRoleOperations(t *testing.T) {
+	x := New(1)
+	if err := x.Assign(1, 2); err == nil {
+		t.Fatal("Assign to unknown role accepted")
+	}
+	if err := x.Revoke(1, 2); err == nil {
+		t.Fatal("Revoke on unknown role accepted")
+	}
+	if _, err := x.SameAs(1); err == nil {
+		t.Fatal("SameAs on unknown role accepted")
+	}
+	if _, err := x.Norm(1); err == nil {
+		t.Fatal("Norm on unknown role accepted")
+	}
+	if _, err := x.Columns(1); err == nil {
+		t.Fatal("Columns on unknown role accepted")
+	}
+}
+
+func TestAssignRevokeIdempotent(t *testing.T) {
+	x := New(1)
+	if err := x.AddRole(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := x.Assign(1, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := x.Norm(1); n != 1 {
+		t.Fatalf("Norm = %d after repeated Assign", n)
+	}
+	for i := 0; i < 3; i++ {
+		if err := x.Revoke(1, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := x.Norm(1); n != 0 {
+		t.Fatalf("Norm = %d after repeated Revoke", n)
+	}
+}
+
+func TestSameAsAndGroups(t *testing.T) {
+	x := New(1)
+	for r := 0; r < 4; r++ {
+		if err := x.AddRole(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []int{0, 2} { // roles 0 and 2 share {10, 11}
+		_ = x.Assign(r, 10)
+		_ = x.Assign(r, 11)
+	}
+	_ = x.Assign(1, 10) // role 1: {10}
+	// role 3 stays empty
+
+	same, err := x.SameAs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(same, []int{2}) {
+		t.Fatalf("SameAs(0) = %v, want [2]", same)
+	}
+	same, _ = x.SameAs(1)
+	if len(same) != 0 {
+		t.Fatalf("SameAs(1) = %v, want none", same)
+	}
+
+	groups := x.Groups(GroupOptions{IgnoreEmpty: true})
+	if !reflect.DeepEqual(groups, [][]int{{0, 2}}) {
+		t.Fatalf("Groups = %v, want [[0 2]]", groups)
+	}
+	// With empties included, role 3 has no duplicate partner, so the
+	// result is unchanged; add role 4 empty and they pair up.
+	if err := x.AddRole(4); err != nil {
+		t.Fatal(err)
+	}
+	groups = x.Groups(GroupOptions{})
+	if !reflect.DeepEqual(groups, [][]int{{0, 2}, {3, 4}}) {
+		t.Fatalf("Groups with empties = %v", groups)
+	}
+}
+
+func TestMutationMovesGroups(t *testing.T) {
+	x := New(1)
+	for r := 0; r < 3; r++ {
+		_ = x.AddRole(r)
+		_ = x.Assign(r, 1)
+		_ = x.Assign(r, 2)
+	}
+	if got := x.Groups(GroupOptions{}); len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("initial groups = %v", got)
+	}
+	// Diverge role 1.
+	if err := x.Assign(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Groups(GroupOptions{}); !reflect.DeepEqual(got, [][]int{{0, 2}}) {
+		t.Fatalf("after assign groups = %v", got)
+	}
+	// Converge it back.
+	if err := x.Revoke(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Groups(GroupOptions{}); len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("after revoke groups = %v", got)
+	}
+	// Remove a member.
+	if err := x.RemoveRole(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Groups(GroupOptions{}); !reflect.DeepEqual(got, [][]int{{0, 1}}) {
+		t.Fatalf("after remove groups = %v", got)
+	}
+}
+
+func TestColumnsSorted(t *testing.T) {
+	x := New(1)
+	_ = x.AddRole(1)
+	for _, c := range []int{9, 3, 7} {
+		_ = x.Assign(1, c)
+	}
+	cols, err := x.Columns(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cols, []int{3, 7, 9}) {
+		t.Fatalf("Columns = %v", cols)
+	}
+}
+
+// batchGroups recomputes duplicate groups from scratch with rolediet as
+// the oracle.
+func batchGroups(x *Index, numRoles, width int, ignoreEmpty bool) [][]int {
+	// Materialise rows for the roles 0..numRoles-1 that still exist.
+	var rows []*bitvec.Vector
+	var ids []int
+	for r := 0; r < numRoles; r++ {
+		cols, err := x.Columns(r)
+		if err != nil {
+			continue // removed
+		}
+		if ignoreEmpty && len(cols) == 0 {
+			continue
+		}
+		rows = append(rows, bitvec.FromIndices(width, cols))
+		ids = append(ids, r)
+	}
+	res, err := rolediet.Groups(rows, rolediet.Options{Threshold: 0})
+	if err != nil {
+		panic(err)
+	}
+	out := make([][]int, len(res.Groups))
+	for gi, g := range res.Groups {
+		for _, i := range g {
+			out[gi] = append(out[gi], ids[i])
+		}
+	}
+	return out
+}
+
+func TestPropertyMatchesBatchUnderRandomOps(t *testing.T) {
+	// Random mutation sequences: the incremental index must agree with
+	// a from-scratch batch recomputation at every checkpoint.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const (
+			numRoles = 12
+			width    = 10
+		)
+		x := New(uint64(seed))
+		alive := map[int]bool{}
+		for step := 0; step < 120; step++ {
+			role := r.Intn(numRoles)
+			switch r.Intn(6) {
+			case 0:
+				if !alive[role] {
+					if err := x.AddRole(role); err != nil {
+						return false
+					}
+					alive[role] = true
+				}
+			case 1:
+				if alive[role] {
+					if err := x.RemoveRole(role); err != nil {
+						return false
+					}
+					alive[role] = false
+				}
+			default:
+				if alive[role] {
+					col := r.Intn(width)
+					var err error
+					if r.Intn(2) == 0 {
+						err = x.Assign(role, col)
+					} else {
+						err = x.Revoke(role, col)
+					}
+					if err != nil {
+						return false
+					}
+				}
+			}
+			if step%20 == 19 {
+				ignoreEmpty := r.Intn(2) == 0
+				got := x.Groups(GroupOptions{IgnoreEmpty: ignoreEmpty})
+				want := batchGroups(x, numRoles, width, ignoreEmpty)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyDuplicatesOneBucket(t *testing.T) {
+	x := New(7)
+	const n = 50
+	for r := 0; r < n; r++ {
+		_ = x.AddRole(r)
+		_ = x.Assign(r, 100)
+		_ = x.Assign(r, 200)
+	}
+	groups := x.Groups(GroupOptions{})
+	if len(groups) != 1 || len(groups[0]) != n {
+		t.Fatalf("groups = %v", groups)
+	}
+	same, _ := x.SameAs(0)
+	if len(same) != n-1 {
+		t.Fatalf("SameAs = %d members, want %d", len(same), n-1)
+	}
+}

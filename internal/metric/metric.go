@@ -1,0 +1,220 @@
+// Package metric provides the distance functions used by the clustering
+// baselines: Hamming (exact DBSCAN per §III-C), Manhattan (HNSW per
+// §III-D), plus Euclidean, Jaccard and Cosine for completeness. Each
+// metric exists in two forms — over float vectors, matching the paper's
+// Python baselines, and over bit vectors, the fast path the rest of the
+// repository uses.
+package metric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+)
+
+// Kind identifies a distance metric.
+type Kind int
+
+// Supported metric kinds.
+const (
+	Hamming Kind = iota + 1
+	Manhattan
+	Euclidean
+	Jaccard
+	Cosine
+)
+
+// String returns the metric's lower-case name.
+func (k Kind) String() string {
+	switch k {
+	case Hamming:
+		return "hamming"
+	case Manhattan:
+		return "manhattan"
+	case Euclidean:
+		return "euclidean"
+	case Jaccard:
+		return "jaccard"
+	case Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("metric.Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a metric name as used in CLI flags.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "hamming":
+		return Hamming, nil
+	case "manhattan":
+		return Manhattan, nil
+	case "euclidean":
+		return Euclidean, nil
+	case "jaccard":
+		return Jaccard, nil
+	case "cosine":
+		return Cosine, nil
+	default:
+		return 0, fmt.Errorf("metric: unknown kind %q", name)
+	}
+}
+
+// FloatFunc computes a distance between two equal-length float vectors.
+type FloatFunc func(a, b []float64) float64
+
+// BitFunc computes a distance between two equal-length bit vectors.
+type BitFunc func(a, b *bitvec.Vector) float64
+
+// Float returns the float-vector implementation of the metric.
+func (k Kind) Float() FloatFunc {
+	switch k {
+	case Hamming:
+		return HammingFloat
+	case Manhattan:
+		return ManhattanFloat
+	case Euclidean:
+		return EuclideanFloat
+	case Jaccard:
+		return JaccardFloat
+	case Cosine:
+		return CosineFloat
+	default:
+		panic(fmt.Sprintf("metric: unknown kind %d", int(k)))
+	}
+}
+
+// Bits returns the bit-vector implementation of the metric.
+func (k Kind) Bits() BitFunc {
+	switch k {
+	case Hamming:
+		return HammingBits
+	case Manhattan:
+		return ManhattanBits
+	case Euclidean:
+		return EuclideanBits
+	case Jaccard:
+		return JaccardBits
+	case Cosine:
+		return CosineBits
+	default:
+		panic(fmt.Sprintf("metric: unknown kind %d", int(k)))
+	}
+}
+
+func checkLens(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metric: length mismatch %d != %d", len(a), len(b)))
+	}
+}
+
+// HammingFloat counts coordinates where the two vectors differ.
+func HammingFloat(a, b []float64) float64 {
+	checkLens(a, b)
+	n := 0.0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// ManhattanFloat is the L1 distance. On 0/1 vectors it coincides with the
+// Hamming distance, which is why the paper can use it for HNSW.
+func ManhattanFloat(a, b []float64) float64 {
+	checkLens(a, b)
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// EuclideanFloat is the L2 distance.
+func EuclideanFloat(a, b []float64) float64 {
+	checkLens(a, b)
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// JaccardFloat is 1 - |A∩B|/|A∪B| treating non-zero coordinates as set
+// members. Two all-zero vectors have distance 0.
+func JaccardFloat(a, b []float64) float64 {
+	checkLens(a, b)
+	inter, union := 0, 0
+	for i := range a {
+		sa, sb := a[i] != 0, b[i] != 0
+		if sa && sb {
+			inter++
+		}
+		if sa || sb {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// CosineFloat is 1 - cos(a, b). A zero vector has distance 1 from
+// everything except another zero vector, which is at distance 0.
+func CosineFloat(a, b []float64) float64 {
+	checkLens(a, b)
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/(math.Sqrt(na)*math.Sqrt(nb))
+}
+
+// HammingBits is the exact bit-level Hamming distance.
+func HammingBits(a, b *bitvec.Vector) float64 {
+	return float64(a.Hamming(b))
+}
+
+// ManhattanBits equals HammingBits on binary data.
+func ManhattanBits(a, b *bitvec.Vector) float64 {
+	return float64(a.Hamming(b))
+}
+
+// EuclideanBits is sqrt(Hamming) on binary data, since each differing
+// coordinate contributes 1² to the squared distance.
+func EuclideanBits(a, b *bitvec.Vector) float64 {
+	return math.Sqrt(float64(a.Hamming(b)))
+}
+
+// JaccardBits is 1 - |a∧b|/|a∨b|; two zero vectors are at distance 0.
+func JaccardBits(a, b *bitvec.Vector) float64 {
+	union := a.UnionCount(b)
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(a.IntersectionCount(b))/float64(union)
+}
+
+// CosineBits is 1 - |a∧b|/sqrt(|a||b|) on binary data.
+func CosineBits(a, b *bitvec.Vector) float64 {
+	na, nb := a.Count(), b.Count()
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - float64(a.IntersectionCount(b))/math.Sqrt(float64(na)*float64(nb))
+}

@@ -1,0 +1,211 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{Hamming, "hamming"},
+		{Manhattan, "manhattan"},
+		{Euclidean, "euclidean"},
+		{Jaccard, "jaccard"},
+		{Cosine, "cosine"},
+		{Kind(99), "metric.Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range []string{"hamming", "manhattan", "euclidean", "jaccard", "cosine"} {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+		if k.String() != name {
+			t.Errorf("round trip %q -> %q", name, k.String())
+		}
+	}
+	if _, err := ParseKind("chebyshev"); err == nil {
+		t.Fatal("ParseKind accepted unknown metric")
+	}
+}
+
+func TestHammingFloat(t *testing.T) {
+	a := []float64{0, 1, 1, 0}
+	b := []float64{1, 1, 0, 0}
+	if got := HammingFloat(a, b); got != 2 {
+		t.Fatalf("HammingFloat = %v, want 2", got)
+	}
+}
+
+func TestManhattanFloat(t *testing.T) {
+	a := []float64{0, 3, -1}
+	b := []float64{1, 1, 1}
+	if got := ManhattanFloat(a, b); got != 5 {
+		t.Fatalf("ManhattanFloat = %v, want 5", got)
+	}
+}
+
+func TestEuclideanFloat(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := EuclideanFloat(a, b); !approx(got, 5) {
+		t.Fatalf("EuclideanFloat = %v, want 5", got)
+	}
+}
+
+func TestJaccardFloat(t *testing.T) {
+	a := []float64{1, 1, 0, 0}
+	b := []float64{1, 0, 1, 0}
+	if got := JaccardFloat(a, b); !approx(got, 1-1.0/3.0) {
+		t.Fatalf("JaccardFloat = %v", got)
+	}
+	zero := []float64{0, 0}
+	if got := JaccardFloat(zero, zero); got != 0 {
+		t.Fatalf("JaccardFloat(0,0) = %v, want 0", got)
+	}
+}
+
+func TestCosineFloat(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if got := CosineFloat(a, b); !approx(got, 1) {
+		t.Fatalf("CosineFloat orthogonal = %v, want 1", got)
+	}
+	if got := CosineFloat(a, a); !approx(got, 0) {
+		t.Fatalf("CosineFloat self = %v, want 0", got)
+	}
+	zero := []float64{0, 0}
+	if got := CosineFloat(zero, zero); got != 0 {
+		t.Fatalf("CosineFloat(0,0) = %v, want 0", got)
+	}
+	if got := CosineFloat(zero, a); got != 1 {
+		t.Fatalf("CosineFloat(0,a) = %v, want 1", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	HammingFloat([]float64{1}, []float64{1, 2})
+}
+
+func TestBitFloatAgreementOnBinary(t *testing.T) {
+	// On 0/1 data every Bits metric must agree with its Float twin.
+	r := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(150)
+		va, vb := bitvec.New(n), bitvec.New(n)
+		for i := 0; i < n; i++ {
+			if rr.Intn(2) == 1 {
+				va.Set(i)
+			}
+			if rr.Intn(2) == 1 {
+				vb.Set(i)
+			}
+		}
+		fa, fb := va.Floats(), vb.Floats()
+		for _, k := range []Kind{Hamming, Manhattan, Euclidean, Jaccard, Cosine} {
+			if !approx(k.Bits()(va, vb), k.Float()(fa, fb)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManhattanEqualsHammingOnBinary(t *testing.T) {
+	// The paper's rationale for using Manhattan with HNSW: it coincides
+	// with Hamming on 0/1 vectors.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(150)
+		va, vb := bitvec.New(n), bitvec.New(n)
+		for i := 0; i < n; i++ {
+			if rr.Intn(2) == 1 {
+				va.Set(i)
+			}
+			if rr.Intn(2) == 1 {
+				vb.Set(i)
+			}
+		}
+		return ManhattanBits(va, vb) == HammingBits(va, vb) &&
+			approx(ManhattanFloat(va.Floats(), vb.Floats()), HammingFloat(va.Floats(), vb.Floats()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricAxiomsOnBits(t *testing.T) {
+	// Identity and symmetry for every Kind on bit vectors.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(100)
+		va, vb := bitvec.New(n), bitvec.New(n)
+		for i := 0; i < n; i++ {
+			if rr.Intn(2) == 1 {
+				va.Set(i)
+			}
+			if rr.Intn(2) == 1 {
+				vb.Set(i)
+			}
+		}
+		for _, k := range []Kind{Hamming, Manhattan, Euclidean, Jaccard, Cosine} {
+			d := k.Bits()
+			if !approx(d(va, va), 0) {
+				return false
+			}
+			if !approx(d(va, vb), d(vb, va)) {
+				return false
+			}
+			if d(va, vb) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	for _, name := range []string{"Float", "Bits"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Kind(0).%s() did not panic", name)
+				}
+			}()
+			if name == "Float" {
+				Kind(0).Float()
+			} else {
+				Kind(0).Bits()
+			}
+		})
+	}
+}

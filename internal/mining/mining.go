@@ -1,0 +1,299 @@
+// Package mining implements bottom-up role mining: deriving a role set
+// from an existing user-permission assignment (UPA) matrix.
+//
+// The paper positions Role Diet against this line of work (§II: Vaidya
+// et al.'s RoleMiner, Molloy et al., Tripunitara): role *mining* builds
+// new roles from scratch, while Role Diet only combines existing roles.
+// Having a miner in the repository completes that comparison: after
+// consolidation one can check how far the cleaned role set still is
+// from a freshly mined decomposition.
+//
+// Two classic pieces are provided:
+//
+//   - candidate generation in the style of FastMiner: the distinct user
+//     rows of the UPA (each user's full permission set) plus, optionally,
+//     all pairwise intersections of those rows — exactly the initial
+//     role set of Vaidya et al. (2006);
+//   - a greedy set-cover pass for the Role Minimization Problem: pick
+//     the candidate covering the most uncovered UPA cells until every
+//     cell is covered. Greedy set cover gives the usual ln(n)
+//     approximation to the minimal role count.
+//
+// The mined decomposition is lossless: UA x PA reconstructs the UPA
+// exactly (no over- or under-assignment), which Reconstruct verifies.
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/matrix"
+	"repro/internal/rbac"
+)
+
+// CandidateStrategy selects how initial candidate roles are generated.
+type CandidateStrategy int
+
+// Candidate strategies.
+const (
+	// DistinctRows uses each distinct user row as a candidate role.
+	DistinctRows CandidateStrategy = iota + 1
+	// PairwiseIntersections additionally adds the intersection of every
+	// pair of distinct user rows — FastMiner's candidate set, which can
+	// expose shared sub-roles and reduce the final role count.
+	PairwiseIntersections
+)
+
+// String names the strategy.
+func (s CandidateStrategy) String() string {
+	switch s {
+	case DistinctRows:
+		return "distinct-rows"
+	case PairwiseIntersections:
+		return "pairwise-intersections"
+	default:
+		return fmt.Sprintf("mining.CandidateStrategy(%d)", int(s))
+	}
+}
+
+// Options tunes the miner.
+type Options struct {
+	// Strategy selects candidate generation; defaults to
+	// PairwiseIntersections.
+	Strategy CandidateStrategy
+	// MaxCandidates caps the candidate pool (0 = unlimited). Pairwise
+	// intersection pools grow quadratically in distinct rows; the cap
+	// keeps the miner usable on large UPAs, trading optimality.
+	MaxCandidates int
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	switch o.Strategy {
+	case 0, DistinctRows, PairwiseIntersections:
+	default:
+		return fmt.Errorf("mining: unknown strategy %d", int(o.Strategy))
+	}
+	if o.MaxCandidates < 0 {
+		return fmt.Errorf("mining: negative candidate cap %d", o.MaxCandidates)
+	}
+	return nil
+}
+
+// Result is a mined role decomposition.
+type Result struct {
+	// Roles holds each mined role's permission set.
+	Roles []*bitvec.Vector
+	// Assignment lists, per user, the mined-role indices assigned to
+	// that user (ascending).
+	Assignment [][]int
+	// CandidateCount is the size of the candidate pool the greedy pass
+	// selected from.
+	CandidateCount int
+}
+
+// NumRoles returns the number of mined roles.
+func (r *Result) NumRoles() int { return len(r.Roles) }
+
+// Reconstruct rebuilds the UPA implied by the decomposition: cell
+// (u, p) is set iff some role assigned to u grants p.
+func (r *Result) Reconstruct(users, perms int) *matrix.BitMatrix {
+	m := matrix.NewBitMatrix(users, perms)
+	for u, roles := range r.Assignment {
+		for _, ri := range roles {
+			r.Roles[ri].ForEach(func(p int) bool {
+				m.Set(u, p)
+				return true
+			})
+		}
+	}
+	return m
+}
+
+// Mine derives a role set covering the UPA exactly.
+func Mine(upa *matrix.BitMatrix, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Strategy == 0 {
+		opts.Strategy = PairwiseIntersections
+	}
+	users := upa.Rows()
+
+	candidates := generateCandidates(upa, opts)
+
+	// Greedy set cover over UPA cells. For each candidate role, the
+	// users it can serve are those whose row is a superset of the role
+	// (assigning it to anyone else would over-grant).
+	covered := matrix.NewBitMatrix(upa.Rows(), upa.Cols())
+	var chosen []*bitvec.Vector
+	assignment := make([][]int, users)
+
+	remaining := upa.Count()
+	for remaining > 0 {
+		bestGain := 0
+		bestIdx := -1
+		var bestUsers []int
+		for ci, cand := range candidates {
+			if cand == nil || cand.IsZero() {
+				continue
+			}
+			gain := 0
+			var served []int
+			for u := 0; u < users; u++ {
+				if !cand.IsSubsetOf(upa.Row(u)) {
+					continue
+				}
+				// New cells this role would cover for u.
+				newBits := cand.Clone()
+				newBits.AndNot(covered.Row(u))
+				if c := newBits.Count(); c > 0 {
+					gain += c
+					served = append(served, u)
+				}
+			}
+			if gain > bestGain {
+				bestGain = gain
+				bestIdx = ci
+				bestUsers = served
+			}
+		}
+		if bestIdx < 0 {
+			// Cannot happen when candidates include the distinct rows
+			// themselves, but guard against a capped pool that lost them.
+			return nil, fmt.Errorf("mining: %d cells uncoverable with the candidate pool", remaining)
+		}
+		role := candidates[bestIdx]
+		roleIdx := len(chosen)
+		chosen = append(chosen, role.Clone())
+		for _, u := range bestUsers {
+			newBits := role.Clone()
+			newBits.AndNot(covered.Row(u))
+			remaining -= newBits.Count()
+			covered.Row(u).Or(role)
+			assignment[u] = append(assignment[u], roleIdx)
+		}
+		candidates[bestIdx] = nil // each candidate used at most once
+	}
+
+	for _, a := range assignment {
+		sort.Ints(a)
+	}
+	return &Result{
+		Roles:          chosen,
+		Assignment:     assignment,
+		CandidateCount: countNonNil(candidates) + len(chosen),
+	}, nil
+}
+
+func countNonNil(cands []*bitvec.Vector) int {
+	n := 0
+	for _, c := range cands {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// generateCandidates builds the candidate pool: distinct non-empty user
+// rows, plus pairwise intersections under the FastMiner strategy,
+// deduplicated, optionally capped (distinct rows are kept first so an
+// exact cover always exists).
+func generateCandidates(upa *matrix.BitMatrix, opts Options) []*bitvec.Vector {
+	seen := make(map[uint64][]*bitvec.Vector)
+	var out []*bitvec.Vector
+	add := func(v *bitvec.Vector) {
+		if v.IsZero() {
+			return
+		}
+		h := v.Hash()
+		for _, existing := range seen[h] {
+			if existing.Equal(v) {
+				return
+			}
+		}
+		seen[h] = append(seen[h], v)
+		out = append(out, v)
+	}
+
+	var distinct []*bitvec.Vector
+	for u := 0; u < upa.Rows(); u++ {
+		before := len(out)
+		add(upa.Row(u).Clone())
+		if len(out) > before {
+			distinct = append(distinct, out[len(out)-1])
+		}
+	}
+
+	if opts.Strategy == PairwiseIntersections {
+		for i := 0; i < len(distinct); i++ {
+			for j := i + 1; j < len(distinct); j++ {
+				if opts.MaxCandidates > 0 && len(out) >= opts.MaxCandidates {
+					return out
+				}
+				inter := distinct[i].Clone()
+				inter.And(distinct[j])
+				add(inter)
+			}
+		}
+	}
+	if opts.MaxCandidates > 0 && len(out) > opts.MaxCandidates {
+		out = out[:opts.MaxCandidates]
+	}
+	return out
+}
+
+// UPAFromDataset flattens a dataset's effective permissions into a
+// user-permission assignment matrix — the input a bottom-up miner
+// starts from when the existing role structure is to be rebuilt.
+func UPAFromDataset(d *rbac.Dataset) *matrix.BitMatrix {
+	eff := d.EffectivePermissions()
+	m := matrix.NewBitMatrix(d.NumUsers(), d.NumPermissions())
+	for u, perms := range eff {
+		for p := range perms {
+			m.Set(u, p)
+		}
+	}
+	return m
+}
+
+// ToDataset converts a mined decomposition back into an rbac.Dataset,
+// naming entities after their indices in the given source dataset.
+func ToDataset(src *rbac.Dataset, res *Result) (*rbac.Dataset, error) {
+	out := rbac.NewDataset()
+	for _, u := range src.Users() {
+		if err := out.AddUser(u); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range src.Permissions() {
+		if err := out.AddPermission(p); err != nil {
+			return nil, err
+		}
+	}
+	for ri, role := range res.Roles {
+		id := rbac.RoleID(fmt.Sprintf("mined-%04d", ri))
+		if err := out.AddRole(id); err != nil {
+			return nil, err
+		}
+		var assignErr error
+		role.ForEach(func(p int) bool {
+			assignErr = out.AssignPermission(id, src.Permission(p))
+			return assignErr == nil
+		})
+		if assignErr != nil {
+			return nil, assignErr
+		}
+	}
+	for u, roles := range res.Assignment {
+		for _, ri := range roles {
+			id := rbac.RoleID(fmt.Sprintf("mined-%04d", ri))
+			if err := out.AssignUser(id, src.User(u)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,29 @@
+package query_test
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/rbac"
+)
+
+// Example answers the audit questions from the paper's Figure 1: who
+// can use P05, what can U01 do, and why.
+func Example() {
+	x := query.NewIndex(rbac.Figure1())
+
+	users, _ := x.UsersWith("P05")
+	fmt.Println("users with P05:", users)
+
+	perms, _ := x.PermissionsOf("U01")
+	fmt.Println("U01 permissions:", perms)
+
+	grants, _ := x.Why("U01", "P05")
+	for _, g := range grants {
+		fmt.Println("U01 holds P05 via", g.Via)
+	}
+	// Output:
+	// users with P05: [U01 U02 U04]
+	// U01 permissions: [P05 P06]
+	// U01 holds P05 via R04
+}

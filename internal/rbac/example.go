@@ -1,0 +1,51 @@
+package rbac
+
+// Figure1 builds the paper's running example (Figure 1): four users,
+// five roles and six permissions exhibiting every inefficiency class of
+// the taxonomy —
+//
+//   - P01 is a standalone permission;
+//   - R02 has users but no permissions, R03 has permissions but no users;
+//   - R01 and R05 have a single user each;
+//   - R02 and R04 share the same users, R04 and R05 the same permissions.
+//
+// The user-side assignments are pinned by the co-occurrence matrix
+// printed in §III-C: R01={U03}, R02={U01,U02}, R03={}, R04={U01,U02},
+// R05={U04}.
+func Figure1() *Dataset {
+	d := NewDataset()
+	for _, u := range []UserID{"U01", "U02", "U03", "U04"} {
+		_ = d.AddUser(u)
+	}
+	for _, r := range []RoleID{"R01", "R02", "R03", "R04", "R05"} {
+		_ = d.AddRole(r)
+	}
+	for _, p := range []PermissionID{"P01", "P02", "P03", "P04", "P05", "P06"} {
+		_ = d.AddPermission(p)
+	}
+	userEdges := []struct {
+		r RoleID
+		u UserID
+	}{
+		{"R01", "U03"},
+		{"R02", "U01"}, {"R02", "U02"},
+		{"R04", "U01"}, {"R04", "U02"},
+		{"R05", "U04"},
+	}
+	for _, e := range userEdges {
+		_ = d.AssignUser(e.r, e.u)
+	}
+	permEdges := []struct {
+		r RoleID
+		p PermissionID
+	}{
+		{"R01", "P02"},
+		{"R03", "P03"}, {"R03", "P04"},
+		{"R04", "P05"}, {"R04", "P06"},
+		{"R05", "P05"}, {"R05", "P06"},
+	}
+	for _, e := range permEdges {
+		_ = d.AssignPermission(e.r, e.p)
+	}
+	return d
+}

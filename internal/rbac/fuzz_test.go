@@ -1,0 +1,59 @@
+package rbac
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON feeds arbitrary bytes to the dataset decoder: it must
+// either reject the input or produce a dataset that validates and
+// round-trips.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Figure1().WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{}`)
+	f.Add(`{"users":["a"],"roles":["r"],"permissions":[],"userAssignments":[{"role":"r","user":"a"}],"permissionAssignments":[]}`)
+	f.Add(`{"users":["a","a"]}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := ds.WriteJSON(&out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if back.Stats() != ds.Stats() {
+			t.Fatalf("round trip changed stats: %+v vs %+v", back.Stats(), ds.Stats())
+		}
+	})
+}
+
+// FuzzReadAssignmentsCSV must never panic on arbitrary CSV bytes.
+func FuzzReadAssignmentsCSV(f *testing.F) {
+	f.Add("role,user\nr1,u1\n", "role,permission\nr1,p1\n")
+	f.Add("", "")
+	f.Add("role,user\n", "role,permission\nr1\n")
+	f.Add("x,y\na,b\n", "role,permission\n")
+	f.Fuzz(func(t *testing.T, users, perms string) {
+		ds, err := ReadAssignmentsCSV(strings.NewReader(users), strings.NewReader(perms))
+		if err != nil {
+			return
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("accepted CSV dataset fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package rbac
+
+import "fmt"
+
+// RemoveUser deletes a user and every assignment referencing it.
+// Indices of later users shift down by one, like deleting a RUAM
+// column.
+func (d *Dataset) RemoveUser(user UserID) error {
+	ui, ok := d.userIdx[user]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownUser, user)
+	}
+	d.users = append(d.users[:ui], d.users[ui+1:]...)
+	delete(d.userIdx, user)
+	for i := ui; i < len(d.users); i++ {
+		d.userIdx[d.users[i]] = i
+	}
+	for ri, set := range d.roleUsers {
+		if _, had := set[ui]; had {
+			delete(set, ui)
+		}
+		// Shift indices above the removed one.
+		shifted := make(map[int]struct{}, len(set))
+		for idx := range set {
+			if idx > ui {
+				shifted[idx-1] = struct{}{}
+			} else {
+				shifted[idx] = struct{}{}
+			}
+		}
+		d.roleUsers[ri] = shifted
+	}
+	return nil
+}
+
+// RemovePermission deletes a permission and every assignment
+// referencing it.
+func (d *Dataset) RemovePermission(perm PermissionID) error {
+	pi, ok := d.permIdx[perm]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPermission, perm)
+	}
+	d.perms = append(d.perms[:pi], d.perms[pi+1:]...)
+	delete(d.permIdx, perm)
+	for i := pi; i < len(d.perms); i++ {
+		d.permIdx[d.perms[i]] = i
+	}
+	for ri, set := range d.rolePerms {
+		if _, had := set[pi]; had {
+			delete(set, pi)
+		}
+		shifted := make(map[int]struct{}, len(set))
+		for idx := range set {
+			if idx > pi {
+				shifted[idx-1] = struct{}{}
+			} else {
+				shifted[idx] = struct{}{}
+			}
+		}
+		d.rolePerms[ri] = shifted
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/consolidate"
+	"repro/internal/core"
+	"repro/internal/rbac"
+)
+
+func TestEventValidate(t *testing.T) {
+	bad := []Event{
+		{Op: "frobnicate"},
+		{Op: OpAddUser},
+		{Op: OpAddRole},
+		{Op: OpAddPermission},
+		{Op: OpAssignUser, Role: "r"},
+		{Op: OpAssignUser, User: "u"},
+		{Op: OpAssignPermission, Role: "r"},
+		{Op: OpRevokePermission, Permission: "p"},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, e)
+		}
+	}
+	good := []Event{
+		{Op: OpAddUser, User: "u"},
+		{Op: OpRemoveRole, Role: "r"},
+		{Op: OpAssignPermission, Role: "r", Permission: "p"},
+	}
+	for i, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("case %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestApplySequence(t *testing.T) {
+	d := rbac.NewDataset()
+	events := []Event{
+		{Op: OpAddUser, User: "alice"},
+		{Op: OpAddRole, Role: "dev"},
+		{Op: OpAddPermission, Permission: "push"},
+		{Op: OpAssignUser, Role: "dev", User: "alice"},
+		{Op: OpAssignPermission, Role: "dev", Permission: "push"},
+	}
+	for _, e := range events {
+		if err := Apply(d, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.HasAssignment("dev", "alice") || !d.HasPermission("dev", "push") {
+		t.Fatal("events not applied")
+	}
+	if err := Apply(d, Event{Op: OpRevokeUser, Role: "dev", User: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if d.HasAssignment("dev", "alice") {
+		t.Fatal("revoke not applied")
+	}
+	if err := Apply(d, Event{Op: "bogus"}); err == nil {
+		t.Fatal("bogus op accepted")
+	}
+	if err := Apply(d, Event{Op: OpRemoveUser, User: "ghost"}); err == nil {
+		t.Fatal("remove of unknown user accepted")
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	events := []Event{
+		{Op: OpAddUser, User: "a", Seq: 1},
+		{Op: OpAddRole, Role: "r", Seq: 2},
+		{Op: OpAssignUser, Role: "r", User: "a", Seq: 3},
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Fatalf("round trip: %+v vs %+v", back, events)
+	}
+}
+
+func TestWriteLogRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, []Event{{Op: "nope"}}); err == nil {
+		t.Fatal("invalid event written")
+	}
+}
+
+func TestReadLogErrors(t *testing.T) {
+	if _, err := ReadLog(strings.NewReader("{bad json\n")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	if _, err := ReadLog(strings.NewReader(`{"op":"add-user"}` + "\n")); err == nil {
+		t.Fatal("invalid event accepted")
+	}
+	// Blank lines are skipped.
+	events, err := ReadLog(strings.NewReader("\n" + `{"op":"add-user","user":"u"}` + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+}
+
+func TestReplayerCheckpoints(t *testing.T) {
+	events := []Event{
+		{Op: OpAddUser, User: "a"},
+		{Op: OpAddUser, User: "b"},
+		{Op: OpAddUser, User: "c"},
+		{Op: OpAddUser, User: "d"},
+	}
+	var checkpoints []int
+	r := &Replayer{
+		Dataset:         rbac.NewDataset(),
+		CheckpointEvery: 2,
+		Checkpoint: func(applied int, d *rbac.Dataset) bool {
+			checkpoints = append(checkpoints, applied)
+			return true
+		},
+	}
+	applied, err := r.Run(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 4 {
+		t.Fatalf("applied = %d", applied)
+	}
+	if !reflect.DeepEqual(checkpoints, []int{2, 4}) {
+		t.Fatalf("checkpoints = %v", checkpoints)
+	}
+}
+
+func TestReplayerStop(t *testing.T) {
+	r := &Replayer{
+		Dataset:         rbac.NewDataset(),
+		CheckpointEvery: 1,
+		Checkpoint:      func(int, *rbac.Dataset) bool { return false },
+	}
+	applied, err := r.Run([]Event{{Op: OpAddUser, User: "a"}, {Op: OpAddUser, User: "b"}})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied = %d", applied)
+	}
+}
+
+func TestReplayerFailureIndex(t *testing.T) {
+	r := &Replayer{Dataset: rbac.NewDataset()}
+	_, err := r.Run([]Event{
+		{Op: OpAddUser, User: "a"},
+		{Op: OpAssignUser, Role: "ghost", User: "a"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "event 1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// datasetsEquivalent compares two datasets structurally (same entities
+// and edges, order-insensitive).
+func datasetsEquivalent(a, b *rbac.Dataset) bool {
+	if a.Stats() != b.Stats() {
+		return false
+	}
+	for _, r := range a.Roles() {
+		if _, ok := b.RoleIndex(r); !ok {
+			return false
+		}
+		au, _ := a.RoleUsers(r)
+		bu, _ := b.RoleUsers(r)
+		if !reflect.DeepEqual(au, bu) {
+			return false
+		}
+		ap, _ := a.RolePermissions(r)
+		bp, _ := b.RolePermissions(r)
+		if !reflect.DeepEqual(ap, bp) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReconcileFigure1Consolidation(t *testing.T) {
+	before := rbac.Figure1()
+	after, _, err := consolidate.Consolidate(before, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := Reconcile(before, after)
+	if len(events) == 0 {
+		t.Fatal("no events for a real change")
+	}
+	replayed := before.Clone()
+	r := &Replayer{Dataset: replayed}
+	if _, err := r.Run(events); err != nil {
+		t.Fatal(err)
+	}
+	if !datasetsEquivalent(replayed, after) {
+		t.Fatal("replayed dataset differs from target")
+	}
+}
+
+func TestReconcileIdentity(t *testing.T) {
+	d := rbac.Figure1()
+	if events := Reconcile(d, d.Clone()); len(events) != 0 {
+		t.Fatalf("identity reconcile produced %d events", len(events))
+	}
+}
+
+// randomMutate applies random valid mutations to a clone.
+func randomMutate(r *rand.Rand, d *rbac.Dataset) *rbac.Dataset {
+	out := d.Clone()
+	for step := 0; step < 15; step++ {
+		switch r.Intn(7) {
+		case 0:
+			_ = out.AddUser(rbac.UserID("nu" + string(rune('a'+r.Intn(26)))))
+		case 1:
+			_ = out.AddRole(rbac.RoleID("nr" + string(rune('a'+r.Intn(26)))))
+		case 2:
+			_ = out.AddPermission(rbac.PermissionID("np" + string(rune('a'+r.Intn(26)))))
+		case 3:
+			roles, users := out.Roles(), out.Users()
+			if len(roles) > 0 && len(users) > 0 {
+				_ = out.AssignUser(roles[r.Intn(len(roles))], users[r.Intn(len(users))])
+			}
+		case 4:
+			roles, perms := out.Roles(), out.Permissions()
+			if len(roles) > 0 && len(perms) > 0 {
+				_ = out.AssignPermission(roles[r.Intn(len(roles))], perms[r.Intn(len(perms))])
+			}
+		case 5:
+			roles := out.Roles()
+			if len(roles) > 1 {
+				_ = out.RemoveRole(roles[r.Intn(len(roles))])
+			}
+		case 6:
+			users := out.Users()
+			if len(users) > 1 {
+				_ = out.RemoveUser(users[r.Intn(len(users))])
+			}
+		}
+	}
+	return out
+}
+
+func TestPropertyReconcileReplaysToTarget(t *testing.T) {
+	// For arbitrary mutations, Reconcile(before, after) replayed onto
+	// before always reproduces after.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		before := rbac.Figure1()
+		after := randomMutate(r, before)
+		events := Reconcile(before, after)
+		// The log must survive serialisation.
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, events); err != nil {
+			return false
+		}
+		decoded, err := ReadLog(&buf)
+		if err != nil {
+			return false
+		}
+		replayed := before.Clone()
+		rp := &Replayer{Dataset: replayed}
+		if _, err := rp.Run(decoded); err != nil {
+			return false
+		}
+		return datasetsEquivalent(replayed, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// post is a helper hitting an endpoint with a raw body.
+func post(t *testing.T, srv *httptest.Server, path, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestConsolidateBadInputs(t *testing.T) {
+	srv := newServer(t)
+	if resp := post(t, srv, "/v1/consolidate?threshold=x", "{}"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad threshold status = %d", resp.StatusCode)
+	}
+	if resp := post(t, srv, "/v1/consolidate", "{broken"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d", resp.StatusCode)
+	}
+	// Unknown method propagates through queryOptions.
+	if resp := post(t, srv, "/v1/consolidate?method=kmeans", "{}"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad method status = %d", resp.StatusCode)
+	}
+}
+
+func TestSuggestBadInputs(t *testing.T) {
+	srv := newServer(t)
+	if resp := post(t, srv, "/v1/suggest?threshold=-2", "{}"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad threshold status = %d", resp.StatusCode)
+	}
+	if resp := post(t, srv, "/v1/suggest", "nope"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d", resp.StatusCode)
+	}
+	// Empty dataset: valid request, empty suggestion list (not null).
+	resp := post(t, srv, "/v1/suggest",
+		`{"users":[],"roles":[],"permissions":[],"userAssignments":[],"permissionAssignments":[]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty dataset status = %d", resp.StatusCode)
+	}
+	var suggestions []struct{}
+	if err := json.NewDecoder(resp.Body).Decode(&suggestions); err != nil {
+		t.Fatal(err)
+	}
+	if suggestions == nil {
+		t.Fatal("null suggestions instead of empty list")
+	}
+}
+
+func TestQueryBadInputs(t *testing.T) {
+	srv := newServer(t)
+	if resp := post(t, srv, "/v1/query?user=u", "{broken"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d", resp.StatusCode)
+	}
+	body := figure1Body(t).String()
+	// Unknown permission in perm-only mode.
+	if resp := post(t, srv, "/v1/query?permission=ghost", body); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("ghost permission status = %d", resp.StatusCode)
+	}
+	// Unknown permission in why mode.
+	if resp := post(t, srv, "/v1/query?user=U01&permission=ghost", body); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("ghost why status = %d", resp.StatusCode)
+	}
+}
+
+func TestDiffBadInputs(t *testing.T) {
+	srv := newServer(t)
+	if resp := post(t, srv, "/v1/diff", "{broken"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d", resp.StatusCode)
+	}
+	if resp := post(t, srv, "/v1/diff?threshold=x", "{}"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad threshold status = %d", resp.StatusCode)
+	}
+	body := figure1Body(t).String()
+	// Only one half present.
+	if resp := post(t, srv, "/v1/diff", `{"before":`+body+`}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("half diff status = %d", resp.StatusCode)
+	}
+	// Identical halves: valid, not improved.
+	resp := post(t, srv, "/v1/diff", `{"before":`+body+`,"after":`+body+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("identity diff status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Improved bool `json:"improved"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Improved {
+		t.Fatal("identity diff reported improvement")
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/diff"
+	"repro/internal/query"
+	"repro/internal/rbac"
+)
+
+// registerExtra wires the query and diff endpoints. Called from
+// NewHandler.
+func (h *handler) registerExtra() {
+	h.mux.HandleFunc("POST /v1/query", h.query)
+	h.mux.HandleFunc("POST /v1/diff", h.diff)
+}
+
+// queryResponse is the /v1/query result; only the fields relevant to
+// the request's selectors are populated.
+type queryResponse struct {
+	Roles       []rbac.RoleID       `json:"roles,omitempty"`
+	Permissions []rbac.PermissionID `json:"permissions,omitempty"`
+	Users       []rbac.UserID       `json:"users,omitempty"`
+	Grants      []query.Grant       `json:"grants,omitempty"`
+	HasAccess   *bool               `json:"hasAccess,omitempty"`
+}
+
+// query answers access-review questions: ?user=, ?permission=, or both.
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	user := rbac.UserID(r.URL.Query().Get("user"))
+	perm := rbac.PermissionID(r.URL.Query().Get("permission"))
+	if user == "" && perm == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("query: need user and/or permission"))
+		return
+	}
+	ds, ok := h.readDataset(w, r)
+	if !ok {
+		return
+	}
+	x := query.NewIndex(ds)
+	var resp queryResponse
+	switch {
+	case user != "" && perm != "":
+		grants, err := x.Why(user, perm)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		has := len(grants) > 0
+		resp.Grants = grants
+		resp.HasAccess = &has
+	case user != "":
+		roles, err := x.RolesOf(user)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		perms, err := x.PermissionsOf(user)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp.Roles = roles
+		resp.Permissions = perms
+	default:
+		roles, err := x.RolesGranting(perm)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		users, err := x.UsersWith(perm)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp.Roles = roles
+		resp.Users = users
+	}
+	writeJSON(w, resp)
+}
+
+// diffRequest carries the two snapshots to compare.
+type diffRequest struct {
+	Before *rbac.Dataset `json:"before"`
+	After  *rbac.Dataset `json:"after"`
+}
+
+// diffResponse bundles the structural and audit-count diffs.
+type diffResponse struct {
+	Structural *diff.DatasetDiff `json:"structural"`
+	Counts     *diff.ReportDiff  `json:"counts"`
+	Improved   bool              `json:"improved"`
+}
+
+// diff compares two posted snapshots structurally and by audit counts.
+func (h *handler) diff(w http.ResponseWriter, r *http.Request) {
+	opts, _, err := queryOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
+	var req diffRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse diff request: %w", err))
+		return
+	}
+	if req.Before == nil || req.After == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("diff: need before and after datasets"))
+		return
+	}
+	if err := req.Before.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.After.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	repBefore, err := analyzeFor(req.Before, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	repAfter, err := analyzeFor(req.After, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	rd := diff.Reports(repBefore, repAfter)
+	writeJSON(w, diffResponse{
+		Structural: diff.Datasets(req.Before, req.After),
+		Counts:     rd,
+		Improved:   rd.Improved(),
+	})
+}

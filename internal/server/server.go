@@ -1,0 +1,223 @@
+// Package server exposes the detection framework as a JSON-over-HTTP
+// service, the deployment shape an organisation would actually run the
+// periodic audit through: an IAM export is POSTed, the inefficiency
+// report (or merge plan, or review suggestions) comes back.
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness probe
+//	POST /v1/analyze         dataset JSON -> inefficiency report
+//	POST /v1/consolidate     dataset JSON -> {plan, consolidated dataset}
+//	POST /v1/suggest         dataset JSON -> similar-merge suggestions
+//	POST /v1/query           dataset JSON -> access-review answers
+//	POST /v1/diff            {before, after} -> structural + audit diff
+//
+// Query parameters on /v1/analyze: method (rolediet|dbscan|hnsw|lsh|
+// dbscan-float64), threshold (int >= 0), sparse (bool). /v1/consolidate,
+// /v1/suggest and /v1/diff accept threshold; /v1/query takes user and/or
+// permission selectors.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/consolidate"
+	"repro/internal/core"
+	"repro/internal/rbac"
+)
+
+// Options configures the handler.
+type Options struct {
+	// MaxBodyBytes caps request bodies; defaults to 256 MiB, enough for
+	// an organisation-scale dataset export.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 256 << 20
+	}
+	return o
+}
+
+// handler carries the configured routes.
+type handler struct {
+	opts Options
+	mux  *http.ServeMux
+}
+
+var _ http.Handler = (*handler)(nil)
+
+// NewHandler builds the service's http.Handler.
+func NewHandler(opts Options) http.Handler {
+	h := &handler{opts: opts.withDefaults(), mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /healthz", h.health)
+	h.mux.HandleFunc("POST /v1/analyze", h.analyze)
+	h.mux.HandleFunc("POST /v1/consolidate", h.consolidate)
+	h.mux.HandleFunc("POST /v1/suggest", h.suggest)
+	h.registerExtra()
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing recoverable remains.
+		return
+	}
+}
+
+// health answers liveness probes.
+func (h *handler) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// readDataset parses and validates the request body.
+func (h *handler) readDataset(w http.ResponseWriter, r *http.Request) (*rbac.Dataset, bool) {
+	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
+	ds, err := rbac.ReadJSON(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse dataset: %w", err))
+		return nil, false
+	}
+	return ds, true
+}
+
+// queryOptions extracts method/threshold/sparse parameters.
+func queryOptions(r *http.Request) (core.Options, bool, error) {
+	opts := core.Options{}
+	q := r.URL.Query()
+	if m := q.Get("method"); m != "" {
+		method, err := core.ParseMethod(m)
+		if err != nil {
+			return opts, false, err
+		}
+		opts.Method = method
+	}
+	if t := q.Get("threshold"); t != "" {
+		k, err := strconv.Atoi(t)
+		if err != nil {
+			return opts, false, fmt.Errorf("threshold: %w", err)
+		}
+		if k < 0 {
+			return opts, false, fmt.Errorf("threshold %d < 0", k)
+		}
+		opts.SimilarThreshold = k
+	}
+	sparse := false
+	if s := q.Get("sparse"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return opts, false, fmt.Errorf("sparse: %w", err)
+		}
+		sparse = v
+	}
+	return opts, sparse, nil
+}
+
+// analyze runs the five detectors over the posted dataset.
+func (h *handler) analyze(w http.ResponseWriter, r *http.Request) {
+	opts, sparse, err := queryOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ds, ok := h.readDataset(w, r)
+	if !ok {
+		return
+	}
+	var rep *core.Report
+	if sparse {
+		rep, err = core.AnalyzeSparse(ds, opts)
+	} else {
+		rep, err = core.Analyze(ds, opts)
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// consolidateResponse is the /v1/consolidate result.
+type consolidateResponse struct {
+	Plan         *consolidate.Plan `json:"plan"`
+	RolesBefore  int               `json:"rolesBefore"`
+	RolesAfter   int               `json:"rolesAfter"`
+	Consolidated *rbac.Dataset     `json:"consolidated"`
+}
+
+// consolidate plans and applies the provably safe class-4 merges.
+func (h *handler) consolidate(w http.ResponseWriter, r *http.Request) {
+	opts, _, err := queryOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ds, ok := h.readDataset(w, r)
+	if !ok {
+		return
+	}
+	after, plan, err := consolidate.Consolidate(ds, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, consolidateResponse{
+		Plan:         plan,
+		RolesBefore:  ds.NumRoles(),
+		RolesAfter:   after.NumRoles(),
+		Consolidated: after,
+	})
+}
+
+// analyzeFor runs the standard dense analysis with the given options.
+func analyzeFor(d *rbac.Dataset, opts core.Options) (*core.Report, error) {
+	return core.Analyze(d, opts)
+}
+
+// suggest returns reviewable similar-merge suggestions.
+func (h *handler) suggest(w http.ResponseWriter, r *http.Request) {
+	opts, _, err := queryOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ds, ok := h.readDataset(w, r)
+	if !ok {
+		return
+	}
+	rep, err := core.Analyze(ds, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	suggestions, err := consolidate.SuggestSimilar(ds, rep)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if suggestions == nil {
+		suggestions = []consolidate.Suggestion{}
+	}
+	writeJSON(w, suggestions)
+}
