@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cluster/rolediet/ ./internal/server/ ./internal/incremental/
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/diff"
+)
+
+// cmdDiff compares two dataset snapshots: structural changes plus the
+// movement of every inefficiency counter between the two audits.
+func cmdDiff(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	var (
+		before    = fs.String("before", "", "earlier dataset JSON path (required)")
+		after     = fs.String("after", "", "later dataset JSON path (required)")
+		threshold = fs.Int("threshold", 1, "similar-group threshold k")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *before == "" || *after == "" {
+		return fmt.Errorf("diff: -before and -after are required")
+	}
+	dsBefore, err := loadDataset(*before)
+	if err != nil {
+		return err
+	}
+	dsAfter, err := loadDataset(*after)
+	if err != nil {
+		return err
+	}
+
+	sd := diff.Datasets(dsBefore, dsAfter)
+	if sd.Empty() {
+		fmt.Fprintln(stdout, "no structural changes")
+	} else {
+		fmt.Fprintf(stdout, "structural changes: +%d/-%d users, +%d/-%d roles, +%d/-%d permissions, "+
+			"+%d/-%d user edges, +%d/-%d permission edges\n",
+			len(sd.AddedUsers), len(sd.RemovedUsers),
+			len(sd.AddedRoles), len(sd.RemovedRoles),
+			len(sd.AddedPermissions), len(sd.RemovedPermissions),
+			len(sd.AddedUserEdges), len(sd.RemovedUserEdges),
+			len(sd.AddedPermEdges), len(sd.RemovedPermEdges))
+	}
+
+	opts := core.Options{SimilarThreshold: *threshold}
+	repBefore, err := core.Analyze(dsBefore, opts)
+	if err != nil {
+		return err
+	}
+	repAfter, err := core.Analyze(dsAfter, opts)
+	if err != nil {
+		return err
+	}
+	rd := diff.Reports(repBefore, repAfter)
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, rd.Summary())
+	if rd.Improved() {
+		fmt.Fprintln(stdout, "\noverall: improved (no counter regressed)")
+	}
+	return nil
+}

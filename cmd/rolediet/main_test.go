@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rbac"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func TestNoArgs(t *testing.T) {
+	_, stderr, err := runCLI(t)
+	if err == nil {
+		t.Fatal("no args accepted")
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Fatalf("usage not printed: %q", stderr)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if _, _, err := runCLI(t, "frobnicate"); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestHelp(t *testing.T) {
+	out, _, err := runCLI(t, "help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"generate", "analyze", "consolidate", "sweep", "org"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("help missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func writeFigure1(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig1.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := rbac.Figure1().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGenerateMatrixAndAnalyze(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.json")
+	stdout, _, err := runCLI(t, "generate", "-out", out, "-roles", "60", "-users", "40", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "60 roles") {
+		t.Fatalf("generate output: %q", stdout)
+	}
+	stdout, _, err = runCLI(t, "analyze", "-data", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "roles sharing the same users") {
+		t.Fatalf("analyze output:\n%s", stdout)
+	}
+}
+
+func TestGenerateOrg(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "org.json")
+	stdout, _, err := runCLI(t, "generate", "-org", "-scale", "200", "-out", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "wrote") {
+		t.Fatalf("generate output: %q", stdout)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeFormats(t *testing.T) {
+	path := writeFigure1(t)
+	stdout, _, err := runCLI(t, "analyze", "-data", path, "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, `"sameUserGroups"`) {
+		t.Fatalf("json output:\n%s", stdout)
+	}
+	if _, _, err := runCLI(t, "analyze", "-data", path, "-format", "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, _, err := runCLI(t, "analyze"); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+	if _, _, err := runCLI(t, "analyze", "-data", "/nonexistent.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, _, err := runCLI(t, "analyze", "-data", path, "-method", "kmeans"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestAnalyzeSparseFlag(t *testing.T) {
+	path := writeFigure1(t)
+	stdout, _, err := runCLI(t, "analyze", "-data", path, "-sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "method=rolediet") {
+		t.Fatalf("sparse analyze output:\n%s", stdout)
+	}
+	if _, _, err := runCLI(t, "analyze", "-data", path, "-sparse", "-method", "dbscan"); err == nil {
+		t.Fatal("sparse+dbscan accepted")
+	}
+}
+
+func TestAnalyzeAllMethods(t *testing.T) {
+	path := writeFigure1(t)
+	for _, m := range []string{"rolediet", "dbscan", "hnsw"} {
+		stdout, _, err := runCLI(t, "analyze", "-data", path, "-method", m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if !strings.Contains(stdout, "method="+m) {
+			t.Fatalf("%s output:\n%s", m, stdout)
+		}
+	}
+}
+
+func TestConsolidateCommand(t *testing.T) {
+	path := writeFigure1(t)
+	out := filepath.Join(t.TempDir(), "after.json")
+	stdout, _, err := runCLI(t, "consolidate", "-data", path, "-out", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "safety verified") {
+		t.Fatalf("consolidate output: %q", stdout)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	after, err := rbac.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.NumRoles() != 4 {
+		t.Fatalf("consolidated roles = %d, want 4", after.NumRoles())
+	}
+	if _, _, err := runCLI(t, "consolidate"); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+}
+
+func TestSweepCommand(t *testing.T) {
+	stdout, stderr, err := runCLI(t, "sweep",
+		"-axis", "roles", "-fixed", "50", "-values", "30,60",
+		"-runs", "1", "-methods", "rolediet,dbscan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "rolediet") || !strings.Contains(stdout, "dbscan") {
+		t.Fatalf("sweep table:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "method=rolediet") {
+		t.Fatalf("sweep progress:\n%s", stderr)
+	}
+	// CSV mode.
+	stdout, _, err = runCLI(t, "sweep",
+		"-axis", "users", "-fixed", "40", "-values", "30",
+		"-runs", "1", "-methods", "rolediet", "-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stdout, "users,rolediet_mean_s") {
+		t.Fatalf("sweep csv:\n%s", stdout)
+	}
+	// Errors.
+	if _, _, err := runCLI(t, "sweep", "-axis", "zz"); err == nil {
+		t.Fatal("bad axis accepted")
+	}
+	if _, _, err := runCLI(t, "sweep", "-values", "a,b"); err == nil {
+		t.Fatal("bad values accepted")
+	}
+	if _, _, err := runCLI(t, "sweep", "-methods", "kmeans"); err == nil {
+		t.Fatal("bad method accepted")
+	}
+}
+
+func TestOrgCommand(t *testing.T) {
+	stdout, _, err := runCLI(t, "org", "-scale", "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "organisation-scale audit") ||
+		strings.Contains(stdout, "MISMATCH") {
+		t.Fatalf("org output:\n%s", stdout)
+	}
+}

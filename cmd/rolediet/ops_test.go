@@ -1,0 +1,204 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestQueryCommand(t *testing.T) {
+	path := writeFigure1(t)
+	// User + permission: the why trail.
+	stdout, _, err := runCLI(t, "query", "-data", path, "-user", "U01", "-permission", "P05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "holds P05") || !strings.Contains(stdout, "R04") {
+		t.Fatalf("query output:\n%s", stdout)
+	}
+	// Negative case.
+	stdout, _, err = runCLI(t, "query", "-data", path, "-user", "U03", "-permission", "P05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "does NOT hold") {
+		t.Fatalf("query output:\n%s", stdout)
+	}
+	// User only.
+	stdout, _, err = runCLI(t, "query", "-data", path, "-user", "U01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "effective permissions (2)") {
+		t.Fatalf("query output:\n%s", stdout)
+	}
+	// Permission only.
+	stdout, _, err = runCLI(t, "query", "-data", path, "-permission", "P05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "granted by 2 roles") {
+		t.Fatalf("query output:\n%s", stdout)
+	}
+	// Errors.
+	if _, _, err := runCLI(t, "query", "-data", path); err == nil {
+		t.Fatal("no selector accepted")
+	}
+	if _, _, err := runCLI(t, "query", "-user", "U01"); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+	if _, _, err := runCLI(t, "query", "-data", path, "-user", "ghost"); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+}
+
+func TestReconcileReplayPipeline(t *testing.T) {
+	dir := t.TempDir()
+	before := writeFigure1(t)
+	afterPath := filepath.Join(dir, "after.json")
+	if _, _, err := runCLI(t, "consolidate", "-data", before, "-out", afterPath); err != nil {
+		t.Fatal(err)
+	}
+
+	logPath := filepath.Join(dir, "events.jsonl")
+	stdout, _, err := runCLI(t, "reconcile", "-before", before, "-after", afterPath, "-out", logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "wrote") {
+		t.Fatalf("reconcile output: %q", stdout)
+	}
+
+	resultPath := filepath.Join(dir, "result.json")
+	stdout, _, err = runCLI(t, "replay",
+		"-base", before, "-log", logPath, "-out", resultPath, "-audit-every", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "applied") || !strings.Contains(stdout, "checkpoint") {
+		t.Fatalf("replay output:\n%s", stdout)
+	}
+
+	// The replayed dataset audits identically to the consolidated one.
+	a, _, err := runCLI(t, "analyze", "-data", resultPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := runCLI(t, "analyze", "-data", afterPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripDurations(a) != stripDurations(b) {
+		t.Fatalf("replayed audit differs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// stripDurations removes the timing line, which legitimately differs.
+func stripDurations(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "linear detectors:") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestReconcileReplayValidation(t *testing.T) {
+	path := writeFigure1(t)
+	if _, _, err := runCLI(t, "reconcile", "-before", path); err == nil {
+		t.Fatal("missing -after accepted")
+	}
+	if _, _, err := runCLI(t, "replay", "-base", path); err == nil {
+		t.Fatal("missing -log accepted")
+	}
+	if _, _, err := runCLI(t, "replay", "-base", path, "-log", "/none.jsonl"); err == nil {
+		t.Fatal("missing log file accepted")
+	}
+}
+
+func TestReconcileToStdout(t *testing.T) {
+	dir := t.TempDir()
+	before := writeFigure1(t)
+	afterPath := filepath.Join(dir, "after.json")
+	if _, _, err := runCLI(t, "consolidate", "-data", before, "-out", afterPath); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err := runCLI(t, "reconcile", "-before", before, "-after", afterPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, `"op"`) {
+		t.Fatalf("stdout log missing events:\n%s", stdout)
+	}
+}
+
+func TestAnalyzeWithHierarchy(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFigure1(t)
+	// Sidecar: R02 inherits R03 (gains P03, P04), plus a redundant
+	// shortcut chain R02 -> R01 -> ... no, keep it simple: one edge.
+	hier := filepath.Join(dir, "hier.json")
+	if err := osWriteFile(hier, `{"inheritance":[{"senior":"R02","junior":"R03"}]}`); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err := runCLI(t, "analyze", "-data", path, "-hierarchy", hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After flattening, R02 has permissions, so "roles without
+	// permissions" drops to zero.
+	found := false
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.HasPrefix(line, "2. roles without permissions") {
+			fields := strings.Fields(line)
+			if fields[len(fields)-1] == "0" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("flattened analyze output:\n%s", stdout)
+	}
+	// Errors.
+	if _, _, err := runCLI(t, "analyze", "-data", path, "-hierarchy", "/none.json"); err == nil {
+		t.Fatal("missing sidecar accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := osWriteFile(bad, `{"inheritance":[{"senior":"ghost","junior":"R03"}]}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, "analyze", "-data", path, "-hierarchy", bad); err == nil {
+		t.Fatal("ghost senior accepted")
+	}
+}
+
+func osWriteFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestBenchCommandQuick(t *testing.T) {
+	stdout, _, err := runCLI(t, "bench", "-quick", "-runs", "1", "-org-scale", "500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "# Evaluation report") ||
+		!strings.Contains(stdout, "Organisation-scale audit") {
+		t.Fatalf("bench output:\n%s", stdout)
+	}
+}
+
+func TestRecallCommand(t *testing.T) {
+	stdout, _, err := runCLI(t, "recall", "-roles", "150", "-users", "80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "recall sweep") || !strings.Contains(stdout, "hnsw") {
+		t.Fatalf("recall output:\n%s", stdout)
+	}
+	if _, _, err := runCLI(t, "recall", "-threshold", "-1"); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Command roledietd serves the RBAC inefficiency detection framework
+// over HTTP. See internal/server for the endpoint contract.
+//
+//	roledietd -addr :8080
+//	curl -X POST --data-binary @org.json 'localhost:8080/v1/analyze?sparse=true'
+//
+// Resilience knobs (see internal/server for the error contract):
+//
+//	-request-timeout  per-request deadline; analyses exceeding it stop
+//	                  computing and the client gets 504 (0 disables)
+//	-max-concurrent   in-flight /v1/* request cap; excess load is shed
+//	                  with 429 + Retry-After (0 disables)
+//	-drain-timeout    graceful-shutdown grace on SIGINT/SIGTERM; when
+//	                  it expires, in-flight analyses are cancelled so
+//	                  they stop burning CPU and connections are closed
+//
+// /healthz is exempt from the timeout and the limiter, so probes keep
+// answering while the service is saturated or draining.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("roledietd", flag.ContinueOnError)
+	var (
+		addr           = fs.String("addr", ":8080", "listen address")
+		maxBodyMiB     = fs.Int64("max-body-mib", 256, "maximum request body size in MiB")
+		readTimeout    = fs.Duration("read-timeout", 2*time.Minute, "HTTP read timeout")
+		requestTimeout = fs.Duration("request-timeout", 5*time.Minute,
+			"per-request deadline including analysis; 0 disables (504 on expiry)")
+		maxConcurrent = fs.Int("max-concurrent", 2*runtime.GOMAXPROCS(0),
+			"maximum concurrently handled /v1/* requests; 0 disables (429 when exceeded)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
+			"graceful-shutdown grace before in-flight analyses are cancelled")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Every request context derives from baseCtx; cancelling it aborts
+	// the engine loops of any analysis still in flight.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: server.NewHandler(server.Options{
+			MaxBodyBytes:   *maxBodyMiB << 20,
+			RequestTimeout: *requestTimeout,
+			MaxConcurrent:  *maxConcurrent,
+		}),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("roledietd listening on %s (request-timeout=%s max-concurrent=%d)",
+			*addr, *requestTimeout, *maxConcurrent)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return fmt.Errorf("serve: %w", err)
+	case sig := <-sigCh:
+		log.Printf("received %v, draining for up to %s", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// The drain grace expired with requests still running.
+			// Cancel their contexts so the engine stops burning CPU,
+			// then force-close the connections.
+			log.Printf("drain timed out: cancelling in-flight analyses")
+			cancelBase()
+			if cerr := srv.Close(); cerr != nil {
+				return fmt.Errorf("close after drain timeout: %w", cerr)
+			}
+		}
+		<-errCh // wait for ListenAndServe to return
+		return nil
+	}
+}

@@ -19,11 +19,13 @@
 package bitlsh
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/bitvec"
+	"repro/internal/ctxcheck"
 )
 
 // Config tunes the index.
@@ -109,6 +111,12 @@ type Result struct {
 // FindGroups groups rows whose Hamming distance chains within the
 // threshold, using bit-sampling LSH for candidate generation.
 func FindGroups(rows []*bitvec.Vector, threshold int, cfg Config) (*Result, error) {
+	return FindGroupsContext(context.Background(), rows, threshold, cfg)
+}
+
+// FindGroupsContext is FindGroups with cooperative cancellation,
+// observed every few thousand row hashes / candidate verifications.
+func FindGroupsContext(ctx context.Context, rows []*bitvec.Vector, threshold int, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -125,6 +133,10 @@ func FindGroups(rows []*bitvec.Vector, threshold int, cfg Config) (*Result, erro
 		}
 	}
 	cfg = cfg.withDefaults(width, threshold)
+	chk := ctxcheck.New(ctx, 2048)
+	if err := chk.Err(); err != nil {
+		return nil, err
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	// Sample the bit positions per table up front.
@@ -152,6 +164,9 @@ func FindGroups(rows []*bitvec.Vector, threshold int, cfg Config) (*Result, erro
 	for _, pos := range positions {
 		buckets := make(map[uint64][]int32, len(rows))
 		for i, row := range rows {
+			if err := chk.Tick(); err != nil {
+				return nil, err
+			}
 			h := sketch(row, pos)
 			buckets[h] = append(buckets[h], int32(i))
 		}
@@ -161,6 +176,9 @@ func FindGroups(rows []*bitvec.Vector, threshold int, cfg Config) (*Result, erro
 			}
 			for ai := 0; ai < len(members); ai++ {
 				for bi := ai + 1; bi < len(members); bi++ {
+					if err := chk.Tick(); err != nil {
+						return nil, err
+					}
 					key := [2]int32{members[ai], members[bi]}
 					if _, dup := seen[key]; dup {
 						continue

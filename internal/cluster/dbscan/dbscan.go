@@ -12,13 +12,20 @@
 // Neighbour search is a brute-force scan, exactly as a generic DBSCAN
 // must do for arbitrary metrics — this O(n²) behaviour is the point of
 // the baseline, and what the Role Diet algorithm beats.
+//
+// The *Context entry points observe cancellation between neighbourhood
+// scans (every few thousand distance evaluations), so an O(n²) run over
+// an organisation-scale matrix aborts promptly when its request is
+// cancelled or times out.
 package dbscan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/bitvec"
+	"repro/internal/ctxcheck"
 	"repro/internal/metric"
 )
 
@@ -79,14 +86,14 @@ func (r *Result) Groups() [][]int {
 }
 
 // Run clusters the rows of the given bit-vector dataset.
-//
-// The classic algorithm: visit each unvisited point, compute its
-// eps-neighbourhood; if it has at least MinPts members the point is a
-// core point seeding a new cluster, which is then expanded breadth-first
-// through the neighbourhoods of its core members. Border points adopt
-// the first cluster that reaches them; points reached by nobody stay
-// noise.
 func Run(points []*bitvec.Vector, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), points, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: it returns ctx.Err()
+// partway through the scan once the context is cancelled, discarding
+// the partial labelling.
+func RunContext(ctx context.Context, points []*bitvec.Vector, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,23 +105,70 @@ func Run(points []*bitvec.Vector, cfg Config) (*Result, error) {
 		kind = metric.Hamming
 	}
 	dist := kind.Bits()
+	return cluster(ctx, len(points), cfg, func(p, q int) float64 {
+		return dist(points[p], points[q])
+	})
+}
 
-	n := len(points)
+// RunFloats clusters float vectors with the metric's float implementation.
+// It exists for parity with the Python baseline, which feeds numpy float
+// arrays to scikit-learn; the benchmark harness uses it to quantify the
+// bit-packing speedup (ablation in DESIGN.md §6).
+func RunFloats(points [][]float64, cfg Config) (*Result, error) {
+	return RunFloatsContext(context.Background(), points, cfg)
+}
+
+// RunFloatsContext is RunFloats with cooperative cancellation.
+func RunFloatsContext(ctx context.Context, points [][]float64, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	kind := cfg.Metric
+	if kind == 0 {
+		kind = metric.Hamming
+	}
+	dist := kind.Float()
+	return cluster(ctx, len(points), cfg, func(p, q int) float64 {
+		return dist(points[p], points[q])
+	})
+}
+
+// cluster is the classic algorithm over an abstract distance, shared by
+// the bit-packed and float paths: visit each unvisited point, compute
+// its eps-neighbourhood; if it has at least MinPts members the point is
+// a core point seeding a new cluster, which is then expanded
+// breadth-first through the neighbourhoods of its core members. Border
+// points adopt the first cluster that reaches them; points reached by
+// nobody stay noise.
+func cluster(ctx context.Context, n int, cfg Config, dist func(p, q int) float64) (*Result, error) {
+	chk := ctxcheck.New(ctx, 4096)
+	if err := chk.Err(); err != nil {
+		return nil, err
+	}
+
 	labels := make([]int, n)
 	for i := range labels {
 		labels[i] = Noise
 	}
 	visited := make([]bool, n)
 
-	// regionQuery returns every point within Eps of p, including p.
-	regionQuery := func(p int) []int {
+	// regionQuery returns every point within Eps of p, including p. One
+	// tick per distance evaluation keeps cancellation latency bounded
+	// even when a single neighbourhood scan covers the whole dataset.
+	regionQuery := func(p int) ([]int, error) {
 		var out []int
 		for q := 0; q < n; q++ {
-			if dist(points[p], points[q]) <= cfg.Eps {
+			if err := chk.Tick(); err != nil {
+				return nil, err
+			}
+			if dist(p, q) <= cfg.Eps {
 				out = append(out, q)
 			}
 		}
-		return out
+		return out, nil
 	}
 
 	cluster := 0
@@ -123,7 +177,10 @@ func Run(points []*bitvec.Vector, cfg Config) (*Result, error) {
 			continue
 		}
 		visited[p] = true
-		neighbours := regionQuery(p)
+		neighbours, err := regionQuery(p)
+		if err != nil {
+			return nil, err
+		}
 		if len(neighbours) < cfg.MinPts {
 			continue // stays noise unless a later cluster reaches it
 		}
@@ -138,7 +195,10 @@ func Run(points []*bitvec.Vector, cfg Config) (*Result, error) {
 				continue
 			}
 			visited[q] = true
-			qNeighbours := regionQuery(q)
+			qNeighbours, err := regionQuery(q)
+			if err != nil {
+				return nil, err
+			}
 			if len(qNeighbours) >= cfg.MinPts {
 				neighbours = append(neighbours, qNeighbours...)
 			}
@@ -146,67 +206,5 @@ func Run(points []*bitvec.Vector, cfg Config) (*Result, error) {
 		cluster++
 	}
 
-	return &Result{Labels: labels, NumClusters: cluster}, nil
-}
-
-// RunFloats clusters float vectors with the metric's float implementation.
-// It exists for parity with the Python baseline, which feeds numpy float
-// arrays to scikit-learn; the benchmark harness uses it to quantify the
-// bit-packing speedup (ablation in DESIGN.md §6).
-func RunFloats(points [][]float64, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if len(points) == 0 {
-		return nil, ErrNoPoints
-	}
-	kind := cfg.Metric
-	if kind == 0 {
-		kind = metric.Hamming
-	}
-	dist := kind.Float()
-
-	n := len(points)
-	labels := make([]int, n)
-	for i := range labels {
-		labels[i] = Noise
-	}
-	visited := make([]bool, n)
-	regionQuery := func(p int) []int {
-		var out []int
-		for q := 0; q < n; q++ {
-			if dist(points[p], points[q]) <= cfg.Eps {
-				out = append(out, q)
-			}
-		}
-		return out
-	}
-	cluster := 0
-	for p := 0; p < n; p++ {
-		if visited[p] {
-			continue
-		}
-		visited[p] = true
-		neighbours := regionQuery(p)
-		if len(neighbours) < cfg.MinPts {
-			continue
-		}
-		labels[p] = cluster
-		for qi := 0; qi < len(neighbours); qi++ {
-			q := neighbours[qi]
-			if labels[q] == Noise {
-				labels[q] = cluster
-			}
-			if visited[q] {
-				continue
-			}
-			visited[q] = true
-			qNeighbours := regionQuery(q)
-			if len(qNeighbours) >= cfg.MinPts {
-				neighbours = append(neighbours, qNeighbours...)
-			}
-		}
-		cluster++
-	}
 	return &Result{Labels: labels, NumClusters: cluster}, nil
 }

@@ -1,0 +1,67 @@
+package hnsw
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+func TestBuildContextAlreadyCanceled(t *testing.T) {
+	m, err := gen.Matrix(gen.MatrixParams{Rows: 16, Cols: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildContext(ctx, m.Rows, Config{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildContext on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestBuildContextCanceledMidRun(t *testing.T) {
+	// Building an index over thousands of dense rows with the default
+	// beam width takes far longer than the cancel delay, so a nil error
+	// here would mean the insert loop ignored the cancellation.
+	m, err := gen.Matrix(gen.MatrixParams{Rows: 3000, Cols: 512, Density: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(time.Millisecond, cancel)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := BuildContext(ctx, m.Rows, Config{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("BuildContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("BuildContext did not return within 30s of cancellation")
+	}
+}
+
+func TestBuildContextBackgroundMatchesBuild(t *testing.T) {
+	m, err := gen.Matrix(gen.MatrixParams{Rows: 300, Cols: 64, ClusterProportion: 0.3, MaxClusterSize: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Build(m.Rows, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := BuildContext(context.Background(), m.Rows, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Len() != ctxed.Len() {
+		t.Fatalf("index sizes differ: %d vs %d", plain.Len(), ctxed.Len())
+	}
+}

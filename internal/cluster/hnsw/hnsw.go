@@ -15,6 +15,7 @@
 package hnsw
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -22,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/bitvec"
+	"repro/internal/ctxcheck"
 	"repro/internal/metric"
 )
 
@@ -120,11 +122,24 @@ func New(cfg Config) (*Index, error) {
 
 // Build constructs an index over all rows in one call.
 func Build(rows []*bitvec.Vector, cfg Config) (*Index, error) {
+	return BuildContext(context.Background(), rows, cfg)
+}
+
+// BuildContext is Build with cooperative cancellation. The context is
+// polled between insertions — each insertion is a bounded beam search
+// (O(ef·M·layers) distance evaluations) — so construction over an
+// organisation-scale matrix aborts promptly with ctx.Err() when the
+// request driving it is cancelled, discarding the partial index.
+func BuildContext(ctx context.Context, rows []*bitvec.Vector, cfg Config) (*Index, error) {
 	idx, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	chk := ctxcheck.New(ctx, 1)
 	for _, r := range rows {
+		if err := chk.Err(); err != nil {
+			return nil, err
+		}
 		if err := idx.Add(r); err != nil {
 			return nil, err
 		}

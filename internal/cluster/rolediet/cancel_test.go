@@ -1,0 +1,116 @@
+package rolediet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+// slowRows returns a dense workload whose similar-mode co-occurrence
+// pass takes long enough that a mid-run cancel lands reliably.
+func slowRows(t *testing.T) Rows {
+	t.Helper()
+	m, err := gen.Matrix(gen.MatrixParams{Rows: 2000, Cols: 1024, Density: 0.2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Rows(m.Rows)
+}
+
+func waitCanceled(t *testing.T, name string, done <-chan error) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s = %v, want context.Canceled", name, err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s did not return within 30s of cancellation", name)
+	}
+}
+
+func TestGroupsContextAlreadyCanceled(t *testing.T) {
+	m, err := gen.Matrix(gen.MatrixParams{Rows: 8, Cols: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, k := range []int{0, 2} {
+		if _, err := GroupsContext(ctx, Rows(m.Rows), Options{Threshold: k}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("GroupsContext(threshold=%d) on canceled ctx = %v, want context.Canceled", k, err)
+		}
+	}
+}
+
+func TestGroupsContextCanceledMidRun(t *testing.T) {
+	rows := slowRows(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(time.Millisecond, cancel)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := GroupsContext(ctx, rows, Options{Threshold: 2})
+		done <- err
+	}()
+	waitCanceled(t, "GroupsContext", done)
+}
+
+func TestGroupsCSRContextCanceledMidRun(t *testing.T) {
+	rows := slowRows(t)
+	bm, err := matrix.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := matrix.CSRFromDense(bm)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(time.Millisecond, cancel)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := GroupsCSRContext(ctx, csr, Options{Threshold: 2})
+		done <- err
+	}()
+	waitCanceled(t, "GroupsCSRContext", done)
+}
+
+func TestGroupsParallelContextCanceledMidRun(t *testing.T) {
+	rows := slowRows(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(time.Millisecond, cancel)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := GroupsParallelContext(ctx, rows, Options{Threshold: 2}, 4)
+		done <- err
+	}()
+	waitCanceled(t, "GroupsParallelContext", done)
+}
+
+func TestGroupsContextBackgroundMatchesGroups(t *testing.T) {
+	m, err := gen.Matrix(gen.MatrixParams{Rows: 300, Cols: 128, ClusterProportion: 0.4, MaxClusterSize: 5, SimilarNoise: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 2} {
+		plain, err := Groups(Rows(m.Rows), Options{Threshold: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxed, err := GroupsContext(context.Background(), Rows(m.Rows), Options{Threshold: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain.Groups) != len(ctxed.Groups) {
+			t.Fatalf("threshold %d: group counts differ: %d vs %d", k, len(plain.Groups), len(ctxed.Groups))
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package rolediet
+
+import "fmt"
+
+// CooccurrenceMatrix materialises the paper's matrix C for a small set
+// of roles (§III-C): C[i][j] = g(i,j), the number of user co-occurrences
+// between roles i and j, for i ≠ j; C[i][i] = |Rⁱ|, the role's norm.
+//
+// This is the didactic O(r²) form used in the worked example and the
+// unit tests; the production path in Groups never builds it, which is
+// the subject of the co-occurrence ablation benchmark.
+func CooccurrenceMatrix(rows Rows) [][]int {
+	n := len(rows)
+	c := make([][]int, n)
+	for i := range c {
+		c[i] = make([]int, n)
+		c[i][i] = rows[i].Count()
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g := rows[i].IntersectionCount(rows[j])
+			c[i][j] = g
+			c[j][i] = g
+		}
+	}
+	return c
+}
+
+// Indicator evaluates the paper's indicator function I(i,j) on a
+// co-occurrence matrix: 1 iff |Rⁱ| = g(i,j) = |Rʲ| with i ≠ j, meaning
+// the two roles can be combined because they contain exactly the same
+// users.
+func Indicator(c [][]int, i, j int) (int, error) {
+	n := len(c)
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return 0, fmt.Errorf("rolediet: indicator index (%d,%d) outside %dx%d matrix", i, j, n, n)
+	}
+	if i == j {
+		return 0, nil
+	}
+	if c[i][i] == c[i][j] && c[i][j] == c[j][j] {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// GroupsFromIndicator derives the exact role groups from a co-occurrence
+// matrix by evaluating the indicator over all pairs — the literal
+// formulation from the paper, used as an oracle in tests.
+func GroupsFromIndicator(c [][]int) [][]int {
+	n := len(c)
+	uf := newUnionFind(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ind, _ := Indicator(c, i, j); ind == 1 {
+				uf.union(i, j)
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		byRoot[uf.find(i)] = append(byRoot[uf.find(i)], i)
+	}
+	var groups [][]int
+	for _, g := range byRoot {
+		if len(g) >= 2 {
+			groups = append(groups, g)
+		}
+	}
+	sortGroups(groups)
+	return groups
+}

@@ -1,0 +1,57 @@
+package rolediet_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/cluster/rolediet"
+)
+
+// Example reproduces the paper's §III-C worked example: the
+// co-occurrence matrix C over the Figure 1 RUAM and the single exact
+// group it implies.
+func Example() {
+	// R01={U03}, R02={U01,U02}, R03={}, R04={U01,U02}, R05={U04}.
+	rows := rolediet.Rows{
+		bitvec.FromIndices(4, []int{2}),
+		bitvec.FromIndices(4, []int{0, 1}),
+		bitvec.FromIndices(4, nil),
+		bitvec.FromIndices(4, []int{0, 1}),
+		bitvec.FromIndices(4, []int{3}),
+	}
+	c := rolediet.CooccurrenceMatrix(rows)
+	for _, row := range c {
+		fmt.Println(row)
+	}
+	res, err := rolediet.Groups(rows, rolediet.Options{Threshold: 0})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("groups:", res.Groups)
+	// Output:
+	// [1 0 0 0 0]
+	// [0 2 0 2 0]
+	// [0 0 0 0 0]
+	// [0 2 0 2 0]
+	// [0 0 0 0 1]
+	// groups: [[1 3]]
+}
+
+// ExampleGroups_threshold finds similar roles: identical up to one
+// differing user.
+func ExampleGroups_threshold() {
+	rows := rolediet.Rows{
+		bitvec.FromIndices(6, []int{0, 1, 2}),
+		bitvec.FromIndices(6, []int{0, 1, 2, 3}),
+		bitvec.FromIndices(6, []int{4, 5}),
+	}
+	res, err := rolediet.Groups(rows, rolediet.Options{Threshold: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Groups)
+	// Output:
+	// [[0 1]]
+}

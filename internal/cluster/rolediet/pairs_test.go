@@ -1,0 +1,132 @@
+package rolediet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func TestPairsPaperExample(t *testing.T) {
+	pairs, err := Pairs(paperRUAM(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{{A: 1, B: 3, Distance: 0}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("Pairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestPairsValidation(t *testing.T) {
+	if _, err := Pairs(paperRUAM(), -1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	rows := Rows{bitvec.New(3), bitvec.New(4)}
+	if _, err := Pairs(rows, 1); err == nil {
+		t.Fatal("mismatched widths accepted")
+	}
+	pairs, err := Pairs(nil, 1)
+	if err != nil || pairs != nil {
+		t.Fatalf("empty input = (%v, %v)", pairs, err)
+	}
+}
+
+func TestPairsDistancesAndOrder(t *testing.T) {
+	rows := Rows{
+		bitvec.FromIndices(8, []int{0, 1}),
+		bitvec.FromIndices(8, []int{0, 1, 2}), // d=1 from row 0
+		bitvec.FromIndices(8, []int{0, 1}),    // d=0 from row 0, d=1 from row 1
+		bitvec.New(8),                         // empty
+		bitvec.FromIndices(8, []int{7}),       // d=1 from empty
+	}
+	pairs, err := Pairs(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{
+		{A: 0, B: 2, Distance: 0},
+		{A: 0, B: 1, Distance: 1},
+		{A: 1, B: 2, Distance: 1},
+		{A: 3, B: 4, Distance: 1},
+	}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("Pairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestPropertyPairsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := randRows(r, 2+r.Intn(40), 1+r.Intn(14), 0.3)
+		plantDuplicates(r, rows, r.Intn(6))
+		k := r.Intn(4)
+		got, err := Pairs(rows, k)
+		if err != nil {
+			return false
+		}
+		// Brute-force oracle.
+		var want []Pair
+		for i := range rows {
+			for j := i + 1; j < len(rows); j++ {
+				if d := rows[i].Hamming(rows[j]); d <= k {
+					want = append(want, Pair{A: i, B: j, Distance: d})
+				}
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		seen := make(map[Pair]bool, len(got))
+		for _, p := range got {
+			seen[p] = true
+		}
+		for _, p := range want {
+			if !seen[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairsConsistentWithGroups(t *testing.T) {
+	// The union-find over Pairs must equal Groups at the same threshold.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := randRows(r, 2+r.Intn(30), 1+r.Intn(10), 0.3)
+		k := r.Intn(3)
+		pairs, err := Pairs(rows, k)
+		if err != nil {
+			return false
+		}
+		uf := newUnionFind(len(rows))
+		for _, p := range pairs {
+			uf.union(p.A, p.B)
+		}
+		byRoot := map[int][]int{}
+		for i := range rows {
+			byRoot[uf.find(i)] = append(byRoot[uf.find(i)], i)
+		}
+		var derived [][]int
+		for _, g := range byRoot {
+			if len(g) >= 2 {
+				derived = append(derived, g)
+			}
+		}
+		sortGroups(derived)
+		res, err := Groups(rows, Options{Threshold: k})
+		if err != nil {
+			return false
+		}
+		return groupsEqual(derived, res.Groups)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package rolediet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupsParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := randRows(r, 2+r.Intn(60), 1+r.Intn(20), 0.3)
+		plantDuplicates(r, rows, r.Intn(10))
+		k := r.Intn(3)
+		workers := 1 + r.Intn(8)
+		serial, err := Groups(rows, Options{Threshold: k})
+		if err != nil {
+			return false
+		}
+		par, err := GroupsParallel(rows, Options{Threshold: k}, workers)
+		if err != nil {
+			return false
+		}
+		if !groupsEqual(serial.Groups, par.Groups) {
+			return false
+		}
+		// The pair-examination count is partition-independent.
+		return serial.PairsExamined == par.PairsExamined
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupsParallelDefaults(t *testing.T) {
+	rows := paperRUAM()
+	res, err := GroupsParallel(rows, Options{Threshold: 0}, 0) // GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Groups, [][]int{{1, 3}}) {
+		t.Fatalf("Groups = %v", res.Groups)
+	}
+}
+
+func TestGroupsParallelValidation(t *testing.T) {
+	if _, err := GroupsParallel(paperRUAM(), Options{Threshold: -1}, 2); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	rows := Rows{randRows(rand.New(rand.NewSource(1)), 1, 4, 0.5)[0],
+		randRows(rand.New(rand.NewSource(2)), 1, 5, 0.5)[0]}
+	if _, err := GroupsParallel(rows, Options{Threshold: 1}, 2); err == nil {
+		t.Fatal("mismatched row widths accepted")
+	}
+}
+
+func TestGroupsParallelEmpty(t *testing.T) {
+	res, err := GroupsParallel(nil, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 0 {
+		t.Fatalf("Groups = %v", res.Groups)
+	}
+}
+
+func TestGroupsParallelMoreWorkersThanRows(t *testing.T) {
+	rows := paperRUAM()
+	res, err := GroupsParallel(rows, Options{Threshold: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Groups(rows, Options{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !groupsEqual(res.Groups, serial.Groups) {
+		t.Fatalf("parallel %v != serial %v", res.Groups, serial.Groups)
+	}
+}
+
+func TestSplitRange(t *testing.T) {
+	tests := []struct {
+		n, parts int
+		want     []chunk
+	}{
+		{10, 3, []chunk{{0, 4}, {4, 7}, {7, 10}}},
+		{3, 5, []chunk{{0, 1}, {1, 2}, {2, 3}}},
+		{4, 1, []chunk{{0, 4}}},
+	}
+	for _, tt := range tests {
+		got := splitRange(tt.n, tt.parts)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("splitRange(%d,%d) = %v, want %v", tt.n, tt.parts, got, tt.want)
+		}
+	}
+	// Chunks always cover [0, n) without gaps or overlap.
+	for n := 1; n < 40; n++ {
+		for parts := 1; parts < 10; parts++ {
+			chunks := splitRange(n, parts)
+			covered := 0
+			prev := 0
+			for _, c := range chunks {
+				if c.lo != prev {
+					t.Fatalf("gap at %d for n=%d parts=%d", c.lo, n, parts)
+				}
+				covered += c.hi - c.lo
+				prev = c.hi
+			}
+			if covered != n || prev != n {
+				t.Fatalf("splitRange(%d,%d) covers %d", n, parts, covered)
+			}
+		}
+	}
+}
+
+func TestRowLenError(t *testing.T) {
+	err := &rowLenError{index: 3, got: 4, want: 5}
+	if err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}

@@ -13,6 +13,7 @@
 package consolidate
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -191,14 +192,32 @@ func effectiveByID(d *rbac.Dataset) map[rbac.UserID]map[rbac.PermissionID]struct
 // Consolidate is the one-call pipeline: analyse, plan, apply, verify.
 // It returns the consolidated dataset and the applied plan.
 func Consolidate(d *rbac.Dataset, opts core.Options) (*rbac.Dataset, *Plan, error) {
+	return ConsolidateContext(context.Background(), d, opts)
+}
+
+// ConsolidateContext is Consolidate with cooperative cancellation. The
+// detection phase — the expensive part — polls the context inside its
+// hot loops; the plan/apply/verify phases check it at their
+// boundaries. Once cancelled, the pipeline aborts with ctx.Err() and
+// the input dataset is left untouched (Apply always works on a clone).
+func ConsolidateContext(ctx context.Context, d *rbac.Dataset, opts core.Options) (*rbac.Dataset, *Plan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts.SkipSimilar = true // plans use class-4 groups only
-	rep, err := core.Analyze(d, opts)
+	rep, err := core.AnalyzeContext(ctx, d, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	plan := FromReport(rep)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	after, err := Apply(d, plan)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	if err := VerifySafety(d, after); err != nil {

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -177,7 +178,22 @@ func (a *Analyzer) Dataset() *rbac.Dataset { return a.ds }
 
 // Analyze runs every enabled detector and assembles the report.
 func (a *Analyzer) Analyze(opts Options) (*Report, error) {
+	return a.AnalyzeContext(context.Background(), opts)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation. The context
+// is threaded into every group-finding backend, which poll it inside
+// their hot loops, so a cancelled or timed-out request stops burning
+// CPU within a bounded amount of work; the partial report is discarded
+// and ctx.Err() returned.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, opts Options) (*Report, error) {
 	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
@@ -206,11 +222,11 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 
 	start = time.Now()
 	gopts.Threshold = 0
-	sameUsers, err := FindRoleGroups(a.ruam.rows, gopts)
+	sameUsers, err := FindRoleGroupsContext(ctx, a.ruam.rows, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("same-user groups: %w", err)
 	}
-	samePerms, err := FindRoleGroups(a.rpam.rows, gopts)
+	samePerms, err := FindRoleGroupsContext(ctx, a.rpam.rows, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("same-permission groups: %w", err)
 	}
@@ -224,11 +240,11 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 
 	start = time.Now()
 	gopts.Threshold = opts.SimilarThreshold
-	similarUsers, err := FindRoleGroups(a.ruam.rows, gopts)
+	similarUsers, err := FindRoleGroupsContext(ctx, a.ruam.rows, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("similar-user groups: %w", err)
 	}
-	similarPerms, err := FindRoleGroups(a.rpam.rows, gopts)
+	similarPerms, err := FindRoleGroupsContext(ctx, a.rpam.rows, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("similar-permission groups: %w", err)
 	}
@@ -320,4 +336,13 @@ func (a *Analyzer) toRoleGroups(groups [][]int) []RoleGroup {
 // Analyze is the one-call convenience API: snapshot, detect, report.
 func Analyze(d *rbac.Dataset, opts Options) (*Report, error) {
 	return NewAnalyzer(d).Analyze(opts)
+}
+
+// AnalyzeContext is Analyze bound to a context: the analysis aborts
+// with ctx.Err() soon after the context is cancelled or its deadline
+// passes. This is the entry point request-scoped callers (the HTTP
+// server) use so client disconnects, per-request timeouts, and daemon
+// drains all stop in-flight detection work.
+func AnalyzeContext(ctx context.Context, d *rbac.Dataset, opts Options) (*Report, error) {
+	return NewAnalyzer(d).AnalyzeContext(ctx, opts)
 }

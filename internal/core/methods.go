@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/cluster/dbscan"
 	"repro/internal/cluster/hnsw"
 	"repro/internal/cluster/rolediet"
+	"repro/internal/ctxcheck"
 )
 
 // Method selects the role-group detection algorithm (§III-C evaluates
@@ -107,6 +109,13 @@ type GroupOptions struct {
 // group has at least two members, members ascend, and groups are
 // ordered by smallest member.
 func FindRoleGroups(rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
+	return FindRoleGroupsContext(context.Background(), rows, opts)
+}
+
+// FindRoleGroupsContext is FindRoleGroups bound to a context. Every
+// backend polls the context periodically inside its hot loops and
+// aborts with ctx.Err() once it is cancelled.
+func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
 	if opts.Threshold < 0 {
 		return nil, fmt.Errorf("core: negative threshold %d", opts.Threshold)
 	}
@@ -128,7 +137,7 @@ func FindRoleGroups(rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
 		}
 		inner := opts
 		inner.IgnoreEmptyRows = false
-		groups, err := FindRoleGroups(kept, inner)
+		groups, err := FindRoleGroupsContext(ctx, kept, inner)
 		if err != nil {
 			return nil, err
 		}
@@ -141,13 +150,13 @@ func FindRoleGroups(rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
 	}
 	switch method {
 	case MethodRoleDiet:
-		res, err := rolediet.Groups(rows, rolediet.Options{Threshold: opts.Threshold})
+		res, err := rolediet.GroupsContext(ctx, rows, rolediet.Options{Threshold: opts.Threshold})
 		if err != nil {
 			return nil, err
 		}
 		return res.Groups, nil
 	case MethodDBSCAN:
-		res, err := dbscan.Run(rows, dbscan.Config{
+		res, err := dbscan.RunContext(ctx, rows, dbscan.Config{
 			// Small epsilon mirrors the paper's float-comparison guard;
 			// distances are integral so it cannot admit false pairs.
 			Eps:    float64(opts.Threshold) + 1e-9,
@@ -158,13 +167,13 @@ func FindRoleGroups(rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
 		}
 		return normalizeGroups(res.Groups()), nil
 	case MethodHNSW:
-		return hnswGroups(rows, opts)
+		return hnswGroups(ctx, rows, opts)
 	case MethodDBSCANFloat64:
 		floats := make([][]float64, len(rows))
 		for i, r := range rows {
 			floats[i] = r.Floats()
 		}
-		res, err := dbscan.RunFloats(floats, dbscan.Config{
+		res, err := dbscan.RunFloatsContext(ctx, floats, dbscan.Config{
 			Eps:    float64(opts.Threshold) + 1e-9,
 			MinPts: 2,
 		})
@@ -173,7 +182,7 @@ func FindRoleGroups(rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
 		}
 		return normalizeGroups(res.Groups()), nil
 	case MethodLSH:
-		res, err := bitlsh.FindGroups(rows, opts.Threshold, opts.LSH)
+		res, err := bitlsh.FindGroupsContext(ctx, rows, opts.Threshold, opts.LSH)
 		if err != nil {
 			return nil, err
 		}
@@ -187,8 +196,8 @@ func FindRoleGroups(rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
 // index over all role rows, then query it once per role and link every
 // verified neighbour within the threshold. Connectivity is resolved
 // with union-find; recall is approximate by construction.
-func hnswGroups(rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
-	idx, err := hnsw.Build(rows, opts.HNSW)
+func hnswGroups(ctx context.Context, rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
+	idx, err := hnsw.BuildContext(ctx, rows, opts.HNSW)
 	if err != nil {
 		return nil, err
 	}
@@ -196,6 +205,7 @@ func hnswGroups(rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
 	if ef <= 0 {
 		ef = 64
 	}
+	chk := ctxcheck.New(ctx, 1)
 	parent := make([]int, len(rows))
 	for i := range parent {
 		parent[i] = i
@@ -216,6 +226,10 @@ func hnswGroups(rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
 	}
 	radius := float64(opts.Threshold)
 	for i, row := range rows {
+		// One poll per query: each radius search is a bounded beam scan.
+		if err := chk.Err(); err != nil {
+			return nil, err
+		}
 		hits, err := idx.SearchRadius(row, radius, ef)
 		if err != nil {
 			return nil, err

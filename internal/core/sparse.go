@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,7 +22,20 @@ import (
 // about two minutes. Requesting another method returns an error rather
 // than silently densifying.
 func AnalyzeSparse(d *rbac.Dataset, opts Options) (*Report, error) {
+	return AnalyzeSparseContext(context.Background(), d, opts)
+}
+
+// AnalyzeSparseContext is AnalyzeSparse with cooperative cancellation:
+// the CSR grouping passes poll the context inside their hot loops and
+// the whole analysis aborts with ctx.Err() soon after cancellation.
+func AnalyzeSparseContext(ctx context.Context, d *rbac.Dataset, opts Options) (*Report, error) {
 	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
@@ -48,7 +62,7 @@ func AnalyzeSparse(d *rbac.Dataset, opts Options) (*Report, error) {
 
 	toGroups := func(c *matrix.CSR, k int) ([]RoleGroup, error) {
 		kept, remap := filterEmptyRows(c)
-		res, err := rolediet.GroupsCSR(kept, rolediet.Options{Threshold: k})
+		res, err := rolediet.GroupsCSRContext(ctx, kept, rolediet.Options{Threshold: k})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,82 @@
+// Package ctxcheck provides a cheap, strided context-cancellation
+// probe for the detection engine's hot loops.
+//
+// Polling ctx.Err() on every row or neighbour expansion would put a
+// synchronised channel operation on the critical path of loops that
+// otherwise run at a few nanoseconds per iteration. A Checker instead
+// pays one integer increment per Tick and only consults the context's
+// Done channel once per stride, bounding both the polling overhead and
+// the cancellation latency: after a context is cancelled, a loop
+// ticking the checker performs at most one stride of extra work before
+// observing the error.
+//
+// A Checker is not safe for concurrent use; parallel code gives each
+// worker its own (see rolediet.GroupsParallelContext).
+package ctxcheck
+
+import "context"
+
+// DefaultStride is the number of Ticks between context polls when New
+// is given a non-positive stride. It is small enough that even loops
+// doing real work per tick (a Hamming distance, a neighbour scan)
+// observe cancellation within microseconds to low milliseconds.
+const DefaultStride = 1024
+
+// Checker polls a context at a fixed tick stride.
+type Checker struct {
+	ctx    context.Context
+	done   <-chan struct{}
+	stride uint32
+	n      uint32
+}
+
+// New builds a checker over ctx. A nil ctx, context.Background(), and
+// any other context that can never be cancelled yield a checker whose
+// Tick and Err are free and always nil.
+func New(ctx context.Context, stride int) *Checker {
+	if stride <= 0 {
+		stride = DefaultStride
+	}
+	c := &Checker{stride: uint32(stride)}
+	if ctx != nil {
+		if done := ctx.Done(); done != nil {
+			c.ctx = ctx
+			c.done = done
+		}
+	}
+	return c
+}
+
+// Tick records one unit of work and, every stride-th call, polls the
+// context. It returns the context's error once cancelled, nil before.
+func (c *Checker) Tick() error {
+	if c.done == nil {
+		return nil
+	}
+	c.n++
+	if c.n < c.stride {
+		return nil
+	}
+	c.n = 0
+	select {
+	case <-c.done:
+		return c.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Err polls the context immediately, ignoring the stride. Entry points
+// call it once up front so an already-cancelled context aborts before
+// any work starts.
+func (c *Checker) Err() error {
+	if c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.ctx.Err()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,72 @@
+package ctxcheck
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestBackgroundNeverErrors(t *testing.T) {
+	c := New(context.Background(), 4)
+	for i := 0; i < 100; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestNilContext(t *testing.T) {
+	c := New(nil, 0)
+	if err := c.Tick(); err != nil {
+		t.Fatalf("Tick() = %v", err)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestCancelObservedWithinStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, 8)
+	for i := 0; i < 20; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatalf("tick %d before cancel: %v", i, err)
+		}
+	}
+	cancel()
+	// At most one full stride of ticks may pass before the error shows.
+	var got error
+	for i := 0; i < 8; i++ {
+		if got = c.Tick(); got != nil {
+			break
+		}
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Fatalf("after cancel, Tick() = %v, want context.Canceled", got)
+	}
+	// Once cancelled it keeps reporting on each stride boundary.
+	if err := c.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+func TestErrIgnoresStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, 1_000_000)
+	cancel()
+	if err := c.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+func TestDefaultStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := New(ctx, -5)
+	if c.stride != DefaultStride {
+		t.Fatalf("stride = %d, want %d", c.stride, DefaultStride)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/core"
 	"repro/internal/diff"
 	"repro/internal/query"
 	"repro/internal/rbac"
@@ -119,14 +120,14 @@ func (h *handler) diff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	repBefore, err := analyzeFor(req.Before, opts)
+	repBefore, err := core.AnalyzeContext(r.Context(), req.Before, opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeEngineError(w, err)
 		return
 	}
-	repAfter, err := analyzeFor(req.After, opts)
+	repAfter, err := core.AnalyzeContext(r.Context(), req.After, opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeEngineError(w, err)
 		return
 	}
 	rd := diff.Reports(repBefore, repAfter)

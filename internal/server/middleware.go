@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+)
+
+// The resilience middleware stack, applied by NewHandler from the
+// outside in:
+//
+//	recovery -> load shedding -> request timeout -> mux
+//
+// Recovery is outermost so a panic anywhere below (including in the
+// other middlewares) turns into a logged 500 instead of a dead
+// connection. The limiter sits above the timeout so shed requests are
+// rejected before a timer is armed for them. /healthz bypasses both
+// the limiter and the timeout: liveness probes must keep answering
+// while the service is saturated or draining.
+
+// statusRecorder tracks whether a handler already committed a response,
+// so the recovery middleware knows if a 500 can still be written.
+type statusRecorder struct {
+	http.ResponseWriter
+	wroteHeader bool
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.wroteHeader = true
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	s.wroteHeader = true
+	return s.ResponseWriter.Write(b)
+}
+
+// withRecovery converts handler panics into 500 responses and keeps
+// the server process alive. http.ErrAbortHandler is re-panicked: it is
+// net/http's sanctioned way to abort a connection silently.
+func (h *handler) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			h.opts.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			if !rec.wroteHeader {
+				writeError(rec, http.StatusInternalServerError,
+					fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// withLoadShedding caps concurrent non-health requests at
+// Options.MaxConcurrent. Excess requests are shed immediately with
+// 429 and a Retry-After hint instead of queueing unboundedly.
+func (h *handler) withLoadShedding(next http.Handler) http.Handler {
+	if h.sem == nil {
+		return next
+	}
+	retryAfter := strconv.Itoa(int(math.Ceil(h.opts.RetryAfter.Seconds())))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == healthPath {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case h.sem <- struct{}{}:
+			defer func() { <-h.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", retryAfter)
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("server at capacity (%d concurrent requests), retry later", h.opts.MaxConcurrent))
+		}
+	})
+}
+
+// withTimeout bounds each non-health request's handling time by
+// deriving a deadline-carrying context. Handlers thread that context
+// into the engine, which aborts its hot loops when the deadline
+// passes; the error surfaces as 504 via writeEngineError.
+func (h *handler) withTimeout(next http.Handler) http.Handler {
+	if h.opts.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == healthPath {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), h.opts.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// writeEngineError maps an analysis failure to the HTTP error
+// contract: request deadline exceeded -> 504, cancellation (client
+// disconnect or server drain) -> 503, anything else -> 422.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("analysis exceeded the request timeout: %w", err))
+	case errors.Is(err, context.Canceled):
+		// If the client is gone this response is never read; if the
+		// daemon is draining it tells the client to come back.
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("analysis canceled: %w", err))
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}

@@ -16,55 +16,109 @@
 // dbscan-float64), threshold (int >= 0), sparse (bool). /v1/consolidate,
 // /v1/suggest and /v1/diff accept threshold; /v1/query takes user and/or
 // permission selectors.
+//
+// # Resilience and the error contract
+//
+// The handler is wrapped in a resilience stack so one bad request can
+// neither take the daemon down nor pin a core forever:
+//
+//   - Every analysis runs under the request's context. When the client
+//     disconnects or the daemon drains, the engine's hot loops observe
+//     the cancellation and stop within a bounded amount of work.
+//   - Options.RequestTimeout bounds each request end to end; exceeding
+//     it returns 504 with a JSON error body.
+//   - Options.MaxConcurrent caps in-flight /v1/* requests; excess load
+//     is shed with 429 and a Retry-After header instead of queueing.
+//   - Handler panics are recovered: the stack is logged, the request
+//     gets a 500 JSON error, and the server keeps serving.
+//   - /healthz bypasses the limiter and the timeout, so liveness
+//     probes stay green while the service is saturated or draining.
+//
+// Every error response is the JSON envelope {"error": "..."}: 400 for
+// malformed or inconsistent input (datasets are Validate()d before
+// analysis), 422 for well-formed input the engine rejects, 429 for
+// shed load, 500 for recovered panics, 503 for analyses canceled by
+// disconnect or drain, 504 for request timeouts.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/consolidate"
 	"repro/internal/core"
 	"repro/internal/rbac"
 )
 
+// healthPath is exempt from load shedding and timeouts.
+const healthPath = "/healthz"
+
 // Options configures the handler.
 type Options struct {
 	// MaxBodyBytes caps request bodies; defaults to 256 MiB, enough for
 	// an organisation-scale dataset export.
 	MaxBodyBytes int64
+	// RequestTimeout bounds each request's total handling time,
+	// analysis included; exceeding it returns 504. Zero disables the
+	// per-request deadline (the engine still honours client
+	// disconnects).
+	RequestTimeout time.Duration
+	// MaxConcurrent caps concurrently handled /v1/* requests; excess
+	// requests receive 429 + Retry-After. Zero means unlimited.
+	MaxConcurrent int
+	// RetryAfter is the hint sent with 429 responses; defaults to 1s.
+	RetryAfter time.Duration
+	// Logf receives panic reports and operational messages; defaults
+	// to log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 256 << 20
 	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
 	return o
 }
 
 // handler carries the configured routes.
 type handler struct {
-	opts Options
-	mux  *http.ServeMux
+	opts  Options
+	mux   *http.ServeMux
+	sem   chan struct{} // nil when MaxConcurrent == 0
+	inner http.Handler  // mux wrapped in the middleware stack
 }
 
 var _ http.Handler = (*handler)(nil)
 
-// NewHandler builds the service's http.Handler.
+// NewHandler builds the service's http.Handler, with the resilience
+// middleware (recovery, load shedding, request timeout) applied.
 func NewHandler(opts Options) http.Handler {
 	h := &handler{opts: opts.withDefaults(), mux: http.NewServeMux()}
-	h.mux.HandleFunc("GET /healthz", h.health)
+	if h.opts.MaxConcurrent > 0 {
+		h.sem = make(chan struct{}, h.opts.MaxConcurrent)
+	}
+	h.mux.HandleFunc("GET "+healthPath, h.health)
 	h.mux.HandleFunc("POST /v1/analyze", h.analyze)
 	h.mux.HandleFunc("POST /v1/consolidate", h.consolidate)
 	h.mux.HandleFunc("POST /v1/suggest", h.suggest)
 	h.registerExtra()
+	h.inner = h.withRecovery(h.withLoadShedding(h.withTimeout(h.mux)))
 	return h
 }
 
 // ServeHTTP implements http.Handler.
 func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	h.inner.ServeHTTP(w, r)
 }
 
 // errorBody is the JSON error envelope.
@@ -91,12 +145,18 @@ func (h *handler) health(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
-// readDataset parses and validates the request body.
+// readDataset parses and validates the request body. Inconsistent
+// datasets are rejected with 400 here, before any of them can reach
+// the engine.
 func (h *handler) readDataset(w http.ResponseWriter, r *http.Request) (*rbac.Dataset, bool) {
 	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
 	ds, err := rbac.ReadJSON(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parse dataset: %w", err))
+		return nil, false
+	}
+	if err := ds.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid dataset: %w", err))
 		return nil, false
 	}
 	return ds, true
@@ -147,12 +207,12 @@ func (h *handler) analyze(w http.ResponseWriter, r *http.Request) {
 	}
 	var rep *core.Report
 	if sparse {
-		rep, err = core.AnalyzeSparse(ds, opts)
+		rep, err = core.AnalyzeSparseContext(r.Context(), ds, opts)
 	} else {
-		rep, err = core.Analyze(ds, opts)
+		rep, err = core.AnalyzeContext(r.Context(), ds, opts)
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, rep)
@@ -177,9 +237,9 @@ func (h *handler) consolidate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	after, plan, err := consolidate.Consolidate(ds, opts)
+	after, plan, err := consolidate.ConsolidateContext(r.Context(), ds, opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, consolidateResponse{
@@ -188,11 +248,6 @@ func (h *handler) consolidate(w http.ResponseWriter, r *http.Request) {
 		RolesAfter:   after.NumRoles(),
 		Consolidated: after,
 	})
-}
-
-// analyzeFor runs the standard dense analysis with the given options.
-func analyzeFor(d *rbac.Dataset, opts core.Options) (*core.Report, error) {
-	return core.Analyze(d, opts)
 }
 
 // suggest returns reviewable similar-merge suggestions.
@@ -206,14 +261,14 @@ func (h *handler) suggest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	rep, err := core.Analyze(ds, opts)
+	rep, err := core.AnalyzeContext(r.Context(), ds, opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeEngineError(w, err)
 		return
 	}
 	suggestions, err := consolidate.SuggestSimilar(ds, rep)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeEngineError(w, err)
 		return
 	}
 	if suggestions == nil {
