@@ -1,0 +1,66 @@
+package bitlsh_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+// TestAgainstOracle: bit-sampling LSH is approximate above threshold 0
+// and exact at threshold 0 (identical rows collide in every table), so
+// the harness checks pair recall against the brute-force oracle stays
+// above the documented floor and that no false pair ever appears —
+// every candidate is verified with the true Hamming distance. The full
+// sweep lives in internal/testkit; this guard makes a bitlsh-only
+// change fail in this package's own tests.
+func TestAgainstOracle(t *testing.T) {
+	ctx := context.Background()
+	b := testkit.BackendByName("lsh")
+	if b == nil {
+		t.Fatal("lsh backend missing from the testkit registry")
+	}
+	if b.Exact || b.MinRecall <= 0 {
+		t.Fatalf("lsh must be registered as approximate with a recall floor, got exact=%v floor=%v", b.Exact, b.MinRecall)
+	}
+	corpora := testkit.Corpora(false)
+	for _, c := range corpora[:8] {
+		failures, err := testkit.RunCorpus(ctx, c, []testkit.Backend{*b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range failures {
+			t.Error(f.Error())
+		}
+	}
+}
+
+// TestExactAtThresholdZero pins the threshold-0 exactness claim from
+// the package doc: identical rows hash identically in every table, so
+// at k=0 the LSH partition must equal the oracle partition, not merely
+// meet a recall floor.
+func TestExactAtThresholdZero(t *testing.T) {
+	ctx := context.Background()
+	b := testkit.BackendByName("lsh")
+	if b == nil {
+		t.Fatal("lsh backend missing from the testkit registry")
+	}
+	for _, c := range testkit.Corpora(false) {
+		if c.Threshold != 0 {
+			continue
+		}
+		rows, err := c.Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := testkit.Oracle(rows, 0)
+		got, err := b.Run(ctx, rows, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testkit.SamePartition(oracle, got) {
+			t.Errorf("[%s]: lsh at k=0 is not exact\n  oracle: %s\n  lsh:    %s",
+				c, testkit.FormatPartition(oracle), testkit.FormatPartition(got))
+		}
+	}
+}

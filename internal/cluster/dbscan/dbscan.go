@@ -119,12 +119,24 @@ func RunFloats(points [][]float64, cfg Config) (*Result, error) {
 }
 
 // RunFloatsContext is RunFloats with cooperative cancellation.
+//
+// Unlike the bit-vector path (whose rows carry their width), a
+// [][]float64 can be ragged, and the metric functions panic on
+// mismatched lengths by contract. This is the one float entry point
+// reachable with untrusted input, so it validates the whole matrix up
+// front and returns an error wrapping metric.ErrLengthMismatch instead
+// of panicking mid-scan.
 func RunFloatsContext(ctx context.Context, points [][]float64, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(points) == 0 {
 		return nil, ErrNoPoints
+	}
+	for i, p := range points {
+		if err := metric.CheckLens(points[0], p); err != nil {
+			return nil, fmt.Errorf("dbscan: row %d: %w", i, err)
+		}
 	}
 	kind := cfg.Metric
 	if kind == 0 {

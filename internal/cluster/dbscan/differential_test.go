@@ -1,0 +1,53 @@
+package dbscan_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cluster/dbscan"
+	"repro/internal/metric"
+	"repro/internal/testkit"
+)
+
+// TestAgainstOracle: DBSCAN with minPts=2 over the Hamming metric is an
+// exact method — its clusters are precisely the connected components of
+// the "distance <= eps" graph with at least two members, which is the
+// oracle's partition. The full sweep lives in internal/testkit; this
+// guard makes a dbscan-only change fail in this package's own tests.
+func TestAgainstOracle(t *testing.T) {
+	ctx := context.Background()
+	b := testkit.BackendByName("dbscan")
+	if b == nil {
+		t.Fatal("dbscan backend missing from the testkit registry")
+	}
+	corpora := testkit.Corpora(false)
+	for _, c := range corpora[:8] {
+		failures, err := testkit.RunCorpus(ctx, c, []testkit.Backend{*b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range failures {
+			t.Error(f.Error())
+		}
+	}
+}
+
+// TestRunFloatsRaggedInput: the float path is the one place where
+// untrusted input could reach the metric functions with mismatched
+// lengths; RunFloats must reject ragged matrices with a typed error
+// instead of panicking mid-cluster (see metric.CheckLens).
+func TestRunFloatsRaggedInput(t *testing.T) {
+	points := [][]float64{
+		{0, 1, 0},
+		{1, 0}, // ragged
+		{0, 0, 1},
+	}
+	_, err := dbscan.RunFloats(points, dbscan.Config{Eps: 1, MinPts: 2})
+	if err == nil {
+		t.Fatal("ragged input accepted")
+	}
+	if !errors.Is(err, metric.ErrLengthMismatch) {
+		t.Errorf("error %v does not wrap metric.ErrLengthMismatch", err)
+	}
+}

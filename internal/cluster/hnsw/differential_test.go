@@ -1,0 +1,36 @@
+package hnsw_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+// TestAgainstOracle: HNSW is approximate, so the harness checks two
+// things — pair recall against the brute-force oracle stays above the
+// documented floor (derived from results/recall.txt), and the radius
+// grouping never invents a pair the oracle does not have, because
+// SearchRadius filters candidates by true distance. The full sweep
+// lives in internal/testkit; this guard makes an hnsw-only change fail
+// in this package's own tests.
+func TestAgainstOracle(t *testing.T) {
+	ctx := context.Background()
+	b := testkit.BackendByName("hnsw")
+	if b == nil {
+		t.Fatal("hnsw backend missing from the testkit registry")
+	}
+	if b.Exact || b.MinRecall <= 0 {
+		t.Fatalf("hnsw must be registered as approximate with a recall floor, got exact=%v floor=%v", b.Exact, b.MinRecall)
+	}
+	corpora := testkit.Corpora(false)
+	for _, c := range corpora[:8] {
+		failures, err := testkit.RunCorpus(ctx, c, []testkit.Backend{*b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range failures {
+			t.Error(f.Error())
+		}
+	}
+}

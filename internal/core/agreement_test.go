@@ -1,0 +1,163 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rbac"
+)
+
+// canonicalIDs sorts a copy of an ID-ish slice for order-insensitive
+// comparison (the dense and sparse detectors happen to emit in the same
+// role-index order today, but that is an implementation detail).
+func canonicalIDs[T ~string](ids []T) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// canonicalGroups renders role groups in canonical form: members
+// sorted, groups sorted by their member list.
+func canonicalGroups(groups []core.RoleGroup) []string {
+	out := make([]string, len(groups))
+	for i, g := range groups {
+		members := canonicalIDs(g.Roles)
+		out[i] = fmt.Sprint(members)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(t *testing.T, field string, a, b []string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Errorf("%s: dense has %d entries, sparse %d\n  dense:  %v\n  sparse: %v", field, len(a), len(b), a, b)
+		return
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("%s[%d]: dense %q != sparse %q", field, i, a[i], b[i])
+			return
+		}
+	}
+}
+
+// compareReports asserts the dense and sparse analyses agree on every
+// detected inefficiency, class by class.
+func compareReports(t *testing.T, dense, sparse *core.Report) {
+	t.Helper()
+	if dense.Stats != sparse.Stats {
+		t.Errorf("stats differ: dense %+v sparse %+v", dense.Stats, sparse.Stats)
+	}
+	equalStrings(t, "standaloneUsers", canonicalIDs(dense.StandaloneUsers), canonicalIDs(sparse.StandaloneUsers))
+	equalStrings(t, "standalonePermissions", canonicalIDs(dense.StandalonePermissions), canonicalIDs(sparse.StandalonePermissions))
+	equalStrings(t, "standaloneRoles", canonicalIDs(dense.StandaloneRoles), canonicalIDs(sparse.StandaloneRoles))
+	equalStrings(t, "rolesWithoutUsers", canonicalIDs(dense.RolesWithoutUsers), canonicalIDs(sparse.RolesWithoutUsers))
+	equalStrings(t, "rolesWithoutPermissions", canonicalIDs(dense.RolesWithoutPermissions), canonicalIDs(sparse.RolesWithoutPermissions))
+	equalStrings(t, "rolesWithSingleUser", canonicalIDs(dense.RolesWithSingleUser), canonicalIDs(sparse.RolesWithSingleUser))
+	equalStrings(t, "rolesWithSinglePermission", canonicalIDs(dense.RolesWithSinglePermission), canonicalIDs(sparse.RolesWithSinglePermission))
+	equalStrings(t, "sameUserGroups", canonicalGroups(dense.SameUserGroups), canonicalGroups(sparse.SameUserGroups))
+	equalStrings(t, "samePermissionGroups", canonicalGroups(dense.SamePermissionGroups), canonicalGroups(sparse.SamePermissionGroups))
+	equalStrings(t, "similarUserGroups", canonicalGroups(dense.SimilarUserGroups), canonicalGroups(sparse.SimilarUserGroups))
+	equalStrings(t, "similarPermissionGroups", canonicalGroups(dense.SimilarPermissionGroups), canonicalGroups(sparse.SimilarPermissionGroups))
+}
+
+// TestAnalyzeSparseAgreementOrg runs the full dense and CSR detection
+// pipelines over randomized organisation-scale datasets (scaled-down
+// §IV-B generator with different seeds) and requires identical reports
+// across all five inefficiency classes. Until now only cancellation was
+// cross-tested; this pins the actual results.
+func TestAnalyzeSparseAgreementOrg(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			params := gen.DefaultOrgParams().Scaled(200)
+			params.Seed = seed
+			ds, _, err := gen.Org(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.Options{Method: core.MethodRoleDiet, SimilarThreshold: 1}
+			dense, err := core.Analyze(ds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, err := core.AnalyzeSparse(ds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareReports(t, dense, sparse)
+		})
+	}
+}
+
+// TestAnalyzeSparseAgreementRandom repeats the comparison on fully
+// random assignment graphs with no planted structure — every edge
+// independent — including higher similarity thresholds, where the
+// sparse norm-bucket logic and the dense path must still agree.
+func TestAnalyzeSparseAgreementRandom(t *testing.T) {
+	for _, tc := range []struct {
+		seed      int64
+		threshold int
+	}{
+		{seed: 7, threshold: 1},
+		{seed: 8, threshold: 2},
+		{seed: 9, threshold: 3},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d,k=%d", tc.seed, tc.threshold), func(t *testing.T) {
+			ds := randomDataset(tc.seed, 120, 80, 60)
+			opts := core.Options{Method: core.MethodRoleDiet, SimilarThreshold: tc.threshold}
+			dense, err := core.Analyze(ds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, err := core.AnalyzeSparse(ds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareReports(t, dense, sparse)
+		})
+	}
+}
+
+// randomDataset wires roles to users and permissions with independent
+// sparse coin flips, deliberately leaving some roles empty on one or
+// both sides so the class-1/2 paths are exercised too.
+func randomDataset(seed int64, roles, users, perms int) *rbac.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := rbac.NewDataset()
+	for u := 0; u < users; u++ {
+		ds.EnsureUser(rbac.UserID(fmt.Sprintf("u%03d", u)))
+	}
+	for p := 0; p < perms; p++ {
+		ds.EnsurePermission(rbac.PermissionID(fmt.Sprintf("p%03d", p)))
+	}
+	for r := 0; r < roles; r++ {
+		role := rbac.RoleID(fmt.Sprintf("r%03d", r))
+		ds.EnsureRole(role)
+		// ~10% of roles stay empty on each side independently.
+		if rng.Float64() >= 0.1 {
+			for u := 0; u < users; u++ {
+				if rng.Float64() < 0.04 {
+					ds.AssignUser(role, rbac.UserID(fmt.Sprintf("u%03d", u)))
+				}
+			}
+		}
+		if rng.Float64() >= 0.1 {
+			for p := 0; p < perms; p++ {
+				if rng.Float64() < 0.04 {
+					ds.AssignPermission(role, rbac.PermissionID(fmt.Sprintf("p%03d", p)))
+				}
+			}
+		}
+	}
+	return ds
+}

@@ -138,6 +138,11 @@ func Matrix(p MatrixParams) (*GeneratedMatrix, error) {
 				for f := rng.Intn(p.SimilarNoise + 1); f > 0; f-- {
 					member.SetTo(rng.Intn(p.Cols), rng.Intn(2) == 1)
 				}
+				// Register the noisy variant too, so the background rows
+				// drawn below can never accidentally duplicate a planted
+				// member — without this, ground-truth recall measurements
+				// would see phantom groups at SimilarNoise > 0.
+				seen[member.String()] = struct{}{}
 			}
 			rows = append(rows, member)
 			clusterOf = append(clusterOf, clusterID)

@@ -1,0 +1,69 @@
+package metric
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// fuzzParity drives one metric's float and bit-packed implementations
+// over the same fuzzed bit patterns and requires them to agree within
+// tol. The two byte slices are truncated to a common length (capped at
+// 64 bytes = 512 bits, the regime the clustering code runs in) and
+// expanded bit-by-bit into a bitvec.Vector; the float side is derived
+// from the vector itself via Floats(), so both implementations see
+// exactly the same data.
+func fuzzParity(f *testing.F, kind Kind, tol float64) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0x00}, []byte{0xff})
+	f.Add([]byte{0xaa, 0x55}, []byte{0x55, 0xaa})
+	f.Add([]byte{0x01, 0x02, 0x04}, []byte{0x01, 0x02, 0x04})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 || n > 64 {
+			return
+		}
+		va, vb := bitvec.New(n*8), bitvec.New(n*8)
+		for i := 0; i < n; i++ {
+			for bit := 0; bit < 8; bit++ {
+				if a[i]&(1<<bit) != 0 {
+					va.Set(i*8 + bit)
+				}
+				if b[i]&(1<<bit) != 0 {
+					vb.Set(i*8 + bit)
+				}
+			}
+		}
+		fa, fb := va.Floats(), vb.Floats()
+		bits := kind.Bits()(va, vb)
+		flt := kind.Float()(fa, fb)
+		if math.Abs(bits-flt) > tol {
+			t.Fatalf("%s: bit-packed %v != float %v (|Δ| > %v) on %d-bit vectors",
+				kind, bits, flt, tol, n*8)
+		}
+		// Both forms must be symmetric as well.
+		if rev := kind.Bits()(vb, va); rev != bits {
+			t.Fatalf("%s: bit-packed asymmetric: d(a,b)=%v d(b,a)=%v", kind, bits, rev)
+		}
+	})
+}
+
+// Hamming and Manhattan count/sum whole units, so the float and bit
+// implementations must agree exactly.
+func FuzzHammingParity(f *testing.F)   { fuzzParity(f, Hamming, 0) }
+func FuzzManhattanParity(f *testing.F) { fuzzParity(f, Manhattan, 0) }
+
+// Euclidean takes one sqrt of the same integer on both sides — still
+// exact, but keep a one-ulp budget in case an implementation reorders.
+func FuzzEuclideanParity(f *testing.F) { fuzzParity(f, Euclidean, 1e-12) }
+
+// Jaccard divides the same two integers on both sides; Cosine differs
+// by sqrt(na)*sqrt(nb) vs sqrt(na*nb), which can disagree in the last
+// ulp. 1e-12 is ~4 orders of magnitude above that on distances in
+// [0, 1].
+func FuzzJaccardParity(f *testing.F) { fuzzParity(f, Jaccard, 1e-12) }
+func FuzzCosineParity(f *testing.F)  { fuzzParity(f, Cosine, 1e-12) }

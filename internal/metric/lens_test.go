@@ -1,0 +1,51 @@
+package metric
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCheckLens(t *testing.T) {
+	if err := CheckLens([]float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Fatalf("equal lengths rejected: %v", err)
+	}
+	if err := CheckLens(nil, nil); err != nil {
+		t.Fatalf("two empty vectors rejected: %v", err)
+	}
+	err := CheckLens([]float64{1, 2, 3}, []float64{1})
+	if err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("error %v does not wrap ErrLengthMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "3 != 1") {
+		t.Errorf("error %q does not name the lengths", err)
+	}
+}
+
+// TestFloatFuncsPanicOnMismatch pins the documented invariant: every
+// float metric panics (with the ErrLengthMismatch message) when handed
+// vectors of different lengths, rather than silently reading out of
+// step.
+func TestFloatFuncsPanicOnMismatch(t *testing.T) {
+	a := []float64{1, 0, 1}
+	b := []float64{1, 0}
+	for _, kind := range []Kind{Hamming, Manhattan, Euclidean, Jaccard, Cosine} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic on mismatched lengths")
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, ErrLengthMismatch.Error()) {
+					t.Errorf("panic %v does not carry the ErrLengthMismatch message", r)
+				}
+			}()
+			kind.Float()(a, b)
+		})
+	}
+}

@@ -7,6 +7,7 @@
 package metric
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -62,6 +63,14 @@ func ParseKind(name string) (Kind, error) {
 }
 
 // FloatFunc computes a distance between two equal-length float vectors.
+//
+// Equal length is an invariant, not a checked input: implementations
+// panic on mismatched lengths (wrapping ErrLengthMismatch's message),
+// because per-call validation would dominate the O(n²) clustering hot
+// loops these functions live in. Any code path that can receive
+// untrusted or ragged vectors must validate with CheckLens before
+// calling — dbscan.RunFloatsContext, the only such path reachable from
+// server input, does exactly that.
 type FloatFunc func(a, b []float64) float64
 
 // BitFunc computes a distance between two equal-length bit vectors.
@@ -103,9 +112,24 @@ func (k Kind) Bits() BitFunc {
 	}
 }
 
-func checkLens(a, b []float64) {
+// ErrLengthMismatch is the sentinel CheckLens wraps; callers test for
+// it with errors.Is.
+var ErrLengthMismatch = errors.New("metric: vector length mismatch")
+
+// CheckLens validates that two float vectors share a length, returning
+// an error wrapping ErrLengthMismatch otherwise. It is the boundary
+// check callers must run before handing untrusted vectors to a
+// FloatFunc, which assumes the invariant and panics when it is broken.
+func CheckLens(a, b []float64) error {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("metric: length mismatch %d != %d", len(a), len(b)))
+		return fmt.Errorf("%w: %d != %d", ErrLengthMismatch, len(a), len(b))
+	}
+	return nil
+}
+
+func checkLens(a, b []float64) {
+	if err := CheckLens(a, b); err != nil {
+		panic(err.Error())
 	}
 }
 

@@ -1,0 +1,164 @@
+package testkit
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/gen"
+)
+
+// Corpus is one seeded differential-test input: a generator
+// configuration plus the grouping threshold to run the backends at.
+// Everything needed to reproduce a run is in the struct — failure
+// messages print it verbatim.
+type Corpus struct {
+	// Name labels the corpus in failures and subtests.
+	Name string
+	// Params drives the §IV-A synthetic generator; Params.Seed makes the
+	// corpus deterministic.
+	Params gen.MatrixParams
+	// Threshold is the Hamming threshold k handed to every backend: 0
+	// exercises the class-4 (same users/permissions) paths, k ≥ 1 the
+	// class-5 (similar) paths.
+	Threshold int
+	// RelaxedRecall disables the recall floor for approximate backends
+	// on this corpus (the zero-false-pairs invariant still applies).
+	// Used for degenerate geometries — e.g. an 8-column matrix at k=1,
+	// where almost every row chains into one giant component and a
+	// single missed bridge edge costs hundreds of within-group pairs,
+	// making pair recall meaningless as an accuracy metric.
+	RelaxedRecall bool
+}
+
+// Rows materialises the corpus matrix.
+func (c Corpus) Rows() ([]*bitvec.Vector, error) {
+	g, err := gen.Matrix(c.Params)
+	if err != nil {
+		return nil, err
+	}
+	return g.Rows, nil
+}
+
+// String renders the reproduction recipe printed on failure.
+func (c Corpus) String() string {
+	p := c.Params
+	return fmt.Sprintf("%s: gen.Matrix{Rows:%d Cols:%d ClusterProportion:%g MaxClusterSize:%d Density:%g SimilarNoise:%d Seed:%d} threshold=%d",
+		c.Name, p.Rows, p.Cols, p.ClusterProportion, p.MaxClusterSize, p.Density, p.SimilarNoise, p.Seed, c.Threshold)
+}
+
+// corpusShape is a matrix geometry the sweep crosses with noise and
+// threshold settings.
+type corpusShape struct {
+	rows, cols int
+	density    float64
+}
+
+// corpusRegime pairs a planted-noise level with the detection threshold
+// run against it. noise ≤ threshold keeps planted clusters recoverable;
+// the noise=1/k=0 regime deliberately plants clusters the threshold must
+// NOT fully merge, exercising the negative direction.
+type corpusRegime struct {
+	noise, threshold int
+}
+
+// Corpora returns the seeded corpus sweep. The short list (full=false)
+// is sized for `go test` latency: every backend including O(n²) DBSCAN
+// and HNSW construction completes the whole sweep in a few seconds. The
+// full list appends organisation-shaped matrices (thousands of roles)
+// for the scheduled CI sweep; it is minutes, not seconds.
+func Corpora(full bool) []Corpus {
+	shapes := []corpusShape{
+		{rows: 80, cols: 96, density: 0.08},
+		{rows: 150, cols: 128, density: 0.05},
+		{rows: 200, cols: 256, density: 0.03},
+		{rows: 120, cols: 64, density: 0.10},
+	}
+	regimes := []corpusRegime{
+		{noise: 0, threshold: 0},
+		{noise: 0, threshold: 1},
+		{noise: 1, threshold: 1},
+		{noise: 2, threshold: 2},
+		{noise: 3, threshold: 3},
+	}
+	var out []Corpus
+	seed := int64(1)
+	for si, sh := range shapes {
+		for ri, rg := range regimes {
+			out = append(out, Corpus{
+				Name: fmt.Sprintf("sweep-%dx%d-n%d-k%d", sh.rows, sh.cols, rg.noise, rg.threshold),
+				Params: gen.MatrixParams{
+					Rows:              sh.rows,
+					Cols:              sh.cols,
+					ClusterProportion: 0.2,
+					MaxClusterSize:    10,
+					Density:           sh.density,
+					SimilarNoise:      rg.noise,
+					Seed:              seed + int64(si*len(regimes)+ri),
+				},
+				Threshold: rg.threshold,
+			})
+		}
+	}
+
+	// Edge corpora: degenerate shapes the sweep grid does not reach.
+	out = append(out,
+		Corpus{
+			Name: "all-clustered",
+			Params: gen.MatrixParams{
+				Rows: 60, Cols: 64, ClusterProportion: 1.0,
+				MaxClusterSize: 6, Density: 0.1, Seed: 101,
+			},
+			Threshold: 0,
+		},
+		Corpus{
+			Name: "no-planted-clusters",
+			Params: gen.MatrixParams{
+				Rows: 90, Cols: 48, ClusterProportion: 0,
+				Density: 0.15, Seed: 102,
+			},
+			Threshold: 1,
+		},
+		Corpus{
+			Name: "tiny-width",
+			Params: gen.MatrixParams{
+				Rows: 40, Cols: 8, ClusterProportion: 0.3,
+				MaxClusterSize: 4, Density: 0.3, Seed: 103,
+			},
+			Threshold:     1,
+			RelaxedRecall: true,
+		},
+		Corpus{
+			Name: "dense-rows",
+			Params: gen.MatrixParams{
+				Rows: 70, Cols: 80, ClusterProportion: 0.25,
+				MaxClusterSize: 5, Density: 0.5, SimilarNoise: 2, Seed: 104,
+			},
+			Threshold: 2,
+		},
+	)
+
+	if full {
+		for i, sh := range []corpusShape{
+			{rows: 1000, cols: 512, density: 0.03},
+			{rows: 2000, cols: 1000, density: 0.02},
+			{rows: 4000, cols: 1000, density: 0.01},
+		} {
+			for _, rg := range regimes {
+				out = append(out, Corpus{
+					Name: fmt.Sprintf("full-%dx%d-n%d-k%d", sh.rows, sh.cols, rg.noise, rg.threshold),
+					Params: gen.MatrixParams{
+						Rows:              sh.rows,
+						Cols:              sh.cols,
+						ClusterProportion: 0.2,
+						MaxClusterSize:    10,
+						Density:           sh.density,
+						SimilarNoise:      rg.noise,
+						Seed:              int64(1000 + i),
+					},
+					Threshold: rg.threshold,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package testkit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/gen"
+)
+
+// Shrink minimises a failing row set with a delta-debugging pass. The
+// failing predicate must return true for the input (the caller's
+// counterexample) and is re-evaluated on every candidate reduction; the
+// result is the smallest variant found that still fails.
+//
+// Two reduction phases run to a fixed point:
+//
+//  1. row removal — ddmin-style chunk deletion with halving chunk
+//     sizes, so a 200-row counterexample typically collapses to a
+//     handful of rows in O(n log n) predicate evaluations;
+//  2. bit clearing — every set bit of every surviving row is tentatively
+//     cleared, shrinking row content and often emptying whole columns.
+//
+// Cancelling ctx stops the search and returns the smallest failing
+// variant found so far — every intermediate state is itself a valid
+// counterexample, so a deadline only costs minimality, never
+// correctness. Callers shrinking large corpora (where one predicate
+// evaluation means re-clustering thousands of rows) should bound ctx.
+//
+// Rows keep their relative order so group indices in the shrunk case
+// remain meaningful. The input slice is not mutated.
+func Shrink(ctx context.Context, rows []*bitvec.Vector, failing func([]*bitvec.Vector) bool) []*bitvec.Vector {
+	cur := make([]*bitvec.Vector, len(rows))
+	for i, r := range rows {
+		cur[i] = r.Clone()
+	}
+	if !failing(cur) {
+		return cur
+	}
+
+	// Phase 1: remove row chunks, halving the chunk size until single
+	// rows have been tried without progress.
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removed := false
+		for lo := 0; lo+chunk <= len(cur); {
+			if ctx.Err() != nil {
+				return cur
+			}
+			candidate := make([]*bitvec.Vector, 0, len(cur)-chunk)
+			candidate = append(candidate, cur[:lo]...)
+			candidate = append(candidate, cur[lo+chunk:]...)
+			if failing(candidate) {
+				cur = candidate
+				removed = true
+				// Do not advance lo: the next chunk shifted into place.
+			} else {
+				lo += chunk
+			}
+		}
+		if !removed {
+			chunk /= 2
+		} else if chunk > len(cur)/2 {
+			chunk = len(cur) / 2
+		}
+	}
+
+	// Phase 2: clear individual bits while the failure persists.
+	for {
+		cleared := false
+		for i := range cur {
+			for _, j := range cur[i].Indices() {
+				if ctx.Err() != nil {
+					return cur
+				}
+				cur[i].Clear(j)
+				if failing(cur) {
+					cleared = true
+					continue
+				}
+				cur[i].Set(j)
+			}
+		}
+		if !cleared {
+			return cur
+		}
+	}
+}
+
+// Case is a serialised counterexample: everything needed to re-run one
+// backend against the oracle on the exact matrix that failed. The rows
+// are stored as 0/1 strings (bitvec.Parse round-trips them), and the
+// generator seed + parameters of the originating corpus ride along so
+// the full-size input can be regenerated too.
+type Case struct {
+	// Backend names the implementation that disagreed with the oracle.
+	Backend string `json:"backend"`
+	// Threshold is the Hamming threshold k of the failing run.
+	Threshold int `json:"threshold"`
+	// GenParams, when present, regenerates the original (unshrunk)
+	// corpus via gen.Matrix; GenParams.Seed is the reproducing seed.
+	GenParams *gen.MatrixParams `json:"genParams,omitempty"`
+	// Rows is the (typically shrunk) matrix, one 0/1 string per role.
+	Rows []string `json:"rows"`
+	// Note carries free-form context, e.g. the original failure detail.
+	Note string `json:"note,omitempty"`
+}
+
+// Vectors parses the case rows back into bit vectors.
+func (c *Case) Vectors() ([]*bitvec.Vector, error) {
+	out := make([]*bitvec.Vector, len(c.Rows))
+	for i, s := range c.Rows {
+		v, err := bitvec.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("testkit: case row %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// NewCase snapshots rows into a serialisable counterexample.
+func NewCase(backend string, threshold int, rows []*bitvec.Vector, params *gen.MatrixParams, note string) *Case {
+	c := &Case{Backend: backend, Threshold: threshold, GenParams: params, Note: note}
+	for _, r := range rows {
+		c.Rows = append(c.Rows, r.String())
+	}
+	return c
+}
+
+// DumpCase writes the case as indented JSON under dir, creating the
+// directory as needed. The filename is content-addressed
+// (<backend>-k<threshold>-<hash>.json) so repeated runs of the same
+// failure overwrite one file instead of piling up.
+func DumpCase(dir string, c *Case) (string, error) {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("testkit: marshal case: %w", err)
+	}
+	data = append(data, '\n')
+	h := fnv.New64a()
+	h.Write(data)
+	name := fmt.Sprintf("%s-k%d-%016x.json", c.Backend, c.Threshold, h.Sum64())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("testkit: create case dir: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("testkit: write case: %w", err)
+	}
+	return path, nil
+}
+
+// LoadCase reads a case file written by DumpCase.
+func LoadCase(path string) (*Case, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Case
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("testkit: parse case %s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// ReplayCase re-runs the case's backend against the oracle on the
+// recorded rows and returns a descriptive error when the disagreement
+// still reproduces (nil when the backend now agrees). Unknown backend
+// names error out rather than silently passing.
+func ReplayCase(ctx context.Context, c *Case) error {
+	b := BackendByName(c.Backend)
+	if b == nil {
+		return fmt.Errorf("testkit: case references unknown backend %q", c.Backend)
+	}
+	rows, err := c.Vectors()
+	if err != nil {
+		return err
+	}
+	oracle := Oracle(rows, c.Threshold)
+	if detail := CheckBackend(ctx, *b, rows, c.Threshold, oracle); detail != "" {
+		return fmt.Errorf("testkit: case still fails for backend %s at k=%d: %s", c.Backend, c.Threshold, detail)
+	}
+	return nil
+}
+
+// shrinkTimeout bounds one ShrinkAndDump minimisation. Small-corpus
+// failures shrink to a handful of rows in well under a second; on a
+// TESTKIT_FULL organisation-shaped corpus a single predicate evaluation
+// re-clusters thousands of rows, so an unbounded ddmin could grind for
+// the better part of an hour. Whatever is reached when the budget
+// expires is still a failing input, and the recorded generator seed
+// reproduces the full corpus regardless.
+const shrinkTimeout = 2 * time.Minute
+
+// ShrinkAndDump minimises a failing corpus run for one backend and
+// writes the shrunk counterexample under dir. The predicate re-runs the
+// backend against a freshly computed oracle on each candidate, so the
+// shrunk matrix is guaranteed to still disagree at dump time. The
+// minimisation itself is bounded by shrinkTimeout; candidates evaluated
+// after the deadline are rejected outright, so an expiring clustering
+// run (which would surface as a spurious "backend error" disagreement)
+// can never be accepted into the counterexample.
+func ShrinkAndDump(ctx context.Context, dir string, b Backend, c Corpus, rows []*bitvec.Vector, detail string) (string, error) {
+	sctx, cancel := context.WithTimeout(ctx, shrinkTimeout)
+	defer cancel()
+	failing := func(candidate []*bitvec.Vector) bool {
+		if len(candidate) == 0 || sctx.Err() != nil {
+			return false
+		}
+		oracle := Oracle(candidate, c.Threshold)
+		fails := CheckBackend(sctx, b, candidate, c.Threshold, oracle) != ""
+		return fails && sctx.Err() == nil
+	}
+	shrunk := Shrink(sctx, rows, failing)
+	params := c.Params
+	return DumpCase(dir, NewCase(b.Name, c.Threshold, shrunk, &params, detail))
+}
