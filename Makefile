@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-figures experiments clean
+.PHONY: all build vet test race cover bench bench-figures experiments jobs-smoke clean
 
 all: build vet test
 
@@ -40,6 +40,11 @@ experiments:
 		-values 1000,2000,4000,7000,10000 -runs 5 > results/figure3.txt
 	$(GO) run ./examples/orgaudit > results/orgaudit_full.txt
 	$(GO) run ./cmd/rolediet recall > results/recall.txt
+
+# End-to-end smoke of the async jobs API: starts roledietd and drives
+# submit -> poll -> result -> cancel with curl (see scripts/jobs_smoke.sh).
+jobs-smoke:
+	sh scripts/jobs_smoke.sh
 
 clean:
 	rm -f rolediet roledietd

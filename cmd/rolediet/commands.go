@@ -80,6 +80,20 @@ func cmdGenerate(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// applyOptionsJSON overlays the shared core.Options wire schema (the
+// same one the server's body envelope and /v1/jobs use) onto opts.
+// Keys present in the JSON win over the individual flags, mirroring
+// the server's body-wins rule; absent keys leave the flags intact.
+func applyOptionsJSON(raw string, opts *core.Options) error {
+	if raw == "" {
+		return nil
+	}
+	if err := json.Unmarshal([]byte(raw), opts); err != nil {
+		return fmt.Errorf("parse -options: %w", err)
+	}
+	return nil
+}
+
 // loadDataset reads a dataset JSON file.
 func loadDataset(path string) (*rbac.Dataset, error) {
 	f, err := os.Open(path)
@@ -100,6 +114,7 @@ func cmdAnalyze(args []string, stdout io.Writer) error {
 		sparse    = fs.Bool("sparse", false, "use the sparse pipeline (rolediet only)")
 		format    = fs.String("format", "text", "output format: text or json")
 		hierPath  = fs.String("hierarchy", "", "inheritance sidecar JSON; flatten before analysing")
+		optsJSON  = fs.String("options", "", `analysis options as JSON, e.g. '{"method":"hnsw","threshold":2}' (same schema as the server's body envelope; overrides -method/-threshold)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,6 +152,9 @@ func cmdAnalyze(args []string, stdout io.Writer) error {
 		return err
 	}
 	opts := core.Options{Method: m, SimilarThreshold: *threshold}
+	if err := applyOptionsJSON(*optsJSON, &opts); err != nil {
+		return err
+	}
 	var rep *core.Report
 	if *sparse {
 		rep, err = core.AnalyzeSparse(ds, opts)
@@ -164,8 +182,9 @@ func cmdAnalyze(args []string, stdout io.Writer) error {
 func cmdConsolidate(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("consolidate", flag.ContinueOnError)
 	var (
-		data = fs.String("data", "", "dataset JSON path (required)")
-		out  = fs.String("out", "", "write the consolidated dataset to this path (optional)")
+		data     = fs.String("data", "", "dataset JSON path (required)")
+		out      = fs.String("out", "", "write the consolidated dataset to this path (optional)")
+		optsJSON = fs.String("options", "", `analysis options as JSON, e.g. '{"method":"rolediet"}' (same schema as the server's body envelope)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -177,7 +196,11 @@ func cmdConsolidate(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	after, plan, err := consolidate.Consolidate(ds, core.Options{})
+	var copts core.Options
+	if err := applyOptionsJSON(*optsJSON, &copts); err != nil {
+		return err
+	}
+	after, plan, err := consolidate.Consolidate(ds, copts)
 	if err != nil {
 		return err
 	}

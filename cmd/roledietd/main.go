@@ -14,6 +14,12 @@
 //	                  it expires, in-flight analyses are cancelled so
 //	                  they stop burning CPU and connections are closed
 //
+// Async job knobs (POST /v1/jobs and friends; see internal/server):
+//
+//	-job-workers     worker goroutines executing queued jobs
+//	-job-queue       queued-job backlog; full queue sheds with 429
+//	-job-result-ttl  how long finished job results stay fetchable
+//
 // /healthz is exempt from the timeout and the limiter, so probes keep
 // answering while the service is saturated or draining.
 package main
@@ -53,6 +59,12 @@ func run(args []string) error {
 			"maximum concurrently handled /v1/* requests; 0 disables (429 when exceeded)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
 			"graceful-shutdown grace before in-flight analyses are cancelled")
+		jobWorkers = fs.Int("job-workers", runtime.GOMAXPROCS(0),
+			"worker goroutines executing async jobs")
+		jobQueue = fs.Int("job-queue", 64,
+			"async job queue depth; submissions beyond it are shed with 429")
+		jobResultTTL = fs.Duration("job-result-ttl", 15*time.Minute,
+			"retention of finished async job results before they expire (404)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +81,12 @@ func run(args []string) error {
 			MaxBodyBytes:   *maxBodyMiB << 20,
 			RequestTimeout: *requestTimeout,
 			MaxConcurrent:  *maxConcurrent,
+			JobWorkers:     *jobWorkers,
+			JobQueueDepth:  *jobQueue,
+			JobResultTTL:   *jobResultTTL,
+			// Jobs outlive their submitting request but not the daemon:
+			// cancelling baseCtx during a forced shutdown aborts them too.
+			BaseContext: baseCtx,
 		}),
 		ReadTimeout:       *readTimeout,
 		ReadHeaderTimeout: 10 * time.Second,

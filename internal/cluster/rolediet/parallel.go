@@ -55,7 +55,7 @@ func GroupsParallelContext(ctx context.Context, rows Rows, opts Options, workers
 	if opts.Threshold == 0 && !opts.DisableExactHashFastPath {
 		// The hash fast path is already near-linear and memory-bound;
 		// run it serially.
-		return exactGroups(chk, rows)
+		return exactGroups(chk, newProgressTicker(opts.Progress, len(rows)), rows)
 	}
 	return similarGroupsParallel(ctx, rows, opts.Threshold, workers)
 }

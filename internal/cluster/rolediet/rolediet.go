@@ -43,6 +43,12 @@ type Options struct {
 	// DisableExactHashFastPath forces the Threshold=0 case through the
 	// general co-occurrence path. Used by the ablation benchmarks only.
 	DisableExactHashFastPath bool
+	// Progress, when non-nil, receives (rowsDone, totalRows) from inside
+	// the grouping loops on the same stride the context checker polls
+	// cancellation, plus once at completion. rowsDone is monotonically
+	// non-decreasing. The callback runs on the grouping goroutine and
+	// must be cheap.
+	Progress func(done, total int) `json:"-"`
 }
 
 // Validate checks the options.
@@ -104,19 +110,62 @@ func GroupsContext(ctx context.Context, rows Rows, opts Options) (*Result, error
 			return nil, fmt.Errorf("rolediet: row %d has length %d, want %d", i, r.Len(), width)
 		}
 	}
-	chk := ctxcheck.New(ctx, 1024)
+	chk := ctxcheck.New(ctx, groupStride)
 	if err := chk.Err(); err != nil {
 		return nil, err
 	}
+	prog := newProgressTicker(opts.Progress, len(rows))
 	if opts.Threshold == 0 && !opts.DisableExactHashFastPath {
-		return exactGroups(chk, rows)
+		return exactGroups(chk, prog, rows)
 	}
-	return similarGroups(chk, rows, opts.Threshold)
+	return similarGroups(chk, prog, rows, opts.Threshold)
+}
+
+// groupStride is the shared loop stride: the context is polled and the
+// progress hook invoked once per this many ticks of the hot loops.
+const groupStride = 1024
+
+// progressTicker throttles Options.Progress to the group stride so the
+// hook costs one integer increment per tick, mirroring ctxcheck. A nil
+// ticker (no hook installed) makes every method a no-op.
+type progressTicker struct {
+	fn    func(done, total int)
+	total int
+	n     int
+}
+
+func newProgressTicker(fn func(done, total int), total int) *progressTicker {
+	if fn == nil {
+		return nil
+	}
+	return &progressTicker{fn: fn, total: total}
+}
+
+// tick reports one unit of loop work with the outer loop at row `done`;
+// every groupStride-th call forwards (done, total) to the hook.
+func (p *progressTicker) tick(done int) {
+	if p == nil {
+		return
+	}
+	p.n++
+	if p.n < groupStride {
+		return
+	}
+	p.n = 0
+	p.fn(done, p.total)
+}
+
+// finish reports completion: (total, total).
+func (p *progressTicker) finish() {
+	if p == nil {
+		return
+	}
+	p.fn(p.total, p.total)
 }
 
 // exactGroups buckets rows by hash and splits buckets by true equality,
 // so hash collisions can never merge distinct rows.
-func exactGroups(chk *ctxcheck.Checker, rows Rows) (*Result, error) {
+func exactGroups(chk *ctxcheck.Checker, prog *progressTicker, rows Rows) (*Result, error) {
 	type bucket struct {
 		// reps holds one representative row index per distinct vector
 		// seen under this hash; members collects all rows per rep.
@@ -129,6 +178,7 @@ func exactGroups(chk *ctxcheck.Checker, rows Rows) (*Result, error) {
 		if err := chk.Tick(); err != nil {
 			return nil, err
 		}
+		prog.tick(i)
 		h := row.Hash()
 		b := buckets[h]
 		if b == nil {
@@ -158,12 +208,13 @@ func exactGroups(chk *ctxcheck.Checker, rows Rows) (*Result, error) {
 		}
 	}
 	sortGroups(groups)
+	prog.finish()
 	return &Result{Groups: groups, PairsExamined: pairs}, nil
 }
 
 // similarGroups implements the general thresholded case with union-find
 // connectivity over the "Hamming <= k" relation.
-func similarGroups(chk *ctxcheck.Checker, rows Rows, k int) (*Result, error) {
+func similarGroups(chk *ctxcheck.Checker, prog *progressTicker, rows Rows, k int) (*Result, error) {
 	n := len(rows)
 	norms := make([]int, n)
 	for i, r := range rows {
@@ -195,6 +246,7 @@ func similarGroups(chk *ctxcheck.Checker, rows Rows, k int) (*Result, error) {
 			if tickErr = chk.Tick(); tickErr != nil {
 				return false
 			}
+			prog.tick(i)
 			for _, j := range colIndex[u] {
 				if int(j) <= i {
 					continue
@@ -253,6 +305,7 @@ func similarGroups(chk *ctxcheck.Checker, rows Rows, k int) (*Result, error) {
 		}
 	}
 	sortGroups(groups)
+	prog.finish()
 	return &Result{Groups: groups, PairsExamined: pairs}, nil
 }
 

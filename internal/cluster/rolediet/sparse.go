@@ -28,14 +28,15 @@ func GroupsCSRContext(ctx context.Context, c *matrix.CSR, opts Options) (*Result
 	if c.Rows() == 0 {
 		return &Result{}, nil
 	}
-	chk := ctxcheck.New(ctx, 1024)
+	chk := ctxcheck.New(ctx, groupStride)
 	if err := chk.Err(); err != nil {
 		return nil, err
 	}
+	prog := newProgressTicker(opts.Progress, c.Rows())
 	if opts.Threshold == 0 && !opts.DisableExactHashFastPath {
-		return exactGroupsCSR(chk, c)
+		return exactGroupsCSR(chk, prog, c)
 	}
-	return similarGroupsCSR(chk, c, opts.Threshold)
+	return similarGroupsCSR(chk, prog, c, opts.Threshold)
 }
 
 // hashRow computes an FNV-1a hash over a row's sorted column indices.
@@ -69,7 +70,7 @@ func rowsEqual(a, b []int) bool {
 
 // exactGroupsCSR mirrors exactGroups with hash buckets over sorted
 // column lists, split by true equality.
-func exactGroupsCSR(chk *ctxcheck.Checker, c *matrix.CSR) (*Result, error) {
+func exactGroupsCSR(chk *ctxcheck.Checker, prog *progressTicker, c *matrix.CSR) (*Result, error) {
 	type bucket struct {
 		reps    []int
 		members [][]int
@@ -80,6 +81,7 @@ func exactGroupsCSR(chk *ctxcheck.Checker, c *matrix.CSR) (*Result, error) {
 		if err := chk.Tick(); err != nil {
 			return nil, err
 		}
+		prog.tick(i)
 		row := c.RowCols(i)
 		h := hashRow(row)
 		b := buckets[h]
@@ -110,12 +112,13 @@ func exactGroupsCSR(chk *ctxcheck.Checker, c *matrix.CSR) (*Result, error) {
 		}
 	}
 	sortGroups(groups)
+	prog.finish()
 	return &Result{Groups: groups, PairsExamined: pairs}, nil
 }
 
 // similarGroupsCSR is the inverted-index co-occurrence pass over CSR
 // rows.
-func similarGroupsCSR(chk *ctxcheck.Checker, c *matrix.CSR, k int) (*Result, error) {
+func similarGroupsCSR(chk *ctxcheck.Checker, prog *progressTicker, c *matrix.CSR, k int) (*Result, error) {
 	n := c.Rows()
 	norms := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -141,6 +144,7 @@ func similarGroupsCSR(chk *ctxcheck.Checker, c *matrix.CSR, k int) (*Result, err
 			if err := chk.Tick(); err != nil {
 				return nil, err
 			}
+			prog.tick(i)
 			for _, j := range colIndex[u] {
 				if int(j) <= i {
 					continue
@@ -187,5 +191,6 @@ func similarGroupsCSR(chk *ctxcheck.Checker, c *matrix.CSR, k int) (*Result, err
 		}
 	}
 	sortGroups(groups)
+	prog.finish()
 	return &Result{Groups: groups, PairsExamined: pairs}, nil
 }

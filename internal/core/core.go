@@ -16,6 +16,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -64,22 +65,61 @@ func (k InefficiencyKind) String() string {
 }
 
 // Options configures a full analysis run.
+//
+// The JSON form is the single wire schema for analysis options, shared
+// by the HTTP server's body contract ({"dataset": ..., "options":
+// {...}}), the async jobs API, and the CLI's -options flag:
+//
+//	{
+//	  "method": "rolediet" | "dbscan" | "hnsw" | "lsh" | "dbscan-float64",
+//	  "threshold": 1,
+//	  "skipSimilar": false,
+//	  "skipGroups": false,
+//	  "group": { ... method-specific knobs, see GroupOptions ... }
+//	}
+//
+// UnmarshalJSON rejects unknown method names and negative thresholds,
+// so every consumer applies identical validation.
 type Options struct {
 	// Method selects the group-finding algorithm for classes 4-5;
 	// defaults to MethodRoleDiet.
-	Method Method
+	Method Method `json:"method,omitempty"`
 	// SimilarThreshold is the class-5 threshold k (number of tolerated
 	// differences); defaults to 1, the paper's "all but one" case.
-	SimilarThreshold int
+	SimilarThreshold int `json:"threshold,omitempty"`
 	// SkipSimilar disables the class-5 detectors (the most expensive
 	// ones after class 4).
-	SkipSimilar bool
+	SkipSimilar bool `json:"skipSimilar,omitempty"`
 	// SkipGroups disables classes 4 and 5 entirely, leaving only the
 	// linear-time detectors.
-	SkipGroups bool
+	SkipGroups bool `json:"skipGroups,omitempty"`
 	// Group carries method-specific knobs; Threshold and Method inside
 	// it are overwritten per detector run.
-	Group GroupOptions
+	Group GroupOptions `json:"group,omitempty"`
+	// Progress, when non-nil, receives (stage, fraction) updates as the
+	// analysis advances: once at every stage boundary, and from inside
+	// the hard-class (4-5) grouping loops on the same stride the engine
+	// polls for cancellation. Fractions are in [0, 1], non-decreasing
+	// across one analysis, and reach 1 on success. The hook runs on the
+	// analysis goroutine and must be cheap and non-blocking. Not part of
+	// the wire schema.
+	Progress func(stage string, fraction float64) `json:"-"`
+}
+
+// UnmarshalJSON decodes the shared wire schema, rejecting unknown
+// methods (via Method.UnmarshalText) and negative thresholds at decode
+// time so malformed options never reach an engine.
+func (o *Options) UnmarshalJSON(data []byte) error {
+	type plain Options
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	if p.SimilarThreshold < 0 {
+		return fmt.Errorf("core: negative similar threshold %d", p.SimilarThreshold)
+	}
+	*o = Options(p)
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -197,6 +237,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, opts Options) (*Report, e
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	progress := progressReporter(opts.Progress)
 
 	rep := &Report{
 		Stats:            a.ds.Stats(),
@@ -204,13 +245,16 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, opts Options) (*Report, e
 		SimilarThreshold: opts.SimilarThreshold,
 	}
 
+	progress.emit(StageLinearScan, 0)
 	start := time.Now()
 	a.detectStandalone(rep)
 	a.detectDisconnected(rep)
 	a.detectSingle(rep)
 	rep.LinearScanDuration = time.Since(start)
+	progress.emit(StageLinearScan, fracLinearEnd)
 
 	if opts.SkipGroups {
+		progress.emit(StageDone, 1)
 		return rep, nil
 	}
 
@@ -222,36 +266,46 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, opts Options) (*Report, e
 
 	start = time.Now()
 	gopts.Threshold = 0
+	gopts.Progress = progress.span(StageSameUserGroups, fracLinearEnd, fracSameUserEnd)
 	sameUsers, err := FindRoleGroupsContext(ctx, a.ruam.rows, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("same-user groups: %w", err)
 	}
+	progress.emit(StageSameUserGroups, fracSameUserEnd)
+	gopts.Progress = progress.span(StageSamePermissionGroups, fracSameUserEnd, fracSamePermEnd)
 	samePerms, err := FindRoleGroupsContext(ctx, a.rpam.rows, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("same-permission groups: %w", err)
 	}
+	progress.emit(StageSamePermissionGroups, fracSamePermEnd)
 	rep.SameUserGroups = a.toRoleGroups(sameUsers)
 	rep.SamePermissionGroups = a.toRoleGroups(samePerms)
 	rep.SameGroupsDuration = time.Since(start)
 
 	if opts.SkipSimilar {
+		progress.emit(StageDone, 1)
 		return rep, nil
 	}
 
 	start = time.Now()
 	gopts.Threshold = opts.SimilarThreshold
+	gopts.Progress = progress.span(StageSimilarUserGroups, fracSamePermEnd, fracSimilarUserEnd)
 	similarUsers, err := FindRoleGroupsContext(ctx, a.ruam.rows, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("similar-user groups: %w", err)
 	}
+	progress.emit(StageSimilarUserGroups, fracSimilarUserEnd)
+	gopts.Progress = progress.span(StageSimilarPermissionGroups, fracSimilarUserEnd, fracSimilarPermEnd)
 	similarPerms, err := FindRoleGroupsContext(ctx, a.rpam.rows, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("similar-permission groups: %w", err)
 	}
+	progress.emit(StageSimilarPermissionGroups, fracSimilarPermEnd)
 	rep.SimilarUserGroups = a.toRoleGroups(similarUsers)
 	rep.SimilarPermissionGroups = a.toRoleGroups(similarPerms)
 	rep.SimilarGroupDuration = time.Since(start)
 
+	progress.emit(StageDone, 1)
 	return rep, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -60,6 +61,34 @@ func (m Method) String() string {
 	}
 }
 
+// MarshalText encodes the method as its flag/JSON name, so Options
+// structs marshal with "method": "rolediet" rather than an opaque int.
+func (m Method) MarshalText() ([]byte, error) {
+	if m == 0 {
+		return []byte(""), nil
+	}
+	if _, err := ParseMethod(m.String()); err != nil {
+		return nil, fmt.Errorf("core: cannot marshal unknown method %d", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText decodes a method name, rejecting unknown ones. The
+// empty string decodes to the zero Method (defaulted to rolediet by
+// withDefaults), so {"method": ""} and an absent field behave alike.
+func (m *Method) UnmarshalText(text []byte) error {
+	if len(text) == 0 {
+		*m = 0
+		return nil
+	}
+	parsed, err := ParseMethod(string(text))
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
+}
+
 // ParseMethod resolves a method name.
 func ParseMethod(name string) (Method, error) {
 	switch name {
@@ -78,29 +107,52 @@ func ParseMethod(name string) (Method, error) {
 	}
 }
 
-// GroupOptions tunes FindRoleGroups.
+// GroupOptions tunes FindRoleGroups. The JSON form is the wire schema
+// shared by the HTTP server, the jobs API, and the CLI's -options flag;
+// see Options for the top-level contract.
 type GroupOptions struct {
 	// Method selects the algorithm; defaults to MethodRoleDiet.
-	Method Method
+	Method Method `json:"method,omitempty"`
 	// Threshold is the maximum Hamming distance within a group: 0 finds
 	// roles sharing the same users/permissions (class 4), k >= 1 finds
 	// similar ones (class 5).
-	Threshold int
+	Threshold int `json:"threshold,omitempty"`
 	// HNSW carries index parameters for MethodHNSW; the zero value uses
 	// the library defaults (M=16, efConstruction=200, Manhattan).
-	HNSW hnsw.Config
+	HNSW hnsw.Config `json:"hnsw,omitempty"`
 	// HNSWSearchEf is the beam width used when querying each role's
 	// neighbourhood; defaults to 64.
-	HNSWSearchEf int
+	HNSWSearchEf int `json:"hnswSearchEf,omitempty"`
 	// LSH carries index parameters for MethodLSH; the zero value picks
 	// width- and threshold-dependent defaults.
-	LSH bitlsh.Config
+	LSH bitlsh.Config `json:"lsh,omitempty"`
 	// IgnoreEmptyRows excludes roles with no assignments on the analysed
 	// side from grouping. All-zero rows are trivially identical to each
 	// other, so without this a dataset's disconnected roles (inefficiency
 	// class 2) would resurface as one giant class-4 group. The Analyzer
 	// enables it; the raw facade defaults to false.
-	IgnoreEmptyRows bool
+	IgnoreEmptyRows bool `json:"ignoreEmptyRows,omitempty"`
+	// Progress, when non-nil, receives (rowsDone, totalRows) from inside
+	// the grouping loops for the backends that support in-loop reporting
+	// (rolediet and hnsw; dbscan and lsh report only at boundaries). Not
+	// part of the wire schema.
+	Progress func(done, total int) `json:"-"`
+}
+
+// UnmarshalJSON decodes the wire form, rejecting unknown method names
+// (via Method.UnmarshalText) and negative thresholds, so every consumer
+// of the schema applies the same validation.
+func (o *GroupOptions) UnmarshalJSON(data []byte) error {
+	type plain GroupOptions
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	if p.Threshold < 0 {
+		return fmt.Errorf("core: negative group threshold %d", p.Threshold)
+	}
+	*o = GroupOptions(p)
+	return nil
 }
 
 // FindRoleGroups detects groups of roles whose rows (RUAM or RPAM) are
@@ -150,7 +202,10 @@ func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts Grou
 	}
 	switch method {
 	case MethodRoleDiet:
-		res, err := rolediet.GroupsContext(ctx, rows, rolediet.Options{Threshold: opts.Threshold})
+		res, err := rolediet.GroupsContext(ctx, rows, rolediet.Options{
+			Threshold: opts.Threshold,
+			Progress:  opts.Progress,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -227,8 +282,12 @@ func hnswGroups(ctx context.Context, rows []*bitvec.Vector, opts GroupOptions) (
 	radius := float64(opts.Threshold)
 	for i, row := range rows {
 		// One poll per query: each radius search is a bounded beam scan.
+		// Progress follows the same per-query stride.
 		if err := chk.Err(); err != nil {
 			return nil, err
+		}
+		if opts.Progress != nil {
+			opts.Progress(i, len(rows))
 		}
 		hits, err := idx.SearchRadius(row, radius, ef)
 		if err != nil {

@@ -1,0 +1,61 @@
+package core
+
+// Analysis stage names reported through Options.Progress. Stages are
+// emitted in declaration order; a run that skips stages (SkipGroups,
+// SkipSimilar) jumps straight to StageDone, so fractions stay
+// non-decreasing either way.
+const (
+	// StageLinearScan covers the class 1-3 detectors.
+	StageLinearScan = "linear-scan"
+	// StageSameUserGroups and StageSamePermissionGroups cover the
+	// class-4 exact grouping passes over RUAM and RPAM.
+	StageSameUserGroups       = "same-user-groups"
+	StageSamePermissionGroups = "same-permission-groups"
+	// StageSimilarUserGroups and StageSimilarPermissionGroups cover the
+	// class-5 thresholded grouping passes.
+	StageSimilarUserGroups       = "similar-user-groups"
+	StageSimilarPermissionGroups = "similar-permission-groups"
+	// StageDone is emitted exactly once, with fraction 1, when the
+	// report is complete.
+	StageDone = "done"
+)
+
+// Overall-fraction spans per stage. The linear detectors are cheap;
+// the class-5 passes dominate (they search a strictly larger relation
+// than class 4), hence the uneven split.
+const (
+	fracLinearEnd      = 0.05
+	fracSameUserEnd    = 0.25
+	fracSamePermEnd    = 0.45
+	fracSimilarUserEnd = 0.72
+	fracSimilarPermEnd = 0.99
+)
+
+// progressReporter is a nil-safe wrapper around Options.Progress.
+type progressReporter func(stage string, fraction float64)
+
+// emit reports a stage boundary.
+func (p progressReporter) emit(stage string, fraction float64) {
+	if p != nil {
+		p(stage, fraction)
+	}
+}
+
+// span returns an in-loop (done, total) hook that maps a stage's local
+// completion onto the overall [lo, hi] fraction span, or nil when no
+// progress hook is installed (keeping the hot loops free of closures).
+func (p progressReporter) span(stage string, lo, hi float64) func(done, total int) {
+	if p == nil {
+		return nil
+	}
+	return func(done, total int) {
+		if total <= 0 || done < 0 {
+			return
+		}
+		f := lo + (hi-lo)*float64(done)/float64(total)
+		if f > hi {
+			f = hi
+		}
+		p(stage, f)
+	}
+}

@@ -42,6 +42,7 @@ func AnalyzeSparseContext(ctx context.Context, d *rbac.Dataset, opts Options) (*
 	if opts.Method != MethodRoleDiet {
 		return nil, fmt.Errorf("core: sparse analysis supports only rolediet, got %s", opts.Method)
 	}
+	progress := progressReporter(opts.Progress)
 
 	ruam := d.RUAMCSR()
 	rpam := d.RPAMCSR()
@@ -52,17 +53,23 @@ func AnalyzeSparseContext(ctx context.Context, d *rbac.Dataset, opts Options) (*
 		SimilarThreshold: opts.SimilarThreshold,
 	}
 
+	progress.emit(StageLinearScan, 0)
 	start := time.Now()
 	detectLinearSparse(d, ruam, rpam, rep)
 	rep.LinearScanDuration = time.Since(start)
+	progress.emit(StageLinearScan, fracLinearEnd)
 
 	if opts.SkipGroups {
+		progress.emit(StageDone, 1)
 		return rep, nil
 	}
 
-	toGroups := func(c *matrix.CSR, k int) ([]RoleGroup, error) {
+	toGroups := func(c *matrix.CSR, k int, stage string, lo, hi float64) ([]RoleGroup, error) {
 		kept, remap := filterEmptyRows(c)
-		res, err := rolediet.GroupsCSRContext(ctx, kept, rolediet.Options{Threshold: k})
+		res, err := rolediet.GroupsCSRContext(ctx, kept, rolediet.Options{
+			Threshold: k,
+			Progress:  progress.span(stage, lo, hi),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -74,32 +81,39 @@ func AnalyzeSparseContext(ctx context.Context, d *rbac.Dataset, opts Options) (*
 			}
 			out[gi] = RoleGroup{Roles: ids}
 		}
+		progress.emit(stage, hi)
 		return out, nil
 	}
 
 	start = time.Now()
 	var err error
-	if rep.SameUserGroups, err = toGroups(ruam, 0); err != nil {
+	if rep.SameUserGroups, err = toGroups(ruam, 0,
+		StageSameUserGroups, fracLinearEnd, fracSameUserEnd); err != nil {
 		return nil, fmt.Errorf("same-user groups: %w", err)
 	}
-	if rep.SamePermissionGroups, err = toGroups(rpam, 0); err != nil {
+	if rep.SamePermissionGroups, err = toGroups(rpam, 0,
+		StageSamePermissionGroups, fracSameUserEnd, fracSamePermEnd); err != nil {
 		return nil, fmt.Errorf("same-permission groups: %w", err)
 	}
 	rep.SameGroupsDuration = time.Since(start)
 
 	if opts.SkipSimilar {
+		progress.emit(StageDone, 1)
 		return rep, nil
 	}
 
 	start = time.Now()
-	if rep.SimilarUserGroups, err = toGroups(ruam, opts.SimilarThreshold); err != nil {
+	if rep.SimilarUserGroups, err = toGroups(ruam, opts.SimilarThreshold,
+		StageSimilarUserGroups, fracSamePermEnd, fracSimilarUserEnd); err != nil {
 		return nil, fmt.Errorf("similar-user groups: %w", err)
 	}
-	if rep.SimilarPermissionGroups, err = toGroups(rpam, opts.SimilarThreshold); err != nil {
+	if rep.SimilarPermissionGroups, err = toGroups(rpam, opts.SimilarThreshold,
+		StageSimilarPermissionGroups, fracSimilarUserEnd, fracSimilarPermEnd); err != nil {
 		return nil, fmt.Errorf("similar-permission groups: %w", err)
 	}
 	rep.SimilarGroupDuration = time.Since(start)
 
+	progress.emit(StageDone, 1)
 	return rep, nil
 }
 

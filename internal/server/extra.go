@@ -29,6 +29,8 @@ type queryResponse struct {
 }
 
 // query answers access-review questions: ?user=, ?permission=, or both.
+// The body is a bare dataset or the v1 envelope (its options are
+// irrelevant here and ignored).
 func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	user := rbac.UserID(r.URL.Query().Get("user"))
 	perm := rbac.PermissionID(r.URL.Query().Get("permission"))
@@ -36,11 +38,11 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("query: need user and/or permission"))
 		return
 	}
-	ds, ok := h.readDataset(w, r)
+	req, ok := h.decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	x := query.NewIndex(ds)
+	x := query.NewIndex(req.dataset)
 	var resp queryResponse
 	switch {
 	case user != "" && perm != "":
@@ -82,10 +84,13 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// diffRequest carries the two snapshots to compare.
+// diffRequest carries the two snapshots to compare, plus optional
+// analysis options in the shared core.Options wire schema (body wins
+// over the method/threshold query parameters).
 type diffRequest struct {
-	Before *rbac.Dataset `json:"before"`
-	After  *rbac.Dataset `json:"after"`
+	Before  *rbac.Dataset `json:"before"`
+	After   *rbac.Dataset `json:"after"`
+	Options *core.Options `json:"options"`
 }
 
 // diffResponse bundles the structural and audit-count diffs.
@@ -111,6 +116,9 @@ func (h *handler) diff(w http.ResponseWriter, r *http.Request) {
 	if req.Before == nil || req.After == nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("diff: need before and after datasets"))
 		return
+	}
+	if req.Options != nil {
+		opts = *req.Options
 	}
 	if err := req.Before.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)

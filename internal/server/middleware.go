@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"time"
 )
 
 // The resilience middleware stack, applied by NewHandler from the
@@ -70,7 +71,7 @@ func (h *handler) withLoadShedding(next http.Handler) http.Handler {
 	if h.sem == nil {
 		return next
 	}
-	retryAfter := strconv.Itoa(int(math.Ceil(h.opts.RetryAfter.Seconds())))
+	retryAfter := retryAfterSeconds(h.opts.RetryAfter)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == healthPath {
 			next.ServeHTTP(w, r)
@@ -107,9 +108,16 @@ func (h *handler) withTimeout(next http.Handler) http.Handler {
 	})
 }
 
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// rounded up) from the configured hint.
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.Itoa(int(math.Ceil(d.Seconds())))
+}
+
 // writeEngineError maps an analysis failure to the HTTP error
-// contract: request deadline exceeded -> 504, cancellation (client
-// disconnect or server drain) -> 503, anything else -> 422.
+// contract: request deadline exceeded -> 504 timeout, cancellation
+// (client disconnect, server drain, or job DELETE) -> 503 canceled,
+// anything else -> 422 unprocessable.
 func writeEngineError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):

@@ -1,32 +1,72 @@
 // Package server exposes the detection framework as a JSON-over-HTTP
 // service, the deployment shape an organisation would actually run the
 // periodic audit through: an IAM export is POSTed, the inefficiency
-// report (or merge plan, or review suggestions) comes back.
+// report (or merge plan, or review suggestions) comes back — either
+// synchronously, or through the async jobs API for organisation-scale
+// matrices whose hard classes take minutes.
 //
-// Endpoints:
+// # Endpoints
 //
-//	GET  /healthz            liveness probe
-//	POST /v1/analyze         dataset JSON -> inefficiency report
-//	POST /v1/consolidate     dataset JSON -> {plan, consolidated dataset}
-//	POST /v1/suggest         dataset JSON -> similar-merge suggestions
-//	POST /v1/query           dataset JSON -> access-review answers
-//	POST /v1/diff            {before, after} -> structural + audit diff
+//	GET    /healthz                 liveness probe
+//	POST   /v1/analyze              dataset -> inefficiency report
+//	POST   /v1/consolidate          dataset -> {plan, consolidated dataset}
+//	POST   /v1/suggest              dataset -> similar-merge suggestions
+//	POST   /v1/query                dataset -> access-review answers
+//	POST   /v1/diff                 {before, after} -> structural + audit diff
+//	POST   /v1/jobs                 submit async analyze/consolidate/suggest -> 202 + job
+//	GET    /v1/jobs/{id}            job status + {stage, fraction} progress
+//	GET    /v1/jobs/{id}/result     finished job's result (same shape as the sync endpoint)
+//	DELETE /v1/jobs/{id}            cancel a queued or running job
 //
-// Query parameters on /v1/analyze: method (rolediet|dbscan|hnsw|lsh|
-// dbscan-float64), threshold (int >= 0), sparse (bool). /v1/consolidate,
-// /v1/suggest and /v1/diff accept threshold; /v1/query takes user and/or
-// permission selectors.
+// # Request contract
+//
+// Every dataset-consuming POST accepts two body shapes:
+//
+//   - A bare dataset export (back-compat): the body is the dataset JSON
+//     and analysis options come from query parameters — method
+//     (rolediet|dbscan|hnsw|lsh|dbscan-float64), threshold (int >= 0),
+//     sparse (bool). /v1/query takes user and/or permission selectors;
+//     /v1/diff accepts method/threshold the same way.
+//
+//   - A v1 envelope: {"dataset": {...}, "options": {...}, "sparse": bool}
+//     where "options" follows the core.Options wire schema (one schema
+//     shared with the jobs API and the CLI). When the envelope carries
+//     "options" or "sparse" they win over the equivalent query
+//     parameters. /v1/jobs additionally requires "kind":
+//     "analyze"|"consolidate"|"suggest". /v1/diff keeps its
+//     {"before", "after"} body and gains an optional "options" member.
+//
+// Sync and async requests share one decode, validation, and dispatch
+// path, so a job's result is byte-for-byte the corresponding sync
+// endpoint's response (modulo timing fields).
+//
+// # Async jobs
+//
+// POST /v1/jobs enqueues work on a bounded worker pool instead of
+// pinning the HTTP handler: the response is 202 with the job snapshot
+// and a Location header. Poll GET /v1/jobs/{id} for status — progress
+// is {stage, fraction} with fraction monotonically non-decreasing and
+// reaching 1 on completion, fed by the engine at stage boundaries and
+// from inside the hard-class grouping loops. GET /v1/jobs/{id}/result
+// returns the finished result, 409 while the job is still queued or
+// running, and the mapped engine error for failed/canceled jobs.
+// DELETE cancels via the job's context; the engine's strided
+// cancellation polling frees the worker within a bounded amount of
+// work. Finished jobs (results and errors alike) expire after the
+// configured TTL, after which the id answers 404. A full queue sheds
+// the submission with 429 + Retry-After.
 //
 // # Resilience and the error contract
 //
 // The handler is wrapped in a resilience stack so one bad request can
 // neither take the daemon down nor pin a core forever:
 //
-//   - Every analysis runs under the request's context. When the client
-//     disconnects or the daemon drains, the engine's hot loops observe
-//     the cancellation and stop within a bounded amount of work.
+//   - Every synchronous analysis runs under the request's context;
+//     async jobs run under the manager's base context. Cancellation is
+//     observed inside the engine's hot loops.
 //   - Options.RequestTimeout bounds each request end to end; exceeding
-//     it returns 504 with a JSON error body.
+//     it returns 504 with a JSON error body. (Job execution is bounded
+//     by cancellation and the worker pool, not by this timeout.)
 //   - Options.MaxConcurrent caps in-flight /v1/* requests; excess load
 //     is shed with 429 and a Retry-After header instead of queueing.
 //   - Handler panics are recovered: the stack is logged, the request
@@ -34,16 +74,29 @@
 //   - /healthz bypasses the limiter and the timeout, so liveness
 //     probes stay green while the service is saturated or draining.
 //
-// Every error response is the JSON envelope {"error": "..."}: 400 for
-// malformed or inconsistent input (datasets are Validate()d before
-// analysis), 422 for well-formed input the engine rejects, 429 for
-// shed load, 500 for recovered panics, 503 for analyses canceled by
-// disconnect or drain, 504 for request timeouts.
+// Every error response is the JSON envelope
+//
+//	{"error": "<human-readable message>", "code": "<machine code>"}
+//
+// with a stable, machine-readable code per status:
+//
+//	400 bad_request    malformed body, unknown method, negative threshold,
+//	                   inconsistent dataset (Validate()d before analysis)
+//	404 not_found      unknown or expired job id
+//	409 conflict       job result not ready yet, or cancel of a finished job
+//	422 unprocessable  well-formed input the engine rejects
+//	429 shed           load shed (MaxConcurrent) or full job queue
+//	500 internal       recovered panic
+//	503 canceled       analysis canceled by disconnect, drain, or DELETE
+//	504 timeout        request exceeded RequestTimeout
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -51,6 +104,7 @@ import (
 
 	"repro/internal/consolidate"
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/rbac"
 )
 
@@ -63,9 +117,9 @@ type Options struct {
 	// an organisation-scale dataset export.
 	MaxBodyBytes int64
 	// RequestTimeout bounds each request's total handling time,
-	// analysis included; exceeding it returns 504. Zero disables the
-	// per-request deadline (the engine still honours client
-	// disconnects).
+	// synchronous analysis included; exceeding it returns 504. Zero
+	// disables the per-request deadline (the engine still honours
+	// client disconnects). Async job execution is not subject to it.
 	RequestTimeout time.Duration
 	// MaxConcurrent caps concurrently handled /v1/* requests; excess
 	// requests receive 429 + Retry-After. Zero means unlimited.
@@ -75,6 +129,18 @@ type Options struct {
 	// Logf receives panic reports and operational messages; defaults
 	// to log.Printf.
 	Logf func(format string, args ...any)
+	// JobWorkers is the async worker-pool size; defaults to GOMAXPROCS.
+	JobWorkers int
+	// JobQueueDepth bounds queued (not yet running) jobs; submissions
+	// beyond it are shed with 429. Defaults to 64.
+	JobQueueDepth int
+	// JobResultTTL is how long finished job results stay fetchable;
+	// defaults to 15 minutes.
+	JobResultTTL time.Duration
+	// BaseContext is the root context for async job execution;
+	// cancelling it (daemon drain) cancels every queued and running
+	// job. Defaults to context.Background().
+	BaseContext context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -96,22 +162,31 @@ type handler struct {
 	mux   *http.ServeMux
 	sem   chan struct{} // nil when MaxConcurrent == 0
 	inner http.Handler  // mux wrapped in the middleware stack
+	jobs  *jobs.Manager
 }
 
 var _ http.Handler = (*handler)(nil)
 
 // NewHandler builds the service's http.Handler, with the resilience
-// middleware (recovery, load shedding, request timeout) applied.
+// middleware (recovery, load shedding, request timeout) applied and
+// the async job manager started.
 func NewHandler(opts Options) http.Handler {
 	h := &handler{opts: opts.withDefaults(), mux: http.NewServeMux()}
 	if h.opts.MaxConcurrent > 0 {
 		h.sem = make(chan struct{}, h.opts.MaxConcurrent)
 	}
+	h.jobs = jobs.NewManager(jobs.Options{
+		Workers:     h.opts.JobWorkers,
+		QueueDepth:  h.opts.JobQueueDepth,
+		ResultTTL:   h.opts.JobResultTTL,
+		BaseContext: h.opts.BaseContext,
+	})
 	h.mux.HandleFunc("GET "+healthPath, h.health)
 	h.mux.HandleFunc("POST /v1/analyze", h.analyze)
 	h.mux.HandleFunc("POST /v1/consolidate", h.consolidate)
 	h.mux.HandleFunc("POST /v1/suggest", h.suggest)
 	h.registerExtra()
+	h.registerJobs()
 	h.inner = h.withRecovery(h.withLoadShedding(h.withTimeout(h.mux)))
 	return h
 }
@@ -121,15 +196,51 @@ func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.inner.ServeHTTP(w, r)
 }
 
+// Stable machine-readable error codes; see the package comment for the
+// status -> code table.
+const (
+	CodeBadRequest    = "bad_request"
+	CodeNotFound      = "not_found"
+	CodeConflict      = "conflict"
+	CodeUnprocessable = "unprocessable"
+	CodeShed          = "shed"
+	CodeInternal      = "internal"
+	CodeCanceled      = "canceled"
+	CodeTimeout       = "timeout"
+)
+
+// codeFor maps a status the server emits to its stable error code.
+func codeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusUnprocessableEntity:
+		return CodeUnprocessable
+	case http.StatusTooManyRequests:
+		return CodeShed
+	case http.StatusServiceUnavailable:
+		return CodeCanceled
+	case http.StatusGatewayTimeout:
+		return CodeTimeout
+	default:
+		return CodeInternal
+	}
+}
+
 // errorBody is the JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: codeFor(status)})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -145,24 +256,27 @@ func (h *handler) health(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
-// readDataset parses and validates the request body. Inconsistent
-// datasets are rejected with 400 here, before any of them can reach
-// the engine.
-func (h *handler) readDataset(w http.ResponseWriter, r *http.Request) (*rbac.Dataset, bool) {
-	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
-	ds, err := rbac.ReadJSON(body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("parse dataset: %w", err))
-		return nil, false
-	}
-	if err := ds.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid dataset: %w", err))
-		return nil, false
-	}
-	return ds, true
+// v1Request is the decoded form of a dataset-consuming request,
+// produced identically for sync handlers and job submissions.
+type v1Request struct {
+	kind    string // only set by the envelope form; required for /v1/jobs
+	dataset *rbac.Dataset
+	opts    core.Options
+	sparse  bool
 }
 
-// queryOptions extracts method/threshold/sparse parameters.
+// v1Envelope is the unified request body: {"dataset", "options",
+// "sparse"} plus "kind" for job submissions. Decoding options goes
+// through core.Options.UnmarshalJSON, the schema shared with the CLI.
+type v1Envelope struct {
+	Kind    string          `json:"kind"`
+	Dataset json.RawMessage `json:"dataset"`
+	Options *core.Options   `json:"options"`
+	Sparse  *bool           `json:"sparse"`
+}
+
+// queryOptions extracts method/threshold/sparse parameters — the
+// back-compat surface predating the body envelope.
 func queryOptions(r *http.Request) (core.Options, bool, error) {
 	opts := core.Options{}
 	q := r.URL.Query()
@@ -194,31 +308,77 @@ func queryOptions(r *http.Request) (core.Options, bool, error) {
 	return opts, sparse, nil
 }
 
-// analyze runs the five detectors over the posted dataset.
-func (h *handler) analyze(w http.ResponseWriter, r *http.Request) {
+// readBody drains the (size-capped) request body.
+func (h *handler) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// decodeRequest is the one decode path every dataset-consuming
+// endpoint (sync and async) goes through. It merges query parameters
+// with the optional body envelope (body wins), parses and Validate()s
+// the dataset, and reports failures as 400 with code bad_request.
+func (h *handler) decodeRequest(w http.ResponseWriter, r *http.Request) (*v1Request, bool) {
 	opts, sparse, err := queryOptions(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, false
 	}
-	ds, ok := h.readDataset(w, r)
+	body, ok := h.readBody(w, r)
 	if !ok {
-		return
+		return nil, false
 	}
-	var rep *core.Report
-	if sparse {
-		rep, err = core.AnalyzeSparseContext(r.Context(), ds, opts)
-	} else {
-		rep, err = core.AnalyzeContext(r.Context(), ds, opts)
+
+	req := &v1Request{opts: opts, sparse: sparse}
+	datasetJSON := body
+
+	// Envelope sniff: a body whose top-level object carries "dataset"
+	// is the v1 envelope; anything else is a bare dataset export.
+	var probe struct {
+		Dataset json.RawMessage `json:"dataset"`
 	}
+	if err := json.Unmarshal(body, &probe); err == nil && len(probe.Dataset) > 0 {
+		var env v1Envelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parse request envelope: %w", err))
+			return nil, false
+		}
+		req.kind = env.Kind
+		if env.Options != nil {
+			req.opts = *env.Options
+		}
+		if env.Sparse != nil {
+			req.sparse = *env.Sparse
+		}
+		datasetJSON = env.Dataset
+	}
+
+	ds, err := rbac.ReadJSON(bytes.NewReader(datasetJSON))
 	if err != nil {
-		writeEngineError(w, err)
-		return
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse dataset: %w", err))
+		return nil, false
 	}
-	writeJSON(w, rep)
+	if err := ds.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid dataset: %w", err))
+		return nil, false
+	}
+	req.dataset = ds
+	return req, true
 }
 
-// consolidateResponse is the /v1/consolidate result.
+// The job kinds — exactly the sync endpoints that run the engine.
+const (
+	kindAnalyze     = "analyze"
+	kindConsolidate = "consolidate"
+	kindSuggest     = "suggest"
+)
+
+// consolidateResponse is the /v1/consolidate (and consolidate-job)
+// result.
 type consolidateResponse struct {
 	Plan         *consolidate.Plan `json:"plan"`
 	RolesBefore  int               `json:"rolesBefore"`
@@ -226,53 +386,75 @@ type consolidateResponse struct {
 	Consolidated *rbac.Dataset     `json:"consolidated"`
 }
 
-// consolidate plans and applies the provably safe class-4 merges.
-func (h *handler) consolidate(w http.ResponseWriter, r *http.Request) {
-	opts, _, err := queryOptions(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+// runKind is the single dispatch point for the engine-backed kinds:
+// the sync handlers call it with the request context and no progress
+// hook, job workers call it with the job's context and the job's
+// progress recorder. Keeping one path guarantees sync and async agree
+// on options, cancellation, and result shape.
+func runKind(ctx context.Context, kind string, req *v1Request,
+	progress func(stage string, fraction float64)) (any, error) {
+	opts := req.opts
+	opts.Progress = progress
+	switch kind {
+	case kindAnalyze:
+		if req.sparse {
+			return core.AnalyzeSparseContext(ctx, req.dataset, opts)
+		}
+		return core.AnalyzeContext(ctx, req.dataset, opts)
+	case kindConsolidate:
+		after, plan, err := consolidate.ConsolidateContext(ctx, req.dataset, opts)
+		if err != nil {
+			return nil, err
+		}
+		return consolidateResponse{
+			Plan:         plan,
+			RolesBefore:  req.dataset.NumRoles(),
+			RolesAfter:   after.NumRoles(),
+			Consolidated: after,
+		}, nil
+	case kindSuggest:
+		rep, err := core.AnalyzeContext(ctx, req.dataset, opts)
+		if err != nil {
+			return nil, err
+		}
+		suggestions, err := consolidate.SuggestSimilar(req.dataset, rep)
+		if err != nil {
+			return nil, err
+		}
+		if suggestions == nil {
+			suggestions = []consolidate.Suggestion{}
+		}
+		return suggestions, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want analyze, consolidate, or suggest)", kind)
 	}
-	ds, ok := h.readDataset(w, r)
+}
+
+// runSync decodes, dispatches, and writes one synchronous request.
+func (h *handler) runSync(kind string, w http.ResponseWriter, r *http.Request) {
+	req, ok := h.decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	after, plan, err := consolidate.ConsolidateContext(r.Context(), ds, opts)
+	out, err := runKind(r.Context(), kind, req, nil)
 	if err != nil {
 		writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, consolidateResponse{
-		Plan:         plan,
-		RolesBefore:  ds.NumRoles(),
-		RolesAfter:   after.NumRoles(),
-		Consolidated: after,
-	})
+	writeJSON(w, out)
+}
+
+// analyze runs the five detectors over the posted dataset.
+func (h *handler) analyze(w http.ResponseWriter, r *http.Request) {
+	h.runSync(kindAnalyze, w, r)
+}
+
+// consolidate plans and applies the provably safe class-4 merges.
+func (h *handler) consolidate(w http.ResponseWriter, r *http.Request) {
+	h.runSync(kindConsolidate, w, r)
 }
 
 // suggest returns reviewable similar-merge suggestions.
 func (h *handler) suggest(w http.ResponseWriter, r *http.Request) {
-	opts, _, err := queryOptions(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	ds, ok := h.readDataset(w, r)
-	if !ok {
-		return
-	}
-	rep, err := core.AnalyzeContext(r.Context(), ds, opts)
-	if err != nil {
-		writeEngineError(w, err)
-		return
-	}
-	suggestions, err := consolidate.SuggestSimilar(ds, rep)
-	if err != nil {
-		writeEngineError(w, err)
-		return
-	}
-	if suggestions == nil {
-		suggestions = []consolidate.Suggestion{}
-	}
-	writeJSON(w, suggestions)
+	h.runSync(kindSuggest, w, r)
 }

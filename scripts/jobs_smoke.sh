@@ -1,0 +1,88 @@
+#!/bin/sh
+# Smoke test for the async jobs API: build roledietd, start it, drive
+# submit -> poll -> result -> cancel-after-finish with curl, and fail
+# non-zero on any contract violation. Stdlib + curl + sed only (no jq).
+#
+# Usage: scripts/jobs_smoke.sh [port]   (default 18080)
+set -eu
+
+PORT="${1:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+	[ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "jobs-smoke: FAIL: $*" >&2
+	exit 1
+}
+
+echo "jobs-smoke: building"
+go build -o "$TMP/roledietd" ./cmd/roledietd
+go run ./cmd/rolediet generate -org -scale 400 -out "$TMP/org.json" >/dev/null
+
+echo "jobs-smoke: starting roledietd on :$PORT"
+"$TMP/roledietd" -addr "127.0.0.1:$PORT" -job-result-ttl 5m >"$TMP/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { cat "$TMP/daemon.log" >&2; fail "daemon never became healthy"; }
+	sleep 0.1
+done
+
+echo "jobs-smoke: submitting analyze job"
+{
+	printf '{"kind":"analyze","options":{"method":"rolediet","threshold":1},"dataset":'
+	cat "$TMP/org.json"
+	printf '}'
+} >"$TMP/body.json"
+
+SUBMIT="$(curl -fsS -X POST --data-binary @"$TMP/body.json" "$BASE/v1/jobs")" ||
+	fail "submit rejected"
+ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$ID" ] || fail "no job id in submit response: $SUBMIT"
+echo "jobs-smoke: job $ID accepted"
+
+i=0
+while :; do
+	SNAP="$(curl -fsS "$BASE/v1/jobs/$ID")" || fail "status poll failed"
+	case "$SNAP" in
+	*'"status":"done"'*) break ;;
+	*'"status":"failed"'* | *'"status":"canceled"'*) fail "job ended badly: $SNAP" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -gt 600 ] && fail "job never finished: $SNAP"
+	sleep 0.1
+done
+case "$SNAP" in
+*'"fraction":1'*) ;;
+*) fail "finished job did not report fraction 1: $SNAP" ;;
+esac
+echo "jobs-smoke: job done with progress 1"
+
+RESULT="$(curl -fsS "$BASE/v1/jobs/$ID/result")" || fail "result fetch failed"
+case "$RESULT" in
+*linearScanDurationNanos*) ;;
+*) fail "result does not look like an analyze report: $RESULT" ;;
+esac
+echo "jobs-smoke: result fetched"
+
+# Cancelling a finished job must be a 409 conflict.
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$BASE/v1/jobs/$ID")"
+[ "$CODE" = "409" ] || fail "DELETE on finished job returned $CODE, want 409"
+
+# Unknown ids must be 404 with the not_found code.
+MISS="$(curl -s "$BASE/v1/jobs/doesnotexist")"
+case "$MISS" in
+*'"code":"not_found"'*) ;;
+*) fail "unknown id response missing not_found code: $MISS" ;;
+esac
+
+echo "jobs-smoke: PASS"
