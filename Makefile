@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-figures experiments jobs-smoke clean
+.PHONY: all build vet test race cover bench bench-figures bench-json experiments jobs-smoke clean
 
 all: build vet test
 
@@ -31,6 +31,12 @@ bench:
 # Only the paper-figure benchmark families, one iteration each.
 bench-figures:
 	$(GO) test -bench 'Figure2|Figure3$$|OrgScale' -benchtime 1x .
+
+# Figures + ablations with -benchmem, converted to a committed JSON
+# snapshot (BENCH_PR4.json) via cmd/benchjson. BENCH_TIME and BENCH_CPU
+# tune iteration count and the -cpu list; see scripts/bench_json.sh.
+bench-json:
+	sh scripts/bench_json.sh
 
 # Regenerate the recorded evaluation outputs under results/.
 experiments:

@@ -349,6 +349,64 @@ func BenchmarkAblationParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationParallelBackends extends the parallel ablation to
+// the remaining backends: DBSCAN region queries, LSH sketch+verify,
+// and HNSW construction, serial versus fanned out. Run with -cpu 1,4
+// to see the single-core overhead (the chunked fan-out on one core)
+// next to the multi-core win.
+func BenchmarkAblationParallelBackends(b *testing.B) {
+	dbRows := genMatrix(b, 2000, 1000)
+	dbCfg := dbscan.Config{Eps: 1, MinPts: 2}
+	b.Run("dbscan/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dbscan.Run(dbRows, dbCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dbscan/workers=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dbscan.RunParallel(dbRows, dbCfg, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	lshRows := genMatrix(b, 5000, 1000)
+	lshCfg := bitlsh.Config{Seed: 1}
+	b.Run("lsh/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bitlsh.FindGroups(lshRows, 1, lshCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lsh/workers=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bitlsh.FindGroupsParallel(lshRows, 1, lshCfg, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	hnswRows := genMatrix(b, 2000, 1000)
+	hnswCfg := hnsw.Config{Seed: 1}
+	b.Run("hnsw-build/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hnsw.Build(hnswRows, hnswCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hnsw-build/workers=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hnsw.BuildParallel(hnswRows, hnswCfg, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSparseVsDense compares the dense bit-matrix Role Diet path
 // against the CSR path on the same workload, the §III-B representation
 // trade-off.

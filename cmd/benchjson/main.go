@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON snapshot, so benchmark runs can be committed,
+// diffed, and compared across commits without scraping logs.
+//
+//	go test -bench 'Ablation' -benchmem -cpu 1,4 . | go run ./cmd/benchjson > bench.json
+//
+// The output is one object:
+//
+//	{
+//	  "context": {"goos": "...", "goarch": "...", "pkg": "...", "cpu": "...", "gomaxprocs": N},
+//	  "benchmarks": [
+//	    {"name": "BenchmarkX/sub", "procs": 4, "iterations": 100,
+//	     "metrics": {"ns/op": 123.4, "B/op": 567, "allocs/op": 8}},
+//	    ...
+//	  ]
+//	}
+//
+// Unknown metric units pass through verbatim; lines that are not
+// benchmark results or context headers are ignored, so the tool can
+// consume a full `go test` transcript including PASS/ok trailers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// snapshot is the file layout benchjson emits.
+type snapshot struct {
+	Context    map[string]any `json:"context"`
+	Benchmarks []result       `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	snap := snapshot{
+		Context:    map[string]any{"gomaxprocs": runtime.GOMAXPROCS(0)},
+		Benchmarks: []result{},
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			snap.Context[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseLine(line)
+			if ok {
+				snap.Benchmarks = append(snap.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found in input")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName[-procs] <iterations> (<value> <unit>)+
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return result{}, false
+	}
+	name := fields[0]
+	procs := 1
+	// The -N suffix is GOMAXPROCS for the run; strip it off the last
+	// path element only, so sub-benchmark names keep their dashes.
+	if i := strings.LastIndexByte(name, '-'); i > strings.LastIndexByte(name, '/') {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+			procs = n
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	metrics := make(map[string]float64, (len(fields)-2)/2)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return result{Name: name, Procs: procs, Iterations: iters, Metrics: metrics}, true
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAblationParallel/serial         	       2	 500000000 ns/op	 1000000 B/op	    5000 allocs/op
+BenchmarkAblationParallel/workers=4-4    	       4	 250000000 ns/op	 1200000 B/op	    5200 allocs/op
+BenchmarkFigure2/users=1000/rolediet-2   	      10	  10000000 ns/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Context["goos"] != "linux" || snap.Context["pkg"] != "repro" {
+		t.Fatalf("context = %v", snap.Context)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(snap.Benchmarks))
+	}
+	b0 := snap.Benchmarks[0]
+	if b0.Name != "BenchmarkAblationParallel/serial" || b0.Procs != 1 || b0.Iterations != 2 {
+		t.Fatalf("b0 = %+v", b0)
+	}
+	if b0.Metrics["allocs/op"] != 5000 {
+		t.Fatalf("b0 metrics = %v", b0.Metrics)
+	}
+	b1 := snap.Benchmarks[1]
+	if b1.Name != "BenchmarkAblationParallel/workers=4" || b1.Procs != 4 {
+		t.Fatalf("b1 = %+v", b1)
+	}
+	b2 := snap.Benchmarks[2]
+	if b2.Name != "BenchmarkFigure2/users=1000/rolediet" || b2.Procs != 2 {
+		t.Fatalf("b2 = %+v", b2)
+	}
+}
+
+func TestRunRejectsEmpty(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok repro 1s\n"), &out); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestParseLineEdgeCases(t *testing.T) {
+	if _, ok := parseLine("BenchmarkBroken 12"); ok {
+		t.Fatal("short line accepted")
+	}
+	if _, ok := parseLine("BenchmarkBroken x 1 ns/op"); ok {
+		t.Fatal("bad iteration count accepted")
+	}
+	// A trailing dash followed by non-digits is part of the name, not a
+	// procs suffix.
+	r, ok := parseLine("BenchmarkX/mode=a-b 5 100 ns/op")
+	if !ok || r.Name != "BenchmarkX/mode=a-b" || r.Procs != 1 {
+		t.Fatalf("r = %+v ok=%v", r, ok)
+	}
+}

@@ -112,6 +112,7 @@ func cmdAnalyze(args []string, stdout io.Writer) error {
 		method    = fs.String("method", "rolediet", "group method: rolediet, dbscan, hnsw, lsh or dbscan-float64")
 		threshold = fs.Int("threshold", 1, "similar-group threshold k")
 		sparse    = fs.Bool("sparse", false, "use the sparse pipeline (rolediet only)")
+		workers   = fs.Int("workers", 0, "grouping worker goroutines; 0 or 1 run serially, >= 2 parallelise")
 		format    = fs.String("format", "text", "output format: text or json")
 		hierPath  = fs.String("hierarchy", "", "inheritance sidecar JSON; flatten before analysing")
 		optsJSON  = fs.String("options", "", `analysis options as JSON, e.g. '{"method":"hnsw","threshold":2}' (same schema as the server's body envelope; overrides -method/-threshold)`)
@@ -151,7 +152,10 @@ func cmdAnalyze(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{Method: m, SimilarThreshold: *threshold}
+	if *workers < 0 {
+		return fmt.Errorf("analyze: -workers %d < 0", *workers)
+	}
+	opts := core.Options{Method: m, SimilarThreshold: *threshold, Workers: *workers}
 	if err := applyOptionsJSON(*optsJSON, &opts); err != nil {
 		return err
 	}
@@ -184,6 +188,7 @@ func cmdConsolidate(args []string, stdout io.Writer) error {
 	var (
 		data     = fs.String("data", "", "dataset JSON path (required)")
 		out      = fs.String("out", "", "write the consolidated dataset to this path (optional)")
+		workers  = fs.Int("workers", 0, "grouping worker goroutines; 0 or 1 run serially, >= 2 parallelise")
 		optsJSON = fs.String("options", "", `analysis options as JSON, e.g. '{"method":"rolediet"}' (same schema as the server's body envelope)`)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -192,11 +197,14 @@ func cmdConsolidate(args []string, stdout io.Writer) error {
 	if *data == "" {
 		return fmt.Errorf("consolidate: -data is required")
 	}
+	if *workers < 0 {
+		return fmt.Errorf("consolidate: -workers %d < 0", *workers)
+	}
 	ds, err := loadDataset(*data)
 	if err != nil {
 		return err
 	}
-	var copts core.Options
+	copts := core.Options{Workers: *workers}
 	if err := applyOptionsJSON(*optsJSON, &copts); err != nil {
 		return err
 	}

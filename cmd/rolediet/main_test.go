@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -211,5 +213,43 @@ func TestOrgCommand(t *testing.T) {
 	if !strings.Contains(stdout, "organisation-scale audit") ||
 		strings.Contains(stdout, "MISMATCH") {
 		t.Fatalf("org output:\n%s", stdout)
+	}
+}
+
+func TestAnalyzeWorkersFlag(t *testing.T) {
+	path := writeFigure1(t)
+	serial, _, err := runCLI(t, "analyze", "-data", path, "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := runCLI(t, "analyze", "-data", path, "-workers", "4", "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimings := func(raw string) map[string]any {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(raw), &m); err != nil {
+			t.Fatal(err)
+		}
+		for k := range m {
+			if strings.Contains(k, "Duration") {
+				delete(m, k)
+			}
+		}
+		return m
+	}
+	if a, b := stripTimings(serial), stripTimings(par); !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel report differs from serial:\n%v\n---\n%v", a, b)
+	}
+	if _, _, err := runCLI(t, "analyze", "-data", path, "-workers", "-1"); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+	// The -options JSON shares the server schema and wins over the flag,
+	// so a negative value there must be rejected by the decoder too.
+	if _, _, err := runCLI(t, "analyze", "-data", path, "-options", `{"workers": -2}`); err == nil {
+		t.Fatal("negative workers in -options accepted")
+	}
+	if _, _, err := runCLI(t, "consolidate", "-data", path, "-workers", "-1"); err == nil {
+		t.Fatal("consolidate negative -workers accepted")
 	}
 }

@@ -20,6 +20,12 @@
 //	-job-queue       queued-job backlog; full queue sheds with 429
 //	-job-result-ttl  how long finished job results stay fetchable
 //
+// Engine knobs:
+//
+//	-default-workers  grouping workers applied to requests that don't
+//	                  set workers themselves (via the workers query
+//	                  parameter or the options body); >= 2 parallelises
+//
 // /healthz is exempt from the timeout and the limiter, so probes keep
 // answering while the service is saturated or draining.
 package main
@@ -65,6 +71,8 @@ func run(args []string) error {
 			"async job queue depth; submissions beyond it are shed with 429")
 		jobResultTTL = fs.Duration("job-result-ttl", 15*time.Minute,
 			"retention of finished async job results before they expire (404)")
+		defaultWorkers = fs.Int("default-workers", 0,
+			"grouping workers applied to requests that don't set workers themselves; 0 keeps the serial default, >= 2 parallelises")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,7 +94,8 @@ func run(args []string) error {
 			JobResultTTL:   *jobResultTTL,
 			// Jobs outlive their submitting request but not the daemon:
 			// cancelling baseCtx during a forced shutdown aborts them too.
-			BaseContext: baseCtx,
+			BaseContext:    baseCtx,
+			DefaultWorkers: *defaultWorkers,
 		}),
 		ReadTimeout:       *readTimeout,
 		ReadHeaderTimeout: 10 * time.Second,

@@ -238,6 +238,40 @@ func (v *Vector) Hamming(o *Vector) int {
 	return total
 }
 
+// HammingBatch computes dst[i] = Hamming(rows[i], q) for every row,
+// with the word loop unrolled 4-way so the XOR+popcount pipeline stays
+// full. This is the kernel behind the parallel DBSCAN region queries:
+// one call evaluates a whole block of candidate distances against a
+// query row without per-pair call overhead or allocation (dst is
+// caller-provided scratch).
+//
+// It panics unless len(dst) >= len(rows) and every row matches q's
+// length, consistent with the pairwise methods' mixing-widths-is-a-
+// programming-error contract.
+func HammingBatch(dst []int, rows []*Vector, q *Vector) {
+	if len(dst) < len(rows) {
+		panic(fmt.Sprintf("bitvec: HammingBatch dst length %d < %d rows", len(dst), len(rows)))
+	}
+	qw := q.words
+	nw := len(qw)
+	for i, r := range rows {
+		q.checkSameLen(r)
+		rw := r.words[:nw]
+		total := 0
+		j := 0
+		for ; j+4 <= nw; j += 4 {
+			total += bits.OnesCount64(rw[j]^qw[j]) +
+				bits.OnesCount64(rw[j+1]^qw[j+1]) +
+				bits.OnesCount64(rw[j+2]^qw[j+2]) +
+				bits.OnesCount64(rw[j+3]^qw[j+3])
+		}
+		for ; j < nw; j++ {
+			total += bits.OnesCount64(rw[j] ^ qw[j])
+		}
+		dst[i] = total
+	}
+}
+
 // HammingAtMost reports whether Hamming(v, o) <= k, short-circuiting as
 // soon as the running count exceeds k. For the similar-roles detector the
 // threshold k is small (typically 1), so most comparisons abort within a

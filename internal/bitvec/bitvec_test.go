@@ -403,3 +403,72 @@ func BenchmarkIntersectionCount1000(b *testing.B) {
 		_ = x.IntersectionCount(y)
 	}
 }
+
+func TestHammingBatchMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	// Widths straddle word boundaries and the 4-way unroll remainder:
+	// 0-3 trailing words and mid-word tails.
+	for _, width := range []int{1, 7, 63, 64, 65, 128, 130, 191, 192, 256, 257, 300, 1000} {
+		rows := make([]*Vector, 9)
+		for i := range rows {
+			rows[i] = randVector(r, width)
+		}
+		q := randVector(r, width)
+		dst := make([]int, len(rows))
+		HammingBatch(dst, rows, q)
+		for i, row := range rows {
+			if want := q.Hamming(row); dst[i] != want {
+				t.Fatalf("width %d row %d: batch %d != scalar %d", width, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestHammingBatchEmptyRows(t *testing.T) {
+	q := New(100)
+	HammingBatch(nil, nil, q) // no rows: must not touch dst
+}
+
+func TestHammingBatchPanics(t *testing.T) {
+	q := New(64)
+	rows := []*Vector{New(64), New(64)}
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("short dst", func() { HammingBatch(make([]int, 1), rows, q) })
+	assertPanics("width mismatch", func() { HammingBatch(make([]int, 2), []*Vector{New(65), New(64)}, q) })
+}
+
+func BenchmarkHammingBatch(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const (
+		width = 1000
+		n     = 512
+	)
+	rows := make([]*Vector, n)
+	for i := range rows {
+		rows[i] = randVector(r, width)
+	}
+	q := randVector(r, width)
+	dst := make([]int, n)
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			HammingBatch(dst, rows, q)
+		}
+	})
+	b.Run("scalar-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, row := range rows {
+				dst[j] = q.Hamming(row)
+			}
+		}
+	})
+}

@@ -25,6 +25,47 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzHammingBatchParity checks the unrolled batch kernel against the
+// scalar Hamming loop. Widths are derived from the fuzzed byte count
+// plus a fuzzed trim, so they land on word boundaries, mid-word
+// offsets, and the 4-way unroll remainder (1-3 trailing words) alike.
+func FuzzHammingBatchParity(f *testing.F) {
+	f.Add([]byte{0xaa, 0x55, 0x00, 0xff}, []byte{0x0f}, uint8(3))
+	f.Add([]byte{0x01}, []byte{0x80}, uint8(0))
+	f.Add(make([]byte, 40), []byte{0xff, 0xff, 0xff}, uint8(7))
+	f.Fuzz(func(t *testing.T, qb, rb []byte, trim uint8) {
+		if len(qb) == 0 || len(qb) > 80 {
+			return
+		}
+		// Width deliberately not a multiple of 64 for most trims.
+		width := len(qb)*8 - int(trim%8)
+		if width <= 0 {
+			return
+		}
+		fill := func(bs []byte) *Vector {
+			v := New(width)
+			for i := 0; i < width; i++ {
+				if bs[(i/8)%len(bs)]&(1<<(i%8)) != 0 {
+					v.Set(i)
+				}
+			}
+			return v
+		}
+		if len(rb) == 0 {
+			rb = []byte{0}
+		}
+		q := fill(qb)
+		rows := []*Vector{fill(rb), fill(qb), New(width)}
+		dst := make([]int, len(rows))
+		HammingBatch(dst, rows, q)
+		for i, r := range rows {
+			if want := q.Hamming(r); dst[i] != want {
+				t.Fatalf("width %d row %d: HammingBatch = %d, scalar Hamming = %d", width, i, dst[i], want)
+			}
+		}
+	})
+}
+
 // FuzzHammingIdentity checks the core identity on arbitrary bit
 // patterns reconstructed from fuzzed bytes.
 func FuzzHammingIdentity(f *testing.F) {

@@ -1,0 +1,171 @@
+package bitlsh
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitvec"
+	"repro/internal/ctxcheck"
+	"repro/internal/parallel"
+)
+
+// FindGroupsParallel is FindGroups with the two compute-heavy phases —
+// row sketching and candidate verification — fanned out over worker
+// goroutines. Groups AND Stats are identical to the serial run for the
+// same seed and configuration:
+//
+//   - sketches depend only on (row, sampled positions), so computing
+//     them in parallel and building each table's buckets serially in
+//     ascending row order yields the exact buckets the serial pass sees;
+//   - the candidate set after cross-table dedup is a set — independent
+//     of enumeration order — so CandidatePairs matches;
+//   - each verification is an independent exact Hamming check, and
+//     union-find components do not depend on union order, so
+//     VerifiedPairs and the final groups match too.
+//
+// Workers <= 0 selects GOMAXPROCS.
+func FindGroupsParallel(rows []*bitvec.Vector, threshold int, cfg Config, workers int) (*Result, error) {
+	return FindGroupsParallelContext(context.Background(), rows, threshold, cfg, workers)
+}
+
+// FindGroupsParallelContext is FindGroupsParallel with cooperative
+// cancellation, observed in every phase.
+func FindGroupsParallelContext(ctx context.Context, rows []*bitvec.Vector, threshold int, cfg Config, workers int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("bitlsh: negative threshold %d", threshold)
+	}
+	if len(rows) == 0 {
+		return &Result{}, nil
+	}
+	width := rows[0].Len()
+	for i, r := range rows {
+		if r.Len() != width {
+			return nil, fmt.Errorf("bitlsh: row %d has length %d, want %d", i, r.Len(), width)
+		}
+	}
+	cfg = cfg.withDefaults(width, threshold)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	positions := make([][]int, cfg.Tables)
+	for t := range positions {
+		positions[t] = samplePositions(rng, width, cfg.BitsPerHash)
+	}
+
+	// Phase 1 (parallel): sketch every row under every table's sampled
+	// positions. sketches[t][i] is written by exactly one worker.
+	n := len(rows)
+	sketches := make([][]uint64, cfg.Tables)
+	for t := range sketches {
+		sketches[t] = make([]uint64, n)
+	}
+	chunks := parallel.SplitRange(n, parallel.Workers(workers, n))
+	err := parallel.ForEachChunk(ctx, chunks, 2048, func(_ int, c parallel.Chunk, chk *ctxcheck.Checker) error {
+		for i := c.Lo; i < c.Hi; i++ {
+			for t, pos := range positions {
+				if err := chk.Tick(); err != nil {
+					return err
+				}
+				sketches[t][i] = sketch(rows[i], pos)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2 (serial): bucket per table in ascending row order and
+	// enumerate colliding pairs with cross-table dedup. Map-building is
+	// memory-bound; the expensive hashing already happened above.
+	chk := ctxcheck.New(ctx, 2048)
+	stats := Stats{Tables: cfg.Tables, BitsPerHash: cfg.BitsPerHash}
+	seen := make(map[[2]int32]struct{})
+	var cands [][2]int32
+	for t := range sketches {
+		buckets := make(map[uint64][]int32, n)
+		for i := 0; i < n; i++ {
+			buckets[sketches[t][i]] = append(buckets[sketches[t][i]], int32(i))
+		}
+		for _, members := range buckets {
+			if len(members) < 2 {
+				continue
+			}
+			for ai := 0; ai < len(members); ai++ {
+				for bi := ai + 1; bi < len(members); bi++ {
+					if err := chk.Tick(); err != nil {
+						return nil, err
+					}
+					key := [2]int32{members[ai], members[bi]}
+					if _, dup := seen[key]; dup {
+						continue
+					}
+					seen[key] = struct{}{}
+					cands = append(cands, key)
+				}
+			}
+		}
+	}
+	stats.CandidatePairs = len(cands)
+
+	// Phase 3 (parallel): verify each candidate with the exact
+	// distance. verdicts[i] is written by exactly one worker.
+	verdicts := make([]bool, len(cands))
+	vchunks := parallel.SplitRange(len(cands), parallel.Workers(workers, len(cands)))
+	err = parallel.ForEachChunk(ctx, vchunks, 2048, func(_ int, c parallel.Chunk, chk *ctxcheck.Checker) error {
+		for i := c.Lo; i < c.Hi; i++ {
+			if err := chk.Tick(); err != nil {
+				return err
+			}
+			p := cands[i]
+			verdicts[i] = rows[p[0]].HammingAtMost(rows[p[1]], threshold)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 4 (serial): union verified pairs and materialise groups.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, ok := range verdicts {
+		if !ok {
+			continue
+		}
+		stats.VerifiedPairs++
+		ra, rb := find(int(cands[i][0])), find(int(cands[i][1]))
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	byRoot := make(map[int][]int)
+	for i := range rows {
+		byRoot[find(i)] = append(byRoot[find(i)], i)
+	}
+	var groups [][]int
+	for _, g := range byRoot {
+		if len(g) >= 2 {
+			groups = append(groups, g)
+		}
+	}
+	sortGroups(groups)
+	return &Result{Groups: groups, Stats: stats}, nil
+}

@@ -1,0 +1,65 @@
+package bitlsh
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestFindGroupsParallelMatchesSerial asserts the parallel run
+// reproduces the serial one exactly — Groups and Stats both — across
+// random matrices, thresholds, worker counts, and configs.
+func TestFindGroupsParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := randRows(r, 2+r.Intn(80), 8+r.Intn(56), 0.3)
+		for i := 0; i+1 < len(rows); i += 5 {
+			rows[i+1] = rows[i].Clone()
+		}
+		threshold := r.Intn(3)
+		cfg := Config{Tables: 1 + r.Intn(8), Seed: 1 + r.Int63n(100)}
+		workers := 1 + r.Intn(8)
+		serial, err := FindGroups(rows, threshold, cfg)
+		if err != nil {
+			return false
+		}
+		par, err := FindGroupsParallel(rows, threshold, cfg, workers)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(serial, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindGroupsParallelValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	rows := randRows(r, 4, 16, 0.5)
+	if _, err := FindGroupsParallel(rows, -1, Config{}, 2); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	if _, err := FindGroupsParallel(rows, 1, Config{Tables: -1}, 2); err == nil {
+		t.Fatal("negative tables accepted")
+	}
+	ragged := append(randRows(r, 1, 16, 0.5), randRows(r, 1, 17, 0.5)...)
+	if _, err := FindGroupsParallel(ragged, 1, Config{}, 2); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	res, err := FindGroupsParallel(nil, 0, Config{}, 2)
+	if err != nil || len(res.Groups) != 0 {
+		t.Fatalf("empty input: res=%v err=%v", res, err)
+	}
+}
+
+func TestFindGroupsParallelCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows := randRows(rand.New(rand.NewSource(2)), 64, 64, 0.3)
+	if _, err := FindGroupsParallelContext(ctx, rows, 1, Config{}, 4); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

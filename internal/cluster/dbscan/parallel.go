@@ -1,0 +1,186 @@
+package dbscan
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/ctxcheck"
+	"repro/internal/metric"
+	"repro/internal/parallel"
+)
+
+// batchBlock is the number of rows a HammingBatch call evaluates
+// between context polls: large enough to amortise the call, small
+// enough to keep cancellation latency close to the serial path's
+// one-poll-per-4096-distances granularity.
+const batchBlock = 4096
+
+// RunParallel is Run with the region queries fanned out over worker
+// goroutines. Labels are identical to the serial version.
+//
+// The serial algorithm computes every point's eps-neighbourhood
+// exactly once (each point is visited once, either by the outer scan
+// or during cluster expansion, and queried at that visit), so
+// precomputing all n neighbourhoods up front does no extra distance
+// work — it just makes the O(n²) part embarrassingly parallel. The
+// subsequent label propagation is inherently sequential but O(sum of
+// neighbourhood sizes), a small fraction of the distance phase. With
+// the default Hamming metric the scan additionally goes through
+// bitvec.HammingBatch, evaluating a block of packed rows per call
+// instead of one pairwise call each. Workers <= 0 selects GOMAXPROCS.
+func RunParallel(points []*bitvec.Vector, cfg Config, workers int) (*Result, error) {
+	return RunParallelContext(context.Background(), points, cfg, workers)
+}
+
+// RunParallelContext is RunParallel with cooperative cancellation:
+// each worker polls the context independently and the run aborts with
+// ctx.Err(), discarding partial neighbourhoods.
+func RunParallelContext(ctx context.Context, points []*bitvec.Vector, cfg Config, workers int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	kind := cfg.Metric
+	if kind == 0 {
+		kind = metric.Hamming
+	}
+	n := len(points)
+	chunks := parallel.SplitRange(n, parallel.Workers(workers, n))
+	neigh := make([][]int, n)
+	err := parallel.ForEachChunk(ctx, chunks, 4096, func(_ int, c parallel.Chunk, chk *ctxcheck.Checker) error {
+		if kind == metric.Hamming {
+			// Per-worker distance scratch, reused across every block.
+			dst := make([]int, batchBlock)
+			for p := c.Lo; p < c.Hi; p++ {
+				out := []int(nil)
+				for lo := 0; lo < n; lo += batchBlock {
+					hi := min(lo+batchBlock, n)
+					if err := chk.Tick(); err != nil {
+						return err
+					}
+					bitvec.HammingBatch(dst, points[lo:hi], points[p])
+					for i := 0; i < hi-lo; i++ {
+						if float64(dst[i]) <= cfg.Eps {
+							out = append(out, lo+i)
+						}
+					}
+				}
+				neigh[p] = out
+			}
+			return nil
+		}
+		dist := kind.Bits()
+		for p := c.Lo; p < c.Hi; p++ {
+			out := []int(nil)
+			for q := 0; q < n; q++ {
+				if err := chk.Tick(); err != nil {
+					return err
+				}
+				if dist(points[p], points[q]) <= cfg.Eps {
+					out = append(out, q)
+				}
+			}
+			neigh[p] = out
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return clusterPrecomputed(n, cfg, neigh), nil
+}
+
+// RunFloatsParallel is RunFloats with the same parallel neighbourhood
+// precompute (minus the bit-packed batch kernel).
+func RunFloatsParallel(points [][]float64, cfg Config, workers int) (*Result, error) {
+	return RunFloatsParallelContext(context.Background(), points, cfg, workers)
+}
+
+// RunFloatsParallelContext is RunFloatsParallel with cooperative
+// cancellation. Like RunFloatsContext it validates row widths up front
+// instead of panicking mid-scan.
+func RunFloatsParallelContext(ctx context.Context, points [][]float64, cfg Config, workers int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	for i, p := range points {
+		if err := metric.CheckLens(points[0], p); err != nil {
+			return nil, fmt.Errorf("dbscan: row %d: %w", i, err)
+		}
+	}
+	kind := cfg.Metric
+	if kind == 0 {
+		kind = metric.Hamming
+	}
+	dist := kind.Float()
+	n := len(points)
+	chunks := parallel.SplitRange(n, parallel.Workers(workers, n))
+	neigh := make([][]int, n)
+	err := parallel.ForEachChunk(ctx, chunks, 4096, func(_ int, c parallel.Chunk, chk *ctxcheck.Checker) error {
+		for p := c.Lo; p < c.Hi; p++ {
+			out := []int(nil)
+			for q := 0; q < n; q++ {
+				if err := chk.Tick(); err != nil {
+					return err
+				}
+				if dist(points[p], points[q]) <= cfg.Eps {
+					out = append(out, q)
+				}
+			}
+			neigh[p] = out
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return clusterPrecomputed(n, cfg, neigh), nil
+}
+
+// clusterPrecomputed is the label-propagation half of the classic
+// algorithm over already-computed neighbourhoods. It mirrors cluster's
+// visit order exactly — same outer scan, same breadth-first expansion,
+// same border-point adoption — so the labels match the serial run
+// point for point.
+func clusterPrecomputed(n int, cfg Config, neigh [][]int) *Result {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+
+	cluster := 0
+	for p := 0; p < n; p++ {
+		if visited[p] {
+			continue
+		}
+		visited[p] = true
+		neighbours := neigh[p]
+		if len(neighbours) < cfg.MinPts {
+			continue // stays noise unless a later cluster reaches it
+		}
+		labels[p] = cluster
+		for qi := 0; qi < len(neighbours); qi++ {
+			q := neighbours[qi]
+			if labels[q] == Noise {
+				labels[q] = cluster // border or reclaimed-noise point
+			}
+			if visited[q] {
+				continue
+			}
+			visited[q] = true
+			if qNeighbours := neigh[q]; len(qNeighbours) >= cfg.MinPts {
+				neighbours = append(neighbours, qNeighbours...)
+			}
+		}
+		cluster++
+	}
+
+	return &Result{Labels: labels, NumClusters: cluster}
+}

@@ -1,0 +1,109 @@
+package dbscan
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/metric"
+)
+
+func randBits(r *rand.Rand, n, dim int, density float64) []*bitvec.Vector {
+	out := make([]*bitvec.Vector, n)
+	for i := range out {
+		v := bitvec.New(dim)
+		for j := 0; j < dim; j++ {
+			if r.Float64() < density {
+				v.Set(j)
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestRunParallelMatchesSerial asserts label-for-label identity with
+// the serial run across random matrices, eps values, worker counts,
+// and both the batched Hamming path and the generic metric path.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := randBits(r, 2+r.Intn(80), 1+r.Intn(24), 0.3)
+		// Plant duplicates so eps=0 clusters exist.
+		for i := 0; i+1 < len(pts); i += 7 {
+			pts[i+1] = pts[i].Clone()
+		}
+		cfg := Config{Eps: float64(r.Intn(3)), MinPts: 2}
+		if r.Intn(3) == 0 {
+			cfg.Metric = metric.Jaccard
+		}
+		workers := 1 + r.Intn(8)
+		serial, err := Run(pts, cfg)
+		if err != nil {
+			return false
+		}
+		par, err := RunParallel(pts, cfg, workers)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(serial, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFloatsParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 40)
+	for i := range pts {
+		pts[i] = make([]float64, 12)
+		for j := range pts[i] {
+			if r.Float64() < 0.4 {
+				pts[i][j] = 1
+			}
+		}
+	}
+	for _, cfg := range []Config{
+		{Eps: 0, MinPts: 2},
+		{Eps: 2, MinPts: 2, Metric: metric.Manhattan},
+	} {
+		serial, err := RunFloats(pts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := RunFloatsParallel(pts, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("cfg %+v: parallel labels diverge from serial", cfg)
+		}
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	pts := vecs("0101", "0101")
+	if _, err := RunParallel(pts, Config{Eps: -1, MinPts: 2}, 2); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+	if _, err := RunParallel(nil, Config{MinPts: 2}, 2); err != ErrNoPoints {
+		t.Fatalf("err = %v, want ErrNoPoints", err)
+	}
+	ragged := [][]float64{{0, 1}, {0, 1, 1}}
+	if _, err := RunFloatsParallel(ragged, Config{MinPts: 2}, 2); err == nil {
+		t.Fatal("ragged float rows accepted")
+	}
+}
+
+func TestRunParallelCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pts := randBits(rand.New(rand.NewSource(1)), 64, 16, 0.3)
+	if _, err := RunParallelContext(ctx, pts, Config{MinPts: 2}, 4); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,362 @@
+package hnsw
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/ctxcheck"
+	"repro/internal/metric"
+	"repro/internal/parallel"
+)
+
+// BuildParallel constructs the index with insertions fanned out over
+// worker goroutines, the standard HNSW batch-construction scheme:
+// every node's adjacency list is guarded by its own mutex, searches
+// snapshot-copy the lists they traverse, and the entry point is
+// swapped under a read-write lock.
+//
+// Levels are drawn serially from the same seeded generator in row
+// order before the fan-out, so the layer structure is identical to the
+// serial build; with one worker the function delegates to Build and
+// reproduces it exactly. With several workers the link sets depend on
+// insertion interleaving — the graph remains a valid HNSW index with
+// statistically equivalent recall (the testkit backend registry
+// enforces the same recall floor as the serial build), it is just not
+// bit-identical. Workers <= 0 selects GOMAXPROCS.
+func BuildParallel(rows []*bitvec.Vector, cfg Config, workers int) (*Index, error) {
+	return BuildParallelContext(context.Background(), rows, cfg, workers)
+}
+
+// BuildParallelContext is BuildParallel with cooperative cancellation:
+// each worker polls the context between insertions and the build
+// aborts with ctx.Err(), discarding the partial index.
+func BuildParallelContext(ctx context.Context, rows []*bitvec.Vector, cfg Config, workers int) (*Index, error) {
+	n := len(rows)
+	if w := parallel.Workers(workers, n); n == 0 || w == 1 {
+		return BuildContext(ctx, rows, cfg)
+	}
+	idx, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dim := rows[0].Len()
+	for i, r := range rows {
+		if r.Len() != dim {
+			return nil, fmt.Errorf("%w: row %d has %d, index has %d", ErrDimensionMismatch, i, r.Len(), dim)
+		}
+	}
+	idx.dim = dim
+
+	// Draw all levels up front from the index generator, in row order —
+	// exactly the sequence the serial build would consume.
+	levels := make([]int, n)
+	for i := range levels {
+		levels[i] = idx.randomLevel()
+	}
+
+	b := &pbuilder{
+		cfg:    idx.cfg,
+		dist:   idx.dist,
+		nodes:  make([]pnode, n),
+		levels: levels,
+	}
+	for i := range b.nodes {
+		b.nodes[i].vec = rows[i]
+		b.nodes[i].neighbours = make([][]int, levels[i]+1)
+	}
+	// Node 0 seeds the graph as the entry point, mirroring the serial
+	// first Add; everything after it is inserted concurrently.
+	b.entry = 0
+	b.maxLayer = levels[0]
+
+	w := parallel.Workers(workers, n-1)
+	chunks := parallel.SplitRange(n-1, w)
+	err = parallel.ForEachChunk(ctx, chunks, 1, func(_ int, c parallel.Chunk, chk *ctxcheck.Checker) error {
+		s := &pscratch{visited: make([]uint32, n)}
+		for i := c.Lo; i < c.Hi; i++ {
+			if err := chk.Tick(); err != nil {
+				return err
+			}
+			b.insert(i+1, s)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nodes := make([]*node, n)
+	for i := range b.nodes {
+		nodes[i] = &node{vec: b.nodes[i].vec, neighbours: b.nodes[i].neighbours}
+	}
+	idx.nodes = nodes
+	idx.entry = b.entry
+	idx.maxLayer = b.maxLayer
+	idx.distCalls = int(b.distCalls.Load())
+	return idx, nil
+}
+
+// pnode is one node during parallel construction: the serial node plus
+// the mutex guarding its adjacency lists.
+type pnode struct {
+	mu         sync.Mutex
+	vec        *bitvec.Vector
+	neighbours [][]int
+}
+
+// pbuilder holds the shared state of a parallel build.
+type pbuilder struct {
+	cfg       Config
+	dist      metric.BitFunc
+	nodes     []pnode
+	levels    []int
+	entryMu   sync.RWMutex
+	entry     int
+	maxLayer  int
+	distCalls atomic.Int64
+}
+
+// pscratch is per-worker search scratch, reused across every insertion
+// the worker performs: an epoch-stamped visited array replaces the
+// per-search map, and the heaps and copy buffers keep their capacity.
+type pscratch struct {
+	visited  []uint32
+	epoch    uint32
+	frontier minHeap
+	best     maxHeap
+	result   []candidate
+	adj      []int
+	eps      []int
+}
+
+func (b *pbuilder) d(a, v *bitvec.Vector) float64 {
+	b.distCalls.Add(1)
+	return b.dist(a, v)
+}
+
+func (b *pbuilder) maxNeighbours(layer int) int {
+	if layer == 0 {
+		return 2 * b.cfg.M
+	}
+	return b.cfg.M
+}
+
+// neighboursAt snapshot-copies id's adjacency at the given layer into
+// buf so the caller can walk it without holding the node lock.
+func (b *pbuilder) neighboursAt(id, layer int, buf []int) []int {
+	nd := &b.nodes[id]
+	nd.mu.Lock()
+	buf = append(buf[:0], nd.neighbours[layer]...)
+	nd.mu.Unlock()
+	return buf
+}
+
+// insert adds node id to the graph, following Index.Add step for step
+// with locked adjacency access.
+func (b *pbuilder) insert(id int, s *pscratch) {
+	v := b.nodes[id].vec
+	level := b.levels[id]
+
+	b.entryMu.RLock()
+	ep, maxLayer := b.entry, b.maxLayer
+	b.entryMu.RUnlock()
+
+	for l := maxLayer; l > level; l-- {
+		ep = b.greedyClosest(v, ep, l, s)
+	}
+
+	startLayer := min(level, maxLayer)
+	eps := append(s.eps[:0], ep)
+	for l := startLayer; l >= 0; l-- {
+		found := b.searchLayer(v, eps, b.cfg.EfConstruction, l, s)
+		selected := b.selectNeighbours(v, found, b.cfg.M)
+		nd := &b.nodes[id]
+		nd.mu.Lock()
+		// Merge rather than overwrite: concurrent inserters may already
+		// have back-linked into this node's list at this layer.
+		for _, nb := range selected {
+			if !containsID(nd.neighbours[l], nb) {
+				nd.neighbours[l] = append(nd.neighbours[l], nb)
+			}
+		}
+		nd.mu.Unlock()
+		for _, nb := range selected {
+			b.link(nb, id, l)
+		}
+		eps = eps[:0]
+		for _, c := range found {
+			eps = append(eps, c.id)
+		}
+		if len(eps) == 0 {
+			eps = append(eps, ep)
+		}
+	}
+	s.eps = eps
+
+	b.entryMu.Lock()
+	if level > b.maxLayer {
+		b.maxLayer = level
+		b.entry = id
+	}
+	b.entryMu.Unlock()
+}
+
+// link adds dst to src's adjacency at the given layer, deduplicating
+// (a pair inserted concurrently can discover each other from both
+// sides) and shrinking with the selection policy on overflow. The
+// whole operation runs under src's lock; the distance evaluations it
+// makes touch only immutable vectors.
+func (b *pbuilder) link(src, dst, layer int) {
+	nd := &b.nodes[src]
+	limit := b.maxNeighbours(layer)
+	nd.mu.Lock()
+	if containsID(nd.neighbours[layer], dst) {
+		nd.mu.Unlock()
+		return
+	}
+	ns := append(nd.neighbours[layer], dst)
+	if len(ns) > limit {
+		cands := make([]candidate, 0, len(ns))
+		for _, nb := range ns {
+			cands = append(cands, candidate{id: nb, dist: b.d(nd.vec, b.nodes[nb].vec)})
+		}
+		ns = b.selectNeighbours(nd.vec, cands, limit)
+	}
+	nd.neighbours[layer] = ns
+	nd.mu.Unlock()
+}
+
+func containsID(ids []int, id int) bool {
+	for _, e := range ids {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// greedyClosest mirrors Index.greedyClosest over snapshot adjacency.
+func (b *pbuilder) greedyClosest(q *bitvec.Vector, ep, layer int, s *pscratch) int {
+	cur := ep
+	curDist := b.d(q, b.nodes[cur].vec)
+	for {
+		improved := false
+		s.adj = b.neighboursAt(cur, layer, s.adj)
+		for _, nb := range s.adj {
+			if dd := b.d(q, b.nodes[nb].vec); dd < curDist {
+				cur, curDist = nb, dd
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer mirrors Index.searchLayer over snapshot adjacency, with
+// the worker scratch replacing the per-call visited map and heaps. The
+// returned slice is owned by the scratch and valid until the next call.
+func (b *pbuilder) searchLayer(q *bitvec.Vector, eps []int, ef, layer int, s *pscratch) []candidate {
+	s.epoch++
+	s.frontier = s.frontier[:0]
+	s.best = s.best[:0]
+
+	for _, ep := range eps {
+		if s.visited[ep] == s.epoch {
+			continue
+		}
+		s.visited[ep] = s.epoch
+		c := candidate{id: ep, dist: b.d(q, b.nodes[ep].vec)}
+		s.frontier.push(c)
+		s.best.push(c)
+	}
+
+	for s.frontier.len() > 0 {
+		cur := s.frontier.pop()
+		if s.best.len() >= ef && cur.dist > s.best.top().dist {
+			break
+		}
+		s.adj = b.neighboursAt(cur.id, layer, s.adj)
+		for _, nb := range s.adj {
+			if s.visited[nb] == s.epoch {
+				continue
+			}
+			s.visited[nb] = s.epoch
+			dd := b.d(q, b.nodes[nb].vec)
+			if s.best.len() < ef || dd < s.best.top().dist {
+				c := candidate{id: nb, dist: dd}
+				s.frontier.push(c)
+				s.best.push(c)
+				if s.best.len() > ef {
+					s.best.pop()
+				}
+			}
+		}
+	}
+
+	if cap(s.result) < s.best.len() {
+		s.result = make([]candidate, s.best.len())
+	}
+	s.result = s.result[:s.best.len()]
+	for i := len(s.result) - 1; i >= 0; i-- {
+		s.result[i] = s.best.pop()
+	}
+	return s.result
+}
+
+// selectNeighbours mirrors Index.selectNeighbours with the builder's
+// atomic distance counter. The returned slice is freshly allocated:
+// it is retained inside adjacency lists.
+func (b *pbuilder) selectNeighbours(q *bitvec.Vector, cands []candidate, m int) []int {
+	sorted := make([]candidate, len(cands))
+	copy(sorted, cands)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].dist < sorted[j].dist })
+
+	if !b.cfg.Heuristic {
+		if len(sorted) > m {
+			sorted = sorted[:m]
+		}
+		out := make([]int, len(sorted))
+		for i, c := range sorted {
+			out[i] = c.id
+		}
+		return out
+	}
+
+	out := make([]int, 0, m)
+	for _, c := range sorted {
+		if len(out) >= m {
+			break
+		}
+		keep := true
+		for _, sel := range out {
+			if b.d(b.nodes[c.id].vec, b.nodes[sel].vec) < c.dist {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c.id)
+		}
+	}
+	if len(out) < m {
+		chosen := make(map[int]struct{}, len(out))
+		for _, sel := range out {
+			chosen[sel] = struct{}{}
+		}
+		for _, c := range sorted {
+			if len(out) >= m {
+				break
+			}
+			if _, ok := chosen[c.id]; !ok {
+				out = append(out, c.id)
+			}
+		}
+	}
+	return out
+}

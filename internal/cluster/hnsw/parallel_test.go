@@ -1,0 +1,158 @@
+package hnsw
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func randMatrix(r *rand.Rand, n, dim int, density float64) []*bitvec.Vector {
+	rows := make([]*bitvec.Vector, n)
+	for i := range rows {
+		rows[i] = randRow(r, dim, density)
+	}
+	return rows
+}
+
+// TestBuildParallelOneWorkerMatchesSerial: with a single worker the
+// parallel build must reproduce the serial index exactly — same levels
+// from the same seeded generator, same links, same search results.
+func TestBuildParallelOneWorkerMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	rows := randMatrix(r, 200, 64, 0.3)
+	cfg := Config{M: 8, EfConstruction: 60, Seed: 5}
+
+	serial, err := Build(rows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildParallel(rows, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.entry != par.entry || serial.maxLayer != par.maxLayer {
+		t.Fatalf("entry/maxLayer diverge: serial (%d,%d) parallel (%d,%d)",
+			serial.entry, serial.maxLayer, par.entry, par.maxLayer)
+	}
+	for i := range serial.nodes {
+		sn, pn := serial.nodes[i], par.nodes[i]
+		if len(sn.neighbours) != len(pn.neighbours) {
+			t.Fatalf("node %d: level diverges", i)
+		}
+		for l := range sn.neighbours {
+			if len(sn.neighbours[l]) != len(pn.neighbours[l]) {
+				t.Fatalf("node %d layer %d: adjacency diverges", i, l)
+			}
+			for j := range sn.neighbours[l] {
+				if sn.neighbours[l][j] != pn.neighbours[l][j] {
+					t.Fatalf("node %d layer %d: adjacency diverges", i, l)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildParallelRecall holds the multi-worker build to the same
+// recall floor as the serial index on the same workload.
+func TestBuildParallelRecall(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	rows := randMatrix(r, 400, 96, 0.25)
+	idx, err := BuildParallel(rows, Config{M: 12, EfConstruction: 100, Heuristic: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != len(rows) {
+		t.Fatalf("Len = %d, want %d", idx.Len(), len(rows))
+	}
+
+	const k = 5
+	hitSum, total := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		q := rows[r.Intn(len(rows))]
+		exact := bruteKNN(rows, q, k)
+		got, err := idx.SearchEf(q, k, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inExact := make(map[int]bool, len(exact))
+		for _, id := range exact {
+			inExact[id] = true
+		}
+		for _, nb := range got {
+			if inExact[nb.ID] {
+				hitSum++
+			}
+		}
+		total += k
+	}
+	if recall := float64(hitSum) / float64(total); recall < 0.85 {
+		t.Fatalf("parallel-build recall = %.3f, want >= 0.85", recall)
+	}
+}
+
+// TestBuildParallelDistancesHonest: every reported distance must equal
+// the true metric distance; the parallel build may miss neighbours but
+// must never fabricate distances.
+func TestBuildParallelDistancesHonest(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	rows := randMatrix(r, 150, 48, 0.3)
+	idx, err := BuildParallel(rows, Config{M: 8, EfConstruction: 40}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := randRow(r, 48, 0.3)
+		got, err := idx.SearchEf(q, 8, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nb := range got {
+			if want := float64(q.Hamming(rows[nb.ID])); nb.Dist != want {
+				t.Fatalf("neighbour %d: dist %v, true %v", nb.ID, nb.Dist, want)
+			}
+		}
+	}
+}
+
+func TestBuildParallelValidation(t *testing.T) {
+	if _, err := BuildParallel(nil, Config{M: -1}, 2); err == nil {
+		t.Fatal("negative M accepted")
+	}
+	r := rand.New(rand.NewSource(1))
+	rows := randMatrix(r, 8, 16, 0.5)
+	rows[5] = randRow(r, 17, 0.5)
+	if _, err := BuildParallel(rows, Config{}, 2); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestBuildParallelCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := rand.New(rand.NewSource(2))
+	rows := randMatrix(r, 64, 16, 0.5)
+	if _, err := BuildParallelContext(ctx, rows, Config{}, 4); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBuildParallelEmptyAndSingle covers the delegation edge cases.
+func TestBuildParallelEmptyAndSingle(t *testing.T) {
+	idx, err := BuildParallel(nil, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 0 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	r := rand.New(rand.NewSource(3))
+	idx, err = BuildParallel(randMatrix(r, 1, 8, 0.5), Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}

@@ -2,23 +2,26 @@ package rolediet
 
 import (
 	"context"
-	"runtime"
-	"sync"
+	"fmt"
 
 	"repro/internal/ctxcheck"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // GroupsParallel is Groups with the co-occurrence pass fanned out over
 // worker goroutines. Results are identical to the serial version; only
 // wall-clock time changes.
 //
-// Parallelisation strategy: the inverted index is built once (serial,
-// cheap), then the role range is split into contiguous chunks. Each
-// worker owns a private co-occurrence scratch array and emits the
-// qualifying pairs for its chunk; pairs are merged into one union-find
-// at the end. The pair-emission phase dominates the runtime, so on a
-// multi-core machine the speedup approaches the worker count on large
-// matrices; on a single-core machine the fan-out costs ~10% overhead
+// Parallelisation strategy: the inverted index is built with the same
+// two-pass deterministic layout as the serial path (workers share the
+// counting and fill passes over disjoint row chunks), then the role
+// range is split into contiguous chunks. Each worker owns a pooled
+// co-occurrence scratch array and emits the qualifying pairs for its
+// chunk; pairs are merged into one union-find at the end. The
+// pair-emission phase dominates the runtime, so on a multi-core
+// machine the speedup approaches the worker count on large matrices;
+// on a single-core machine the fan-out costs a few percent overhead
 // (see BenchmarkAblationParallel). Workers <= 0 selects GOMAXPROCS.
 func GroupsParallel(rows Rows, opts Options, workers int) (*Result, error) {
 	return GroupsParallelContext(context.Background(), rows, opts, workers)
@@ -45,29 +48,69 @@ func GroupsParallelContext(ctx context.Context, rows Rows, opts Options, workers
 			return nil, &rowLenError{index: i, got: r.Len(), want: width}
 		}
 	}
-	chk := ctxcheck.New(ctx, 1024)
-	if err := chk.Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	if opts.Threshold == 0 && !opts.DisableExactHashFastPath {
 		// The hash fast path is already near-linear and memory-bound;
 		// run it serially.
-		return exactGroups(chk, newProgressTicker(opts.Progress, len(rows)), rows)
+		return GroupsContext(ctx, rows, opts)
 	}
-	return similarGroupsParallel(ctx, rows, opts.Threshold, workers)
+	n := len(rows)
+	norms := make([]int, n)
+	for i, r := range rows {
+		norms[i] = r.Count()
+	}
+	return similarGroupsShared(ctx, n, width, norms, denseRowCols(rows), opts.Threshold, workers, opts.Progress)
 }
 
-// rowLenError mirrors the serial validation error without fmt in the
-// hot path.
+// GroupsCSRParallel is GroupsCSR with the co-occurrence pass fanned
+// out exactly like GroupsParallel; results are identical to the serial
+// CSR run. Workers <= 0 selects GOMAXPROCS.
+func GroupsCSRParallel(c *matrix.CSR, opts Options, workers int) (*Result, error) {
+	return GroupsCSRParallelContext(context.Background(), c, opts, workers)
+}
+
+// GroupsCSRParallelContext is GroupsCSRParallel with cooperative
+// cancellation, mirroring GroupsParallelContext.
+func GroupsCSRParallelContext(ctx context.Context, c *matrix.CSR, opts Options, workers int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Rows() == 0 {
+		return &Result{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.Threshold == 0 && !opts.DisableExactHashFastPath {
+		return GroupsCSRContext(ctx, c, opts)
+	}
+	n := c.Rows()
+	norms := make([]int, n)
+	for i := 0; i < n; i++ {
+		norms[i] = c.RowSum(i)
+	}
+	rowCols := func(i int, emit func(col int)) {
+		for _, j := range c.RowCols(i) {
+			emit(j)
+		}
+	}
+	return similarGroupsShared(ctx, n, c.Cols(), norms, rowCols, opts.Threshold, workers, opts.Progress)
+}
+
+// rowLenError mirrors the serial validation error while keeping fmt
+// off the validation loop: the message is only formatted if someone
+// actually reads it.
 type rowLenError struct {
 	index, got, want int
 }
 
 func (e *rowLenError) Error() string {
-	return "rolediet: row length mismatch in parallel run"
+	return fmt.Sprintf("rolediet: row %d has length %d, want %d", e.index, e.got, e.want)
 }
 
 // pair is one qualifying (i, j) role pair found by a worker.
@@ -75,94 +118,90 @@ type pair struct {
 	a, b int32
 }
 
-func similarGroupsParallel(ctx context.Context, rows Rows, k, workers int) (*Result, error) {
-	n := len(rows)
-	norms := make([]int, n)
-	for i, r := range rows {
-		norms[i] = r.Count()
-	}
-	width := rows[0].Len()
-	colIndex := make([][]int32, width)
-	for i, r := range rows {
-		r.ForEach(func(j int) bool {
-			colIndex[j] = append(colIndex[j], int32(i))
-			return true
-		})
-	}
-
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
+// similarGroupsShared is the thresholded grouping pass shared by the
+// dense and CSR parallel entry points: rows are abstracted behind the
+// rowCols accessor, so the inverted index, chunked fan-out, scratch
+// pooling and merge logic exist once.
+func similarGroupsShared(ctx context.Context, n, width int, norms []int, rowCols func(i int, emit func(col int)), k, workers int, progFn func(done, total int)) (*Result, error) {
+	workers = parallel.Workers(workers, n)
+	chunks := parallel.SplitRange(n, workers)
+	colIndex := buildColIndex(n, width, len(chunks), rowCols)
+	prog := parallel.NewProgress(progFn, n, len(chunks))
 
 	// Each worker processes a contiguous chunk of role indices and
 	// collects qualifying pairs locally; no shared mutable state.
-	chunks := splitRange(n, workers)
 	pairLists := make([][]pair, len(chunks))
 	examined := make([]int, len(chunks))
-
-	var wg sync.WaitGroup
-	for wi, ch := range chunks {
-		wi, ch := wi, ch
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Private checker per worker: Checker is not safe for
-			// concurrent use, and independent polling means every worker
-			// stops within its own stride of a cancellation.
-			chk := ctxcheck.New(ctx, 1024)
-			counts := make([]int32, n)
-			touched := make([]int32, 0, 64)
-			var local []pair
-			pairs := 0
-			for i := ch.lo; i < ch.hi; i++ {
-				var tickErr error
-				rows[i].ForEach(func(u int) bool {
-					if tickErr = chk.Tick(); tickErr != nil {
-						return false
-					}
-					for _, j := range colIndex[u] {
-						if int(j) <= i {
-							continue
-						}
-						if counts[j] == 0 {
-							touched = append(touched, j)
-						}
-						counts[j]++
-					}
-					return true
-				})
-				if tickErr != nil {
-					// Abandon the chunk; the merge below sees ctx.Err()
-					// and discards every worker's partial pairs.
-					return
-				}
-				ni := norms[i]
-				for _, j := range touched {
-					g := int(counts[j])
-					counts[j] = 0
-					pairs++
-					if ni+norms[j]-2*g <= k {
-						local = append(local, pair{a: int32(i), b: j})
-					}
-				}
-				touched = touched[:0]
+	err := parallel.ForEachChunk(ctx, chunks, groupStride, func(w int, c parallel.Chunk, chk *ctxcheck.Checker) error {
+		s := getScratch(n)
+		counts, touched := s.counts, s.touched
+		tick := prog.Ticker(w, groupStride)
+		var local []pair
+		pairs := 0
+		// One tick per set column: each expands a full posting list,
+		// so per-tick work is substantial and cancellation stays
+		// prompt. After a failed tick the expand callback goes inert,
+		// so the remainder of the row is a cheap no-op walk. expand is
+		// hoisted out of the row loop (row/tickErr flow through
+		// captured variables) so the closure is allocated once per
+		// chunk, not once per row.
+		var tickErr error
+		row := 0
+		expand := func(u int) {
+			if tickErr != nil {
+				return
 			}
-			pairLists[wi] = local
-			examined[wi] = pairs
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+			if tickErr = chk.Tick(); tickErr != nil {
+				return
+			}
+			tick.Tick(row - c.Lo)
+			for _, j := range colIndex[u] {
+				if int(j) <= row {
+					continue
+				}
+				if counts[j] == 0 {
+					touched = append(touched, j)
+				}
+				counts[j]++
+			}
+		}
+		for i := c.Lo; i < c.Hi; i++ {
+			row = i
+			rowCols(i, expand)
+			if tickErr != nil {
+				// Abandon the chunk, dropping the scratch rather than
+				// pooling it: counts still holds nonzero residue.
+				return tickErr
+			}
+			ni := norms[i]
+			for _, j := range touched {
+				g := int(counts[j])
+				counts[j] = 0
+				pairs++
+				// Hamming(i,j) = |Ri| + |Rj| - 2 g(i,j).
+				if ni+norms[j]-2*g <= k {
+					local = append(local, pair{a: int32(i), b: j})
+				}
+			}
+			touched = touched[:0]
+		}
+		tick.Flush(c.Len())
+		s.touched = touched
+		putScratch(s)
+		pairLists[w] = local
+		examined[w] = pairs
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 
+	// Serial merge. Chunks are visited in order, so PairsExamined and
+	// the union sequence match the serial pass exactly.
 	uf := newUnionFind(n)
 	total := 0
-	for wi, list := range pairLists {
-		total += examined[wi]
+	for w, list := range pairLists {
+		total += examined[w]
 		for _, p := range list {
 			uf.union(int(p.a), int(p.b))
 		}
@@ -192,31 +231,6 @@ func similarGroupsParallel(ctx context.Context, rows Rows, k, workers int) (*Res
 		}
 	}
 	sortGroups(groups)
+	prog.Finish()
 	return &Result{Groups: groups, PairsExamined: total}, nil
-}
-
-// chunk is a half-open index range [lo, hi).
-type chunk struct {
-	lo, hi int
-}
-
-// splitRange divides [0, n) into at most parts contiguous chunks of
-// near-equal size.
-func splitRange(n, parts int) []chunk {
-	if parts > n {
-		parts = n
-	}
-	out := make([]chunk, 0, parts)
-	base := n / parts
-	rem := n % parts
-	lo := 0
-	for p := 0; p < parts; p++ {
-		size := base
-		if p < rem {
-			size++
-		}
-		out = append(out, chunk{lo: lo, hi: lo + size})
-		lo += size
-	}
-	return out
 }

@@ -80,44 +80,87 @@ func TestGroupsParallelMoreWorkersThanRows(t *testing.T) {
 	}
 }
 
-func TestSplitRange(t *testing.T) {
-	tests := []struct {
-		n, parts int
-		want     []chunk
-	}{
-		{10, 3, []chunk{{0, 4}, {4, 7}, {7, 10}}},
-		{3, 5, []chunk{{0, 1}, {1, 2}, {2, 3}}},
-		{4, 1, []chunk{{0, 4}}},
+// TestRowLenError asserts the parallel validation error carries the
+// same diagnostic detail (row index, actual and expected width) as the
+// serial path, character for character: a caller switching Workers on
+// must not lose error fidelity.
+func TestRowLenError(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	rows := randRows(r, 5, 8, 0.5)
+	rows[3] = randRows(r, 1, 6, 0.5)[0] // row 3: width 6, want 8
+	_, serialErr := Groups(rows, Options{Threshold: 1})
+	if serialErr == nil {
+		t.Fatal("serial accepted ragged rows")
 	}
-	for _, tt := range tests {
-		got := splitRange(tt.n, tt.parts)
-		if !reflect.DeepEqual(got, tt.want) {
-			t.Errorf("splitRange(%d,%d) = %v, want %v", tt.n, tt.parts, got, tt.want)
-		}
+	_, parErr := GroupsParallel(rows, Options{Threshold: 1}, 4)
+	if parErr == nil {
+		t.Fatal("parallel accepted ragged rows")
 	}
-	// Chunks always cover [0, n) without gaps or overlap.
-	for n := 1; n < 40; n++ {
-		for parts := 1; parts < 10; parts++ {
-			chunks := splitRange(n, parts)
-			covered := 0
-			prev := 0
-			for _, c := range chunks {
-				if c.lo != prev {
-					t.Fatalf("gap at %d for n=%d parts=%d", c.lo, n, parts)
-				}
-				covered += c.hi - c.lo
-				prev = c.hi
-			}
-			if covered != n || prev != n {
-				t.Fatalf("splitRange(%d,%d) covers %d", n, parts, covered)
-			}
-		}
+	if serialErr.Error() != parErr.Error() {
+		t.Fatalf("error detail mismatch:\n  serial:   %q\n  parallel: %q", serialErr, parErr)
+	}
+	want := "rolediet: row 3 has length 6, want 8"
+	if parErr.Error() != want {
+		t.Fatalf("parallel error = %q, want %q", parErr, want)
 	}
 }
 
-func TestRowLenError(t *testing.T) {
-	err := &rowLenError{index: 3, got: 4, want: 5}
-	if err.Error() == "" {
-		t.Fatal("empty error message")
+// TestGroupsCSRParallelMatchesSerial mirrors the dense metamorphic
+// check for the CSR entry point.
+func TestGroupsCSRParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := randRows(r, 2+r.Intn(60), 1+r.Intn(20), 0.3)
+		plantDuplicates(r, rows, r.Intn(10))
+		c := toCSR(rows)
+		k := r.Intn(3)
+		workers := 1 + r.Intn(8)
+		serial, err := GroupsCSR(c, Options{Threshold: k})
+		if err != nil {
+			return false
+		}
+		par, err := GroupsCSRParallel(c, Options{Threshold: k}, workers)
+		if err != nil {
+			return false
+		}
+		if !groupsEqual(serial.Groups, par.Groups) {
+			return false
+		}
+		return serial.PairsExamined == par.PairsExamined
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupsParallelProgress checks the aggregated progress hook keeps
+// the serial contract under the fan-out: monotonically non-decreasing
+// done counts, a fixed total, and a final (total, total) report.
+func TestGroupsParallelProgress(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	rows := randRows(r, 500, 40, 0.3)
+	last := -1
+	calls := 0
+	opts := Options{Threshold: 1, Progress: func(done, total int) {
+		calls++
+		if total != len(rows) {
+			t.Fatalf("total = %d, want %d", total, len(rows))
+		}
+		if done < last {
+			t.Fatalf("progress went backwards: %d after %d", done, last)
+		}
+		if done > total {
+			t.Fatalf("done %d > total %d", done, total)
+		}
+		last = done
+	}}
+	if _, err := GroupsParallel(rows, opts, 4); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress hook never invoked")
+	}
+	if last != len(rows) {
+		t.Fatalf("final done = %d, want %d", last, len(rows))
 	}
 }

@@ -221,44 +221,48 @@ func similarGroups(chk *ctxcheck.Checker, prog *progressTicker, rows Rows, k int
 		norms[i] = r.Count()
 	}
 
-	// Inverted index: column (user) -> roles having that column set.
+	// Inverted index: column (user) -> roles having that column set,
+	// built with the exact-size two-pass layout shared with the
+	// parallel path.
 	width := rows[0].Len()
-	colIndex := make([][]int32, width)
-	for i, r := range rows {
-		r.ForEach(func(j int) bool {
-			colIndex[j] = append(colIndex[j], int32(i))
-			return true
-		})
-	}
+	colIndex := buildColIndex(n, width, 1, denseRowCols(rows))
 
 	uf := newUnionFind(n)
 	pairs := 0
 
-	// Scratch co-occurrence counts for the current role i against every
-	// role j > i that shares at least one user with it.
-	counts := make([]int32, n)
-	touched := make([]int32, 0, 64)
+	// Pooled scratch: co-occurrence counts for the current role i
+	// against every role j > i that shares at least one user with it.
+	scratch := getScratch(n)
+	counts, touched := scratch.counts, scratch.touched
+	// One tick per set bit: each expands a full posting list, so the
+	// per-tick work is substantial and cancellation stays prompt.
+	// expand is hoisted out of the row loop (row/tickErr flow through
+	// captured variables) so the closure is allocated once per run,
+	// not once per row.
+	var tickErr error
+	row := 0
+	expand := func(u int) bool {
+		if tickErr = chk.Tick(); tickErr != nil {
+			return false
+		}
+		prog.tick(row)
+		for _, j := range colIndex[u] {
+			if int(j) <= row {
+				continue
+			}
+			if counts[j] == 0 {
+				touched = append(touched, j)
+			}
+			counts[j]++
+		}
+		return true
+	}
 	for i := 0; i < n; i++ {
-		// One tick per set bit: each expands a full posting list, so the
-		// per-tick work is substantial and cancellation stays prompt.
-		var tickErr error
-		rows[i].ForEach(func(u int) bool {
-			if tickErr = chk.Tick(); tickErr != nil {
-				return false
-			}
-			prog.tick(i)
-			for _, j := range colIndex[u] {
-				if int(j) <= i {
-					continue
-				}
-				if counts[j] == 0 {
-					touched = append(touched, j)
-				}
-				counts[j]++
-			}
-			return true
-		})
+		row = i
+		rows[i].ForEach(expand)
 		if tickErr != nil {
+			// Drop the scratch rather than pooling it: counts still
+			// holds nonzero residue for the abandoned row.
 			return nil, tickErr
 		}
 		ni := norms[i]
@@ -273,6 +277,8 @@ func similarGroups(chk *ctxcheck.Checker, prog *progressTicker, rows Rows, k int
 		}
 		touched = touched[:0]
 	}
+	scratch.touched = touched
+	putScratch(scratch)
 
 	// Pairs sharing no users have g = 0 and Hamming = |Ri| + |Rj|; only
 	// roles with small norms can qualify. Union the norm buckets whose

@@ -125,21 +125,23 @@ func similarGroupsCSR(chk *ctxcheck.Checker, prog *progressTicker, c *matrix.CSR
 		norms[i] = c.RowSum(i)
 	}
 
-	// Inverted index: column -> rows having it, in ascending row order
-	// (rows are visited in order below, so appends keep it sorted).
-	colIndex := make([][]int32, c.Cols())
-	for i := 0; i < n; i++ {
+	// Inverted index: column -> rows having it, in ascending row order,
+	// built with the exact-size two-pass layout shared with the
+	// parallel path.
+	colIndex := buildColIndex(n, c.Cols(), 1, func(i int, emit func(col int)) {
 		for _, j := range c.RowCols(i) {
-			colIndex[j] = append(colIndex[j], int32(i))
+			emit(j)
 		}
-	}
+	})
 
 	uf := newUnionFind(n)
 	pairs := 0
-	counts := make([]int32, n)
-	touched := make([]int32, 0, 64)
+	scratch := getScratch(n)
+	counts, touched := scratch.counts, scratch.touched
 	for i := 0; i < n; i++ {
-		// One tick per nonzero: each expands a full posting list.
+		// One tick per nonzero: each expands a full posting list. On
+		// cancellation the scratch is dropped, not pooled: counts
+		// still holds nonzero residue for the abandoned row.
 		for _, u := range c.RowCols(i) {
 			if err := chk.Tick(); err != nil {
 				return nil, err
@@ -166,6 +168,8 @@ func similarGroupsCSR(chk *ctxcheck.Checker, prog *progressTicker, c *matrix.CSR
 		}
 		touched = touched[:0]
 	}
+	scratch.touched = touched
+	putScratch(scratch)
 
 	// Norm-bucket pass for pairs sharing no columns (see similarGroups).
 	bucketByNorm := make([][]int, k+1)

@@ -96,6 +96,12 @@ type Options struct {
 	// Group carries method-specific knobs; Threshold and Method inside
 	// it are overwritten per detector run.
 	Group GroupOptions `json:"group,omitempty"`
+	// Workers fans each grouping detector out over this many goroutines
+	// (see GroupOptions.Workers for semantics). 0 and 1 run serially,
+	// >= 2 runs the parallel backend variants, negative is rejected. It
+	// overrides Group.Workers when set so "workers" at the top level of
+	// the wire schema governs the whole analysis.
+	Workers int `json:"workers,omitempty"`
 	// Progress, when non-nil, receives (stage, fraction) updates as the
 	// analysis advances: once at every stage boundary, and from inside
 	// the hard-class (4-5) grouping loops on the same stride the engine
@@ -118,6 +124,9 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 	if p.SimilarThreshold < 0 {
 		return fmt.Errorf("core: negative similar threshold %d", p.SimilarThreshold)
 	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: negative workers %d", p.Workers)
+	}
 	*o = Options(p)
 	return nil
 }
@@ -136,6 +145,9 @@ func (o Options) withDefaults() Options {
 func (o Options) Validate() error {
 	if o.SimilarThreshold < 0 {
 		return fmt.Errorf("core: negative similar threshold %d", o.SimilarThreshold)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative workers %d", o.Workers)
 	}
 	return nil
 }
@@ -260,6 +272,9 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, opts Options) (*Report, e
 
 	gopts := opts.Group
 	gopts.Method = opts.Method
+	if opts.Workers != 0 {
+		gopts.Workers = opts.Workers
+	}
 	// Disconnected roles (class 2) must not resurface as one giant
 	// class-4 group of all-zero rows.
 	gopts.IgnoreEmptyRows = true

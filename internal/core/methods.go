@@ -132,6 +132,13 @@ type GroupOptions struct {
 	// class 2) would resurface as one giant class-4 group. The Analyzer
 	// enables it; the raw facade defaults to false.
 	IgnoreEmptyRows bool `json:"ignoreEmptyRows,omitempty"`
+	// Workers fans the selected backend's hot phase out over this many
+	// goroutines. 0 (the default) and 1 run the serial implementation;
+	// values >= 2 select the parallel one; negative values are rejected.
+	// Exact backends (rolediet, dbscan, dbscan-float64, lsh) return
+	// identical results at any worker count; hnsw keeps its recall floor
+	// but links may differ run to run when Workers >= 2.
+	Workers int `json:"workers,omitempty"`
 	// Progress, when non-nil, receives (rowsDone, totalRows) from inside
 	// the grouping loops for the backends that support in-loop reporting
 	// (rolediet and hnsw; dbscan and lsh report only at boundaries). Not
@@ -150,6 +157,9 @@ func (o *GroupOptions) UnmarshalJSON(data []byte) error {
 	}
 	if p.Threshold < 0 {
 		return fmt.Errorf("core: negative group threshold %d", p.Threshold)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: negative workers %d", p.Workers)
 	}
 	*o = GroupOptions(p)
 	return nil
@@ -170,6 +180,9 @@ func FindRoleGroups(rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
 func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
 	if opts.Threshold < 0 {
 		return nil, fmt.Errorf("core: negative threshold %d", opts.Threshold)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("core: negative workers %d", opts.Workers)
 	}
 	method := opts.Method
 	if method == 0 {
@@ -200,23 +213,40 @@ func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts Grou
 		}
 		return groups, nil
 	}
+	// Workers 0/1 keep the serial implementations; >= 2 selects each
+	// backend's parallel variant with that worker count.
+	par := opts.Workers >= 2
 	switch method {
 	case MethodRoleDiet:
-		res, err := rolediet.GroupsContext(ctx, rows, rolediet.Options{
+		ropts := rolediet.Options{
 			Threshold: opts.Threshold,
 			Progress:  opts.Progress,
-		})
+		}
+		var res *rolediet.Result
+		var err error
+		if par {
+			res, err = rolediet.GroupsParallelContext(ctx, rows, ropts, opts.Workers)
+		} else {
+			res, err = rolediet.GroupsContext(ctx, rows, ropts)
+		}
 		if err != nil {
 			return nil, err
 		}
 		return res.Groups, nil
 	case MethodDBSCAN:
-		res, err := dbscan.RunContext(ctx, rows, dbscan.Config{
+		cfg := dbscan.Config{
 			// Small epsilon mirrors the paper's float-comparison guard;
 			// distances are integral so it cannot admit false pairs.
 			Eps:    float64(opts.Threshold) + 1e-9,
 			MinPts: 2,
-		})
+		}
+		var res *dbscan.Result
+		var err error
+		if par {
+			res, err = dbscan.RunParallelContext(ctx, rows, cfg, opts.Workers)
+		} else {
+			res, err = dbscan.RunContext(ctx, rows, cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -228,16 +258,29 @@ func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts Grou
 		for i, r := range rows {
 			floats[i] = r.Floats()
 		}
-		res, err := dbscan.RunFloatsContext(ctx, floats, dbscan.Config{
+		cfg := dbscan.Config{
 			Eps:    float64(opts.Threshold) + 1e-9,
 			MinPts: 2,
-		})
+		}
+		var res *dbscan.Result
+		var err error
+		if par {
+			res, err = dbscan.RunFloatsParallelContext(ctx, floats, cfg, opts.Workers)
+		} else {
+			res, err = dbscan.RunFloatsContext(ctx, floats, cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
 		return normalizeGroups(res.Groups()), nil
 	case MethodLSH:
-		res, err := bitlsh.FindGroupsContext(ctx, rows, opts.Threshold, opts.LSH)
+		var res *bitlsh.Result
+		var err error
+		if par {
+			res, err = bitlsh.FindGroupsParallelContext(ctx, rows, opts.Threshold, opts.LSH, opts.Workers)
+		} else {
+			res, err = bitlsh.FindGroupsContext(ctx, rows, opts.Threshold, opts.LSH)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -252,7 +295,13 @@ func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts Grou
 // verified neighbour within the threshold. Connectivity is resolved
 // with union-find; recall is approximate by construction.
 func hnswGroups(ctx context.Context, rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
-	idx, err := hnsw.BuildContext(ctx, rows, opts.HNSW)
+	var idx *hnsw.Index
+	var err error
+	if opts.Workers >= 2 {
+		idx, err = hnsw.BuildParallelContext(ctx, rows, opts.HNSW, opts.Workers)
+	} else {
+		idx, err = hnsw.BuildContext(ctx, rows, opts.HNSW)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -66,10 +66,17 @@ func AnalyzeSparseContext(ctx context.Context, d *rbac.Dataset, opts Options) (*
 
 	toGroups := func(c *matrix.CSR, k int, stage string, lo, hi float64) ([]RoleGroup, error) {
 		kept, remap := filterEmptyRows(c)
-		res, err := rolediet.GroupsCSRContext(ctx, kept, rolediet.Options{
+		ropts := rolediet.Options{
 			Threshold: k,
 			Progress:  progress.span(stage, lo, hi),
-		})
+		}
+		var res *rolediet.Result
+		var err error
+		if opts.Workers >= 2 {
+			res, err = rolediet.GroupsCSRParallelContext(ctx, kept, ropts, opts.Workers)
+		} else {
+			res, err = rolediet.GroupsCSRContext(ctx, kept, ropts)
+		}
 		if err != nil {
 			return nil, err
 		}

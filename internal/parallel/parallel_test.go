@@ -1,0 +1,173 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ctxcheck"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4, 100); got != 4 {
+		t.Fatalf("Workers(4, 100) = %d, want 4", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want 3 (clamped to items)", got)
+	}
+	if got := Workers(0, 100); got < 1 {
+		t.Fatalf("Workers(0, 100) = %d, want >= 1", got)
+	}
+	if got := Workers(-5, 0); got != 1 {
+		t.Fatalf("Workers(-5, 0) = %d, want 1", got)
+	}
+}
+
+func TestSplitRangeCoversExactly(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {7, 3}, {100, 7}, {5, 5}, {3, 10},
+	} {
+		chunks := SplitRange(tc.n, tc.parts)
+		covered := 0
+		lo := 0
+		for _, c := range chunks {
+			if c.Lo != lo {
+				t.Fatalf("SplitRange(%d,%d): chunk starts at %d, want %d", tc.n, tc.parts, c.Lo, lo)
+			}
+			if c.Hi < c.Lo {
+				t.Fatalf("SplitRange(%d,%d): inverted chunk %+v", tc.n, tc.parts, c)
+			}
+			covered += c.Len()
+			lo = c.Hi
+		}
+		if covered != tc.n {
+			t.Fatalf("SplitRange(%d,%d) covers %d indices", tc.n, tc.parts, covered)
+		}
+		if tc.n > 0 && len(chunks) > tc.parts {
+			t.Fatalf("SplitRange(%d,%d) made %d chunks", tc.n, tc.parts, len(chunks))
+		}
+	}
+}
+
+func TestForEachChunkVisitsAll(t *testing.T) {
+	const n = 1000
+	seen := make([]int32, n)
+	chunks := SplitRange(n, 4)
+	err := ForEachChunk(context.Background(), chunks, 0, func(w int, c Chunk, chk *ctxcheck.Checker) error {
+		for i := c.Lo; i < c.Hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seen {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestForEachChunkFirstErrorWins(t *testing.T) {
+	errBoom := errors.New("boom")
+	chunks := SplitRange(100, 4)
+	err := ForEachChunk(context.Background(), chunks, 0, func(w int, c Chunk, chk *ctxcheck.Checker) error {
+		if w == 2 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want %v", err, errBoom)
+	}
+}
+
+func TestForEachChunkCancelledContextWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	chunks := SplitRange(100, 4)
+	err := ForEachChunk(ctx, chunks, 0, func(w int, c Chunk, chk *ctxcheck.Checker) error {
+		return errors.New("worker error that must not mask ctx.Err")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachChunkSingleChunkRunsInline(t *testing.T) {
+	chunks := SplitRange(10, 1)
+	if len(chunks) != 1 {
+		t.Fatalf("got %d chunks", len(chunks))
+	}
+	ran := false
+	err := ForEachChunk(context.Background(), chunks, 0, func(w int, c Chunk, chk *ctxcheck.Checker) error {
+		ran = true
+		if w != 0 || c.Lo != 0 || c.Hi != 10 {
+			t.Fatalf("unexpected chunk %d %+v", w, c)
+		}
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatalf("err=%v ran=%v", err, ran)
+	}
+}
+
+func TestProgressMonotonicAndConcurrencySafe(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 5000
+		total   = workers * perW
+	)
+	var last int64 = -1
+	violations := int32(0)
+	p := NewProgress(func(done, tot int) {
+		// The aggregator holds its mutex across the hook, so plain
+		// reads/writes of last are safe here; the race detector would
+		// flag it otherwise.
+		if int64(done) < last {
+			atomic.AddInt32(&violations, 1)
+		}
+		last = int64(done)
+		if tot != total {
+			atomic.AddInt32(&violations, 1)
+		}
+		if done > tot {
+			atomic.AddInt32(&violations, 1)
+		}
+	}, total, workers)
+
+	chunks := SplitRange(total, workers)
+	err := ForEachChunk(context.Background(), chunks, 0, func(w int, c Chunk, chk *ctxcheck.Checker) error {
+		tick := p.Ticker(w, 64)
+		for i := c.Lo; i < c.Hi; i++ {
+			tick.Tick(i - c.Lo + 1)
+		}
+		tick.Flush(c.Len())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Finish()
+	if violations != 0 {
+		t.Fatalf("%d progress contract violations", violations)
+	}
+	if last != int64(total) {
+		t.Fatalf("final done = %d, want %d", last, total)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress = NewProgress(nil, 10, 2)
+	if p != nil {
+		t.Fatal("NewProgress(nil, ...) should be nil")
+	}
+	tick := p.Ticker(0, 8)
+	for i := 0; i < 100; i++ {
+		tick.Tick(i)
+	}
+	tick.Flush(100)
+	p.Finish() // must not panic
+}

@@ -25,7 +25,9 @@
 //   - A bare dataset export (back-compat): the body is the dataset JSON
 //     and analysis options come from query parameters — method
 //     (rolediet|dbscan|hnsw|lsh|dbscan-float64), threshold (int >= 0),
-//     sparse (bool). /v1/query takes user and/or permission selectors;
+//     workers (int >= 0; >= 2 fans grouping out over that many
+//     goroutines), sparse (bool). /v1/query takes user and/or
+//     permission selectors;
 //     /v1/diff accepts method/threshold the same way.
 //
 //   - A v1 envelope: {"dataset": {...}, "options": {...}, "sparse": bool}
@@ -141,6 +143,12 @@ type Options struct {
 	// cancelling it (daemon drain) cancels every queued and running
 	// job. Defaults to context.Background().
 	BaseContext context.Context
+	// DefaultWorkers is applied to requests that do not set workers
+	// themselves (query parameter or options body). 0 keeps the
+	// engine's serial default; >= 2 makes parallel grouping the
+	// daemon-wide default while individual requests can still pin
+	// workers=1 for a serial run.
+	DefaultWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -297,6 +305,16 @@ func queryOptions(r *http.Request) (core.Options, bool, error) {
 		}
 		opts.SimilarThreshold = k
 	}
+	if ws := q.Get("workers"); ws != "" {
+		n, err := strconv.Atoi(ws)
+		if err != nil {
+			return opts, false, fmt.Errorf("workers: %w", err)
+		}
+		if n < 0 {
+			return opts, false, fmt.Errorf("workers %d < 0", n)
+		}
+		opts.Workers = n
+	}
 	sparse := false
 	if s := q.Get("sparse"); s != "" {
 		v, err := strconv.ParseBool(s)
@@ -355,6 +373,10 @@ func (h *handler) decodeRequest(w http.ResponseWriter, r *http.Request) (*v1Requ
 			req.sparse = *env.Sparse
 		}
 		datasetJSON = env.Dataset
+	}
+
+	if req.opts.Workers == 0 {
+		req.opts.Workers = h.opts.DefaultWorkers
 	}
 
 	ds, err := rbac.ReadJSON(bytes.NewReader(datasetJSON))

@@ -103,6 +103,21 @@ func Backends() []Backend {
 			},
 		},
 		{
+			Name:  "rolediet-csr-parallel",
+			Exact: true,
+			Run: func(ctx context.Context, rows []*bitvec.Vector, threshold int) ([][]int, error) {
+				c, err := rowsToCSR(rows)
+				if err != nil {
+					return nil, err
+				}
+				res, err := rolediet.GroupsCSRParallelContext(ctx, c, rolediet.Options{Threshold: threshold}, 4)
+				if err != nil {
+					return nil, err
+				}
+				return Normalize(res.Groups), nil
+			},
+		},
+		{
 			Name:  "dbscan",
 			Exact: true,
 			Run: func(ctx context.Context, rows []*bitvec.Vector, threshold int) ([][]int, error) {
@@ -119,10 +134,37 @@ func Backends() []Backend {
 			},
 		},
 		{
+			Name:  "dbscan-parallel",
+			Exact: true,
+			Run: func(ctx context.Context, rows []*bitvec.Vector, threshold int) ([][]int, error) {
+				res, err := dbscan.RunParallelContext(ctx, rows, dbscan.Config{
+					Eps:    float64(threshold) + 1e-9,
+					MinPts: 2,
+				}, 4)
+				if err != nil {
+					return nil, err
+				}
+				return Normalize(res.Groups()), nil
+			},
+		},
+		{
 			Name:      "hnsw",
 			MinRecall: 0.80,
 			Run: func(ctx context.Context, rows []*bitvec.Vector, threshold int) ([][]int, error) {
-				return hnswGroups(ctx, rows, threshold)
+				return hnswGroups(ctx, rows, threshold, hnsw.BuildContext)
+			},
+		},
+		{
+			// The parallel build with >= 2 workers produces a valid HNSW
+			// graph but not the serial one link for link, so it carries
+			// the same recall floor, verified independently.
+			Name:      "hnsw-parallel",
+			MinRecall: 0.80,
+			Run: func(ctx context.Context, rows []*bitvec.Vector, threshold int) ([][]int, error) {
+				return hnswGroups(ctx, rows, threshold,
+					func(ctx context.Context, rows []*bitvec.Vector, cfg hnsw.Config) (*hnsw.Index, error) {
+						return hnsw.BuildParallelContext(ctx, rows, cfg, 4)
+					})
 			},
 		},
 		{
@@ -130,6 +172,20 @@ func Backends() []Backend {
 			MinRecall: 0.90,
 			Run: func(ctx context.Context, rows []*bitvec.Vector, threshold int) ([][]int, error) {
 				res, err := bitlsh.FindGroupsContext(ctx, rows, threshold, bitlsh.Config{})
+				if err != nil {
+					return nil, err
+				}
+				return Normalize(res.Groups), nil
+			},
+		},
+		{
+			// lsh-parallel reproduces the serial lsh result exactly for a
+			// fixed seed, but it is still approximate relative to the
+			// oracle, hence the same floor rather than Exact.
+			Name:      "lsh-parallel",
+			MinRecall: 0.90,
+			Run: func(ctx context.Context, rows []*bitvec.Vector, threshold int) ([][]int, error) {
+				res, err := bitlsh.FindGroupsParallelContext(ctx, rows, threshold, bitlsh.Config{}, 4)
 				if err != nil {
 					return nil, err
 				}
@@ -153,9 +209,12 @@ func BackendByName(name string) *Backend {
 // hnswGroups mirrors the §III-D grouping recipe: build the index over
 // all rows, radius-query it once per role, union every hit within the
 // threshold. Recall is approximate by construction; precision is exact
-// because SearchRadius filters by true distance.
-func hnswGroups(ctx context.Context, rows []*bitvec.Vector, threshold int) ([][]int, error) {
-	idx, err := hnsw.BuildContext(ctx, rows, hnsw.Config{})
+// because SearchRadius filters by true distance. The build function is
+// a parameter so the serial and parallel constructions share one
+// grouping recipe.
+func hnswGroups(ctx context.Context, rows []*bitvec.Vector, threshold int,
+	build func(context.Context, []*bitvec.Vector, hnsw.Config) (*hnsw.Index, error)) ([][]int, error) {
+	idx, err := build(ctx, rows, hnsw.Config{})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench_json.sh — run the paper-figure benchmark families and the
+# ablations with -benchmem, then convert the transcript into a
+# machine-readable JSON snapshot (default BENCH_PR4.json) via
+# cmd/benchjson. The snapshot is meant to be committed so benchmark
+# regressions show up in review as a diff, not a vibe.
+#
+# Knobs:
+#   $1          output path                (default BENCH_PR4.json)
+#   BENCH_TIME  -benchtime for every run   (default 1x: one honest
+#               iteration per point; raise for lower-variance numbers)
+#   BENCH_CPU   -cpu list for the ablation runs (default 1,4), showing
+#               the serial baseline next to the fan-out on the same
+#               hardware. Figure runs stay at the host's GOMAXPROCS.
+set -eu
+
+out="${1:-BENCH_PR4.json}"
+time="${BENCH_TIME:-1x}"
+cpus="${BENCH_CPU:-1,4}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# Paper figures + org-scale audit (Figure3$ excludes the deliberately
+# slow float64-baseline family; run `make bench` for the full suite).
+go test -run '^$' -bench 'Figure2|Figure3$|OrgScale' \
+	-benchtime "$time" -benchmem . | tee "$tmp"
+
+# Ablations, including the serial-vs-workers parallel families, under
+# -cpu so single-core overhead and multi-core scaling are both on
+# record.
+go test -run '^$' -bench 'Ablation' -cpu "$cpus" \
+	-benchtime "$time" -benchmem . | tee -a "$tmp"
+
+go run ./cmd/benchjson < "$tmp" > "$out"
+echo "wrote $out"
