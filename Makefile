@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-figures bench-json experiments jobs-smoke clean
+.PHONY: all build vet test race cover bench bench-figures bench-json experiments jobs-smoke store-smoke clean
 
 all: build vet test
 
@@ -51,6 +51,12 @@ experiments:
 # submit -> poll -> result -> cancel with curl (see scripts/jobs_smoke.sh).
 jobs-smoke:
 	sh scripts/jobs_smoke.sh
+
+# End-to-end smoke of the dataset registry and result cache: upload ->
+# analyze by reference (miss then hit) -> diff two refs -> restart
+# persistence (see scripts/store_smoke.sh).
+store-smoke:
+	sh scripts/store_smoke.sh
 
 clean:
 	rm -f rolediet roledietd

@@ -10,7 +10,51 @@ import (
 	"repro/internal/consolidate"
 	"repro/internal/core"
 	"repro/internal/mining"
+	"repro/internal/store"
 )
+
+// cmdDigest prints a dataset's content digest — the same SHA-256 over
+// the canonical encoding that roledietd's /v1/datasets registry
+// assigns, so a digest computed offline can be used as dataset_ref
+// against a server that has the snapshot.
+func cmdDigest(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("digest", flag.ContinueOnError)
+	var (
+		data     = fs.String("data", "", "dataset JSON path (required)")
+		jsonOut  = fs.Bool("json", false, "emit JSON ({digest, bytes, roles, users, permissions})")
+		prefixed = fs.Bool("prefixed", false, "print with the sha256: prefix")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("digest: -data is required")
+	}
+	ds, err := loadDataset(*data)
+	if err != nil {
+		return err
+	}
+	digest, canonical, err := store.DigestOf(ds)
+	if err != nil {
+		return err
+	}
+	if *prefixed {
+		digest = "sha256:" + digest
+	}
+	if *jsonOut {
+		st := ds.Stats()
+		enc := json.NewEncoder(stdout)
+		return enc.Encode(map[string]any{
+			"digest":      digest,
+			"bytes":       len(canonical),
+			"roles":       st.Roles,
+			"users":       st.Users,
+			"permissions": st.Permissions,
+		})
+	}
+	fmt.Fprintln(stdout, digest)
+	return nil
+}
 
 // cmdMine rebuilds a role set bottom-up from the dataset's effective
 // user-permission assignment — the role-mining comparison from the

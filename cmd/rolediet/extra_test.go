@@ -99,3 +99,41 @@ func TestHelpListsNewSubcommands(t *testing.T) {
 		t.Fatalf("help missing new subcommands:\n%s", out)
 	}
 }
+
+func TestDigestCommand(t *testing.T) {
+	path := writeFigure1(t)
+	stdout, _, err := runCLI(t, "digest", "-data", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := strings.TrimSpace(stdout)
+	if len(bare) != 64 {
+		t.Fatalf("digest = %q, want 64 hex chars", bare)
+	}
+	// Deterministic: the same file digests identically, and the
+	// prefixed form only adds the algorithm tag.
+	again, _, err := runCLI(t, "digest", "-data", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(again) != bare {
+		t.Fatalf("digest not deterministic: %q vs %q", again, stdout)
+	}
+	prefixed, _, err := runCLI(t, "digest", "-data", path, "-prefixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(prefixed) != "sha256:"+bare {
+		t.Fatalf("prefixed digest = %q", prefixed)
+	}
+	jsonOut, _, err := runCLI(t, "digest", "-data", path, "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonOut, bare) || !strings.Contains(jsonOut, `"roles"`) {
+		t.Fatalf("digest json:\n%s", jsonOut)
+	}
+	if _, _, err := runCLI(t, "digest"); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+}

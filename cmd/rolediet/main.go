@@ -58,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cmdBench(args[1:], stdout, stderr)
 	case "recall":
 		return cmdRecall(args[1:], stdout)
+	case "digest":
+		return cmdDigest(args[1:], stdout)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return nil
@@ -84,6 +86,7 @@ subcommands:
   replay       apply an event log to a snapshot, auditing at checkpoints
   bench        run the full evaluation and emit a Markdown report
   recall       quality sweep for the approximate methods (HNSW, LSH)
+  digest       print a dataset's content digest (usable as dataset_ref)
   help         show this message
 `)
 }

@@ -26,6 +26,15 @@
 //	                  set workers themselves (via the workers query
 //	                  parameter or the options body); >= 2 parallelises
 //
+// Dataset registry and result cache knobs (see internal/store):
+//
+//	-store-dir        directory persisting registered datasets and warm
+//	                  cache entries across restarts; empty keeps the
+//	                  store memory-only
+//	-store-max-bytes  byte budget shared by datasets and cached results;
+//	                  least-recently-used entries are evicted beyond it
+//	-store-ttl        how long cached analysis results stay servable
+//
 // /healthz is exempt from the timeout and the limiter, so probes keep
 // answering while the service is saturated or draining.
 package main
@@ -45,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -73,6 +83,12 @@ func run(args []string) error {
 			"retention of finished async job results before they expire (404)")
 		defaultWorkers = fs.Int("default-workers", 0,
 			"grouping workers applied to requests that don't set workers themselves; 0 keeps the serial default, >= 2 parallelises")
+		storeDir = fs.String("store-dir", "",
+			"directory persisting registered datasets and warm cache entries across restarts; empty keeps the store memory-only")
+		storeMaxBytes = fs.Int64("store-max-bytes", 512<<20,
+			"byte budget shared by registered datasets and cached results; LRU eviction beyond it")
+		storeTTL = fs.Duration("store-ttl", time.Hour,
+			"retention of cached analysis results")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,9 +99,22 @@ func run(args []string) error {
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 
+	st, err := store.New(store.Options{
+		Dir:         *storeDir,
+		MaxBytes:    *storeMaxBytes,
+		TTL:         *storeTTL,
+		BaseContext: baseCtx,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return fmt.Errorf("open store: %w", err)
+	}
+	defer st.Close()
+
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: server.NewHandler(server.Options{
+			Store: st,
 			MaxBodyBytes:   *maxBodyMiB << 20,
 			RequestTimeout: *requestTimeout,
 			MaxConcurrent:  *maxConcurrent,

@@ -29,6 +29,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/ttl"
 )
 
 // Status is a job's lifecycle state.
@@ -251,11 +253,13 @@ func (j *Job) cancelQueued(now time.Time) bool {
 	return true
 }
 
-// expired reports whether the job finished longer than ttl ago.
-func (j *Job) expired(now time.Time, ttl time.Duration) bool {
+// expired reports whether the job finished longer than maxAge ago. The
+// lazy check in Get makes an expired job unreachable immediately; the
+// shared sweeper only bounds memory for abandoned ids.
+func (j *Job) expired(now time.Time, maxAge time.Duration) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.status.Terminal() && !j.finished.IsZero() && now.Sub(j.finished) > ttl
+	return j.status.Terminal() && ttl.Expired(j.finished, now, maxAge)
 }
 
 // Err returns the job's error (nil while queued/running or when done).
@@ -267,11 +271,12 @@ func (j *Job) Err() error {
 
 // Manager owns the worker pool, the queue, and the job store.
 type Manager struct {
-	opts   Options
-	base   context.Context
-	cancel context.CancelFunc
-	queue  chan *Job
-	wg     sync.WaitGroup
+	opts    Options
+	base    context.Context
+	cancel  context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+	sweeper *ttl.Sweeper
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -293,8 +298,9 @@ func NewManager(opts Options) *Manager {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	m.wg.Add(1)
-	go m.janitor()
+	// Lazy expiry in Get covers polled jobs; the sweep bounds memory
+	// for abandoned ones.
+	m.sweeper = ttl.NewSweeper(base, ttl.Interval(opts.ResultTTL), m.sweep)
 	return m
 }
 
@@ -392,12 +398,14 @@ func (m *Manager) Close() {
 	if m.closed {
 		m.mu.Unlock()
 		m.wg.Wait()
+		m.sweeper.Stop()
 		return
 	}
 	m.closed = true
 	m.mu.Unlock()
 	m.cancel()
 	m.wg.Wait()
+	m.sweeper.Stop()
 }
 
 // worker drains the queue until the manager closes.
@@ -444,34 +452,15 @@ func (m *Manager) runJob(j *Job) {
 	j.finish(result, err, time.Now())
 }
 
-// janitor sweeps expired jobs. Lazy collection in Get covers polled
-// jobs; the sweep bounds memory for abandoned ones.
-func (m *Manager) janitor() {
-	defer m.wg.Done()
-	interval := m.opts.ResultTTL / 4
-	if interval < 10*time.Millisecond {
-		interval = 10 * time.Millisecond
-	}
-	if interval > 30*time.Second {
-		interval = 30 * time.Second
-	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-m.base.Done():
-			return
-		case <-t.C:
-			now := time.Now()
-			m.mu.Lock()
-			for id, j := range m.jobs {
-				if j.expired(now, m.opts.ResultTTL) {
-					delete(m.jobs, id)
-				}
-			}
-			m.mu.Unlock()
+// sweep collects expired jobs; it is the ttl.Sweeper's callback.
+func (m *Manager) sweep(now time.Time) {
+	m.mu.Lock()
+	for id, j := range m.jobs {
+		if j.expired(now, m.opts.ResultTTL) {
+			delete(m.jobs, id)
 		}
 	}
+	m.mu.Unlock()
 }
 
 // newID returns a 96-bit random hex id.

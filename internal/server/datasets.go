@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/rbac"
+	"repro/internal/store"
+)
+
+// registerDatasets wires the dataset registry lifecycle and the stats
+// endpoint. Called from NewHandler.
+func (h *handler) registerDatasets() {
+	h.mux.HandleFunc("POST /v1/datasets", h.datasetPut)
+	h.mux.HandleFunc("GET /v1/datasets", h.datasetList)
+	h.mux.HandleFunc("GET /v1/datasets/{digest}", h.datasetGet)
+	h.mux.HandleFunc("DELETE /v1/datasets/{digest}", h.datasetDelete)
+	h.mux.HandleFunc("GET /v1/stats", h.statsReport)
+}
+
+// datasetPutResponse acknowledges an ingest: the digest every later
+// request can reference instead of re-uploading the matrices.
+type datasetPutResponse struct {
+	Digest  string     `json:"digest"`
+	Created bool       `json:"created"`
+	Bytes   int64      `json:"bytes"`
+	Stats   rbac.Stats `json:"stats"`
+}
+
+// datasetPut registers a dataset export: the body is the dataset JSON
+// (optionally gzip-compressed), canonicalized and addressed by its
+// SHA-256 content digest. Re-uploading identical content answers 200
+// with the same digest; new content answers 201.
+func (h *handler) datasetPut(w http.ResponseWriter, r *http.Request) {
+	body, ok := h.readBody(w, r)
+	if !ok {
+		return
+	}
+	ds, err := rbac.ReadJSON(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse dataset: %w", err))
+		return
+	}
+	digest, created, err := h.store.PutDataset(ds)
+	switch {
+	case errors.Is(err, store.ErrTooLarge):
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	_, canonical, _ := h.store.GetDataset(digest)
+	w.Header().Set("Location", "/v1/datasets/"+digest)
+	w.Header().Set("Content-Type", "application/json")
+	if created {
+		w.WriteHeader(http.StatusCreated)
+	}
+	writeJSON(w, datasetPutResponse{
+		Digest:  digest,
+		Created: created,
+		Bytes:   int64(len(canonical)),
+		Stats:   ds.Stats(),
+	})
+}
+
+// datasetList enumerates the registered datasets.
+func (h *handler) datasetList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string][]store.DatasetInfo{"datasets": h.store.ListDatasets()})
+}
+
+// pathDigest parses the {digest} path value, answering 400 for
+// malformed digests.
+func (h *handler) pathDigest(w http.ResponseWriter, r *http.Request) (string, bool) {
+	digest, err := store.ParseDigest(r.PathValue("digest"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return "", false
+	}
+	return digest, true
+}
+
+// datasetGet serves the canonical snapshot — the exact bytes the
+// digest hashes to.
+func (h *handler) datasetGet(w http.ResponseWriter, r *http.Request) {
+	digest, ok := h.pathDigest(w, r)
+	if !ok {
+		return
+	}
+	_, canonical, ok := h.store.GetDataset(digest)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("dataset %s not found", digest))
+		return
+	}
+	writeRawJSON(w, canonical)
+}
+
+// datasetDelete removes a snapshot from the registry and, when
+// persistence is on, from disk. Cached analysis results for the digest
+// are left to their TTL: content addressing keeps them correct should
+// the same content ever be re-registered.
+func (h *handler) datasetDelete(w http.ResponseWriter, r *http.Request) {
+	digest, ok := h.pathDigest(w, r)
+	if !ok {
+		return
+	}
+	if !h.store.DeleteDataset(digest) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("dataset %s not found", digest))
+		return
+	}
+	writeJSON(w, map[string]string{"deleted": digest})
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	Store store.Stats `json:"store"`
+	Jobs  jobStats    `json:"jobs"`
+}
+
+type jobStats struct {
+	// Live counts jobs currently held by the manager in any state.
+	Live int `json:"live"`
+}
+
+// statsReport surfaces the store's hit/miss/eviction/single-flight
+// counters and byte accounting, plus the live job count.
+func (h *handler) statsReport(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, statsResponse{
+		Store: h.store.Stats(),
+		Jobs:  jobStats{Live: h.jobs.Len()},
+	})
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/diff"
 	"repro/internal/query"
 	"repro/internal/rbac"
+	"repro/internal/store"
 )
 
 // registerExtra wires the query and diff endpoints. Called from
@@ -84,13 +86,16 @@ func (h *handler) query(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// diffRequest carries the two snapshots to compare, plus optional
+// diffRequest carries the two snapshots to compare — each side inline
+// or as a digest reference to a registered dataset — plus optional
 // analysis options in the shared core.Options wire schema (body wins
 // over the method/threshold query parameters).
 type diffRequest struct {
-	Before  *rbac.Dataset `json:"before"`
-	After   *rbac.Dataset `json:"after"`
-	Options *core.Options `json:"options"`
+	Before    *rbac.Dataset `json:"before"`
+	After     *rbac.Dataset `json:"after"`
+	BeforeRef string        `json:"before_ref"`
+	AfterRef  string        `json:"after_ref"`
+	Options   *core.Options `json:"options"`
 }
 
 // diffResponse bundles the structural and audit-count diffs.
@@ -100,48 +105,94 @@ type diffResponse struct {
 	Improved   bool              `json:"improved"`
 }
 
-// diff compares two posted snapshots structurally and by audit counts.
+// diffSide resolves one side of the comparison: exactly one of the
+// inline dataset or the digest reference, named so errors read
+// "diff: before ...".
+func (h *handler) diffSide(w http.ResponseWriter, name string, inline *rbac.Dataset, ref string) (*rbac.Dataset, string, bool) {
+	switch {
+	case inline != nil && ref != "":
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("diff: give %s inline or as %s_ref, not both", name, name))
+		return nil, "", false
+	case inline == nil && ref == "":
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("diff: need %s (inline dataset or %s_ref digest)", name, name))
+		return nil, "", false
+	case ref != "":
+		return h.resolveRef(w, ref)
+	}
+	if err := inline.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("diff: %s: %w", name, err))
+		return nil, "", false
+	}
+	digest, _, err := store.DigestOf(inline)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return nil, "", false
+	}
+	return inline, digest, true
+}
+
+// diff compares two snapshots — posted inline or referenced by digest —
+// structurally and by audit counts. Results are cached under the pair
+// of content digests, so re-diffing the same pair (in either form) is
+// served from the store.
 func (h *handler) diff(w http.ResponseWriter, r *http.Request) {
 	opts, _, err := queryOptions(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
-	var req diffRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("parse diff request: %w", err))
+	body, ok := h.readBody(w, r)
+	if !ok {
 		return
 	}
-	if req.Before == nil || req.After == nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("diff: need before and after datasets"))
+	var req diffRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse diff request: %w", err))
 		return
 	}
 	if req.Options != nil {
 		opts = *req.Options
 	}
-	if err := req.Before.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	before, beforeDigest, ok := h.diffSide(w, "before", req.Before, req.BeforeRef)
+	if !ok {
 		return
 	}
-	if err := req.After.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	after, afterDigest, ok := h.diffSide(w, "after", req.After, req.AfterRef)
+	if !ok {
 		return
 	}
-	repBefore, err := core.AnalyzeContext(r.Context(), req.Before, opts)
+	fp, err := store.Fingerprint(opts)
 	if err != nil {
-		writeEngineError(w, err)
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	repAfter, err := core.AnalyzeContext(r.Context(), req.After, opts)
-	if err != nil {
-		writeEngineError(w, err)
-		return
+	key := store.Key{
+		Dataset:     beforeDigest + "+" + afterDigest,
+		Fingerprint: fp,
+		Kind:        "diff",
 	}
-	rd := diff.Reports(repBefore, repAfter)
-	writeJSON(w, diffResponse{
-		Structural: diff.Datasets(req.Before, req.After),
-		Counts:     rd,
-		Improved:   rd.Improved(),
+	out, hit, err := h.store.Result(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+		repBefore, err := core.AnalyzeContext(ctx, before, opts)
+		if err != nil {
+			return nil, err
+		}
+		repAfter, err := core.AnalyzeContext(ctx, after, opts)
+		if err != nil {
+			return nil, err
+		}
+		rd := diff.Reports(repBefore, repAfter)
+		return json.Marshal(diffResponse{
+			Structural: diff.Datasets(before, after),
+			Counts:     rd,
+			Improved:   rd.Improved(),
+		})
 	})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	w.Header().Set("X-Cache", cacheHeader(hit))
+	writeRawJSON(w, out)
 }

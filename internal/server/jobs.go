@@ -42,7 +42,13 @@ func (h *handler) jobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	kind := req.kind
 	j, err := h.jobs.Submit(kind, func(ctx context.Context, progress func(string, float64)) (any, error) {
-		return runKind(ctx, kind, req, progress)
+		// The cached path means a job whose (dataset, options, kind)
+		// was already computed — by a sync request, another job, or a
+		// concurrent in-flight run — finishes without touching the
+		// engine, and its result stays byte-identical to the sync
+		// endpoint's response.
+		out, _, err := h.runKindCached(ctx, kind, req, progress)
+		return out, err
 	})
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
@@ -98,6 +104,10 @@ func (h *handler) jobResult(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		writeEngineError(w, err)
+		return
+	}
+	if raw, ok := result.(rawResult); ok {
+		writeRawJSON(w, raw)
 		return
 	}
 	writeJSON(w, result)

@@ -17,6 +17,11 @@
 //	GET    /v1/jobs/{id}            job status + {stage, fraction} progress
 //	GET    /v1/jobs/{id}/result     finished job's result (same shape as the sync endpoint)
 //	DELETE /v1/jobs/{id}            cancel a queued or running job
+//	POST   /v1/datasets             register a dataset -> content digest (201/200)
+//	GET    /v1/datasets             list registered datasets
+//	GET    /v1/datasets/{digest}    canonical dataset snapshot
+//	DELETE /v1/datasets/{digest}    remove a dataset from registry and disk
+//	GET    /v1/stats                store cache/registry counters + live job count
 //
 // # Request contract
 //
@@ -38,9 +43,35 @@
 //     "analyze"|"consolidate"|"suggest". /v1/diff keeps its
 //     {"before", "after"} body and gains an optional "options" member.
 //
+// Instead of an inline "dataset", the envelope may carry
+// {"dataset_ref": "<digest>"} naming a dataset previously registered
+// via POST /v1/datasets (64 hex characters, optionally prefixed
+// "sha256:"). /v1/diff likewise accepts "before_ref"/"after_ref" in
+// place of the inline snapshots, so two stored snapshots can be
+// compared without re-shipping either. An unknown or deleted reference
+// answers 404 not_found; supplying both the inline field and its ref is
+// a 400.
+//
+// Request bodies on every POST endpoint may be compressed with
+// Content-Encoding: gzip; the decompressed size is bounded by the same
+// MaxBodyBytes limit as plain bodies, and any other Content-Encoding
+// is rejected with 415.
+//
 // Sync and async requests share one decode, validation, and dispatch
 // path, so a job's result is byte-for-byte the corresponding sync
 // endpoint's response (modulo timing fields).
+//
+// # Result cache
+//
+// Analyze, consolidate, suggest, and diff responses are cached in the
+// store under (dataset digest, options fingerprint, kind): a repeated
+// identical request — whether by reference or with the same inline
+// content — is served from cache byte-for-byte without re-running the
+// engine, and N concurrent identical requests run the engine once
+// (single-flight). Sync responses carry an X-Cache: hit|miss header;
+// GET /v1/stats exposes the hit/miss/eviction/single-flight counters.
+// Cached entries expire after the store TTL and are bounded by its
+// byte-budget LRU; errors are never cached.
 //
 // # Async jobs
 //
@@ -84,8 +115,9 @@
 //
 //	400 bad_request    malformed body, unknown method, negative threshold,
 //	                   inconsistent dataset (Validate()d before analysis)
-//	404 not_found      unknown or expired job id
+//	404 not_found      unknown or expired job id; unknown dataset digest
 //	409 conflict       job result not ready yet, or cancel of a finished job
+//	415 unsupported_media_type  Content-Encoding other than gzip/identity
 //	422 unprocessable  well-formed input the engine rejects
 //	429 shed           load shed (MaxConcurrent) or full job queue
 //	500 internal       recovered panic
@@ -95,6 +127,7 @@ package server
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -102,12 +135,14 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/consolidate"
 	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/rbac"
+	"repro/internal/store"
 )
 
 // healthPath is exempt from load shedding and timeouts.
@@ -149,6 +184,11 @@ type Options struct {
 	// daemon-wide default while individual requests can still pin
 	// workers=1 for a serial run.
 	DefaultWorkers int
+	// Store is the dataset registry and analysis result cache serving
+	// /v1/datasets, dataset_ref resolution, and response caching. When
+	// nil, NewHandler builds a memory-only store with default limits;
+	// the daemon passes a configured (and possibly persistent) one.
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -171,6 +211,7 @@ type handler struct {
 	sem   chan struct{} // nil when MaxConcurrent == 0
 	inner http.Handler  // mux wrapped in the middleware stack
 	jobs  *jobs.Manager
+	store *store.Store
 }
 
 var _ http.Handler = (*handler)(nil)
@@ -189,12 +230,21 @@ func NewHandler(opts Options) http.Handler {
 		ResultTTL:   h.opts.JobResultTTL,
 		BaseContext: h.opts.BaseContext,
 	})
+	h.store = h.opts.Store
+	if h.store == nil {
+		// A memory-only store (no Dir) cannot fail to construct.
+		h.store, _ = store.New(store.Options{
+			BaseContext: h.opts.BaseContext,
+			Logf:        h.opts.Logf,
+		})
+	}
 	h.mux.HandleFunc("GET "+healthPath, h.health)
 	h.mux.HandleFunc("POST /v1/analyze", h.analyze)
 	h.mux.HandleFunc("POST /v1/consolidate", h.consolidate)
 	h.mux.HandleFunc("POST /v1/suggest", h.suggest)
 	h.registerExtra()
 	h.registerJobs()
+	h.registerDatasets()
 	h.inner = h.withRecovery(h.withLoadShedding(h.withTimeout(h.mux)))
 	return h
 }
@@ -207,14 +257,15 @@ func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Stable machine-readable error codes; see the package comment for the
 // status -> code table.
 const (
-	CodeBadRequest    = "bad_request"
-	CodeNotFound      = "not_found"
-	CodeConflict      = "conflict"
-	CodeUnprocessable = "unprocessable"
-	CodeShed          = "shed"
-	CodeInternal      = "internal"
-	CodeCanceled      = "canceled"
-	CodeTimeout       = "timeout"
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
+	CodeConflict         = "conflict"
+	CodeUnsupportedMedia = "unsupported_media_type"
+	CodeUnprocessable    = "unprocessable"
+	CodeShed             = "shed"
+	CodeInternal         = "internal"
+	CodeCanceled         = "canceled"
+	CodeTimeout          = "timeout"
 )
 
 // codeFor maps a status the server emits to its stable error code.
@@ -226,6 +277,8 @@ func codeFor(status int) string {
 		return CodeNotFound
 	case http.StatusConflict:
 		return CodeConflict
+	case http.StatusUnsupportedMediaType:
+		return CodeUnsupportedMedia
 	case http.StatusUnprocessableEntity:
 		return CodeUnprocessable
 	case http.StatusTooManyRequests:
@@ -259,6 +312,19 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// rawResult is a pre-encoded JSON response body — what the result
+// cache stores and serves, so cached and freshly computed responses
+// are byte-identical.
+type rawResult []byte
+
+// writeRawJSON serves a pre-encoded body with the same framing
+// writeJSON's encoder produces (body + newline).
+func writeRawJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+	_, _ = w.Write([]byte{'\n'})
+}
+
 // health answers liveness probes.
 func (h *handler) health(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
@@ -269,18 +335,21 @@ func (h *handler) health(w http.ResponseWriter, _ *http.Request) {
 type v1Request struct {
 	kind    string // only set by the envelope form; required for /v1/jobs
 	dataset *rbac.Dataset
+	digest  string // content digest; set when resolved by ref, else lazily
 	opts    core.Options
 	sparse  bool
 }
 
-// v1Envelope is the unified request body: {"dataset", "options",
-// "sparse"} plus "kind" for job submissions. Decoding options goes
-// through core.Options.UnmarshalJSON, the schema shared with the CLI.
+// v1Envelope is the unified request body: {"dataset" or "dataset_ref",
+// "options", "sparse"} plus "kind" for job submissions. Decoding
+// options goes through core.Options.UnmarshalJSON, the schema shared
+// with the CLI.
 type v1Envelope struct {
-	Kind    string          `json:"kind"`
-	Dataset json.RawMessage `json:"dataset"`
-	Options *core.Options   `json:"options"`
-	Sparse  *bool           `json:"sparse"`
+	Kind       string          `json:"kind"`
+	Dataset    json.RawMessage `json:"dataset"`
+	DatasetRef string          `json:"dataset_ref"`
+	Options    *core.Options   `json:"options"`
+	Sparse     *bool           `json:"sparse"`
 }
 
 // queryOptions extracts method/threshold/sparse parameters — the
@@ -326,11 +395,36 @@ func queryOptions(r *http.Request) (core.Options, bool, error) {
 	return opts, sparse, nil
 }
 
-// readBody drains the (size-capped) request body.
+// readBody drains the (size-capped) request body, transparently
+// decompressing Content-Encoding: gzip. The compressed stream goes
+// through MaxBytesReader and the decompressed output is held to the
+// same MaxBodyBytes limit, so a gzip bomb cannot sidestep the cap.
+// Encodings other than gzip/identity answer 415.
 func (h *handler) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes))
+	rd := io.Reader(http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes))
+	switch enc := strings.ToLower(strings.TrimSpace(r.Header.Get("Content-Encoding"))); enc {
+	case "", "identity":
+	case "gzip", "x-gzip":
+		gz, err := gzip.NewReader(rd)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("gzip body: %w", err))
+			return nil, false
+		}
+		defer gz.Close()
+		rd = io.LimitReader(gz, h.opts.MaxBodyBytes+1)
+	default:
+		writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("unsupported Content-Encoding %q (use gzip or no encoding)", enc))
+		return nil, false
+	}
+	body, err := io.ReadAll(rd)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return nil, false
+	}
+	if int64(len(body)) > h.opts.MaxBodyBytes {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("decompressed body exceeds the %d byte limit", h.opts.MaxBodyBytes))
 		return nil, false
 	}
 	return body, true
@@ -338,8 +432,10 @@ func (h *handler) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool
 
 // decodeRequest is the one decode path every dataset-consuming
 // endpoint (sync and async) goes through. It merges query parameters
-// with the optional body envelope (body wins), parses and Validate()s
-// the dataset, and reports failures as 400 with code bad_request.
+// with the optional body envelope (body wins), resolves "dataset_ref"
+// against the registry (404 for unknown digests) or parses and
+// Validate()s the inline dataset, and reports decode failures as 400
+// with code bad_request.
 func (h *handler) decodeRequest(w http.ResponseWriter, r *http.Request) (*v1Request, bool) {
 	opts, sparse, err := queryOptions(r)
 	if err != nil {
@@ -355,11 +451,13 @@ func (h *handler) decodeRequest(w http.ResponseWriter, r *http.Request) (*v1Requ
 	datasetJSON := body
 
 	// Envelope sniff: a body whose top-level object carries "dataset"
-	// is the v1 envelope; anything else is a bare dataset export.
+	// or "dataset_ref" is the v1 envelope; anything else is a bare
+	// dataset export.
 	var probe struct {
-		Dataset json.RawMessage `json:"dataset"`
+		Dataset    json.RawMessage `json:"dataset"`
+		DatasetRef string          `json:"dataset_ref"`
 	}
-	if err := json.Unmarshal(body, &probe); err == nil && len(probe.Dataset) > 0 {
+	if err := json.Unmarshal(body, &probe); err == nil && (len(probe.Dataset) > 0 || probe.DatasetRef != "") {
 		var env v1Envelope
 		if err := json.Unmarshal(body, &env); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("parse request envelope: %w", err))
@@ -372,11 +470,27 @@ func (h *handler) decodeRequest(w http.ResponseWriter, r *http.Request) (*v1Requ
 		if env.Sparse != nil {
 			req.sparse = *env.Sparse
 		}
+		if env.DatasetRef != "" {
+			if len(env.Dataset) > 0 {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("request carries both dataset and dataset_ref; send one"))
+				return nil, false
+			}
+			ds, digest, ok := h.resolveRef(w, env.DatasetRef)
+			if !ok {
+				return nil, false
+			}
+			req.dataset = ds
+			req.digest = digest
+		}
 		datasetJSON = env.Dataset
 	}
 
 	if req.opts.Workers == 0 {
 		req.opts.Workers = h.opts.DefaultWorkers
+	}
+	if req.dataset != nil {
+		return req, true
 	}
 
 	ds, err := rbac.ReadJSON(bytes.NewReader(datasetJSON))
@@ -390,6 +504,23 @@ func (h *handler) decodeRequest(w http.ResponseWriter, r *http.Request) (*v1Requ
 	}
 	req.dataset = ds
 	return req, true
+}
+
+// resolveRef maps a digest reference to a registered dataset, writing
+// 400 for malformed digests and 404 for unknown ones.
+func (h *handler) resolveRef(w http.ResponseWriter, ref string) (*rbac.Dataset, string, bool) {
+	digest, err := store.ParseDigest(ref)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, "", false
+	}
+	ds, _, ok := h.store.GetDataset(digest)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("dataset %s not found (never registered, deleted, or evicted)", digest))
+		return nil, "", false
+	}
+	return ds, digest, true
 }
 
 // The job kinds — exactly the sync endpoints that run the engine.
@@ -452,18 +583,81 @@ func runKind(ctx context.Context, kind string, req *v1Request,
 	}
 }
 
+// runKindCached wraps runKind with the store's result cache for the
+// engine-backed kinds: the response body is cached under (dataset
+// digest, options fingerprint, kind) and concurrent identical requests
+// share one engine run. Cacheable results come back as rawResult so
+// cached and computed responses are byte-identical; hit reports
+// whether the engine was skipped.
+func (h *handler) runKindCached(ctx context.Context, kind string, req *v1Request,
+	progress func(stage string, fraction float64)) (any, bool, error) {
+	switch kind {
+	case kindAnalyze, kindConsolidate, kindSuggest:
+	default:
+		out, err := runKind(ctx, kind, req, progress)
+		return out, false, err
+	}
+	if req.digest == "" {
+		// Inline upload: digest the canonical content so identical
+		// re-posts hit the same cache line as requests by reference.
+		digest, _, err := store.DigestOf(req.dataset)
+		if err != nil {
+			return nil, false, err
+		}
+		req.digest = digest
+	}
+	var extra []string
+	if kind == kindAnalyze && req.sparse {
+		// Only analyze branches on sparse; keying the others on it
+		// would split identical results across cache lines.
+		extra = append(extra, "sparse")
+	}
+	fp, err := store.Fingerprint(req.opts, extra...)
+	if err != nil {
+		return nil, false, err
+	}
+	key := store.Key{Dataset: req.digest, Fingerprint: fp, Kind: kind}
+	body, hit, err := h.store.Result(ctx, key, func(ctx context.Context) ([]byte, error) {
+		out, err := runKind(ctx, kind, req, progress)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(out)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if hit && progress != nil {
+		progress("cached", 1)
+	}
+	return rawResult(body), hit, nil
+}
+
 // runSync decodes, dispatches, and writes one synchronous request.
 func (h *handler) runSync(kind string, w http.ResponseWriter, r *http.Request) {
 	req, ok := h.decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	out, err := runKind(r.Context(), kind, req, nil)
+	out, hit, err := h.runKindCached(r.Context(), kind, req, nil)
 	if err != nil {
 		writeEngineError(w, err)
 		return
 	}
+	if raw, ok := out.(rawResult); ok {
+		w.Header().Set("X-Cache", cacheHeader(hit))
+		writeRawJSON(w, raw)
+		return
+	}
 	writeJSON(w, out)
+}
+
+// cacheHeader renders the X-Cache response header value.
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }
 
 // analyze runs the five detectors over the posted dataset.

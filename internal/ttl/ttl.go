@@ -1,0 +1,82 @@
+// Package ttl factors out the expiry pattern shared by the stores that
+// retain finished work for a bounded time (the async job store and the
+// dataset/result store): entries carry a timestamp, lookups check it
+// lazily so an expired entry is unreachable the moment its TTL lapses,
+// and a background sweeper garbage-collects entries nobody asks for
+// again so memory stays bounded for abandoned ids.
+//
+// The split of responsibilities is deliberate: correctness (an expired
+// entry is never served) comes from the lazy Expired check on every
+// access, while the Sweeper only bounds memory. A store built on this
+// package therefore behaves identically however rarely the sweep
+// fires.
+package ttl
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Expired reports whether an entry stamped at t has outlived ttl as of
+// now. The zero time never expires — stores use it for entries that
+// have not reached their retained (terminal) state yet.
+func Expired(t, now time.Time, ttl time.Duration) bool {
+	return !t.IsZero() && now.Sub(t) > ttl
+}
+
+// Interval derives a sweep cadence from a TTL: a quarter of it, clamped
+// to [10ms, 30s] so tests with millisecond TTLs still get swept and
+// long retentions don't leave hours-stale garbage around.
+func Interval(ttl time.Duration) time.Duration {
+	interval := ttl / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	return interval
+}
+
+// Sweeper runs a sweep function on a fixed cadence until Stop is called
+// or the construction context ends. It owns its goroutine; Stop waits
+// for it to exit, so a store's Close can guarantee no sweep runs after
+// it returns.
+type Sweeper struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewSweeper starts a goroutine calling sweep(now) every interval.
+// ctx may be nil; a cancelled ctx stops the sweeper just like Stop.
+func NewSweeper(ctx context.Context, every time.Duration, sweep func(now time.Time)) *Sweeper {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Sweeper{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.stop:
+				return
+			case now := <-t.C:
+				sweep(now)
+			}
+		}
+	}()
+	return s
+}
+
+// Stop terminates the sweep goroutine and waits for it to exit. It is
+// idempotent and safe after the construction context was cancelled.
+func (s *Sweeper) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}

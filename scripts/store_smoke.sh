@@ -1,0 +1,106 @@
+#!/bin/sh
+# Smoke test for the dataset registry and result cache: build
+# roledietd, start it with -store-dir, drive upload -> analyze by
+# reference (miss, then hit) -> diff two refs -> restart ->
+# digest-addressable persistence with curl, and fail non-zero on any
+# contract violation. Stdlib + curl + sed only (no jq).
+#
+# Usage: scripts/store_smoke.sh [port]   (default 18081)
+set -eu
+
+PORT="${1:-18081}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+	[ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "store-smoke: FAIL: $*" >&2
+	exit 1
+}
+
+start_daemon() {
+	"$TMP/roledietd" -addr "127.0.0.1:$PORT" -store-dir "$TMP/store" >>"$TMP/daemon.log" 2>&1 &
+	DAEMON_PID=$!
+	i=0
+	until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { cat "$TMP/daemon.log" >&2; fail "daemon never became healthy"; }
+		sleep 0.1
+	done
+}
+
+echo "store-smoke: building"
+go build -o "$TMP/roledietd" ./cmd/roledietd
+go run ./cmd/rolediet generate -org -scale 400 -out "$TMP/org.json" >/dev/null
+WANT_DIGEST="$(go run ./cmd/rolediet digest -data "$TMP/org.json")"
+
+echo "store-smoke: starting roledietd on :$PORT (store-dir $TMP/store)"
+start_daemon
+
+echo "store-smoke: uploading dataset"
+UPLOAD="$(curl -fsS -X POST --data-binary @"$TMP/org.json" "$BASE/v1/datasets")" ||
+	fail "upload rejected"
+DIGEST="$(printf '%s' "$UPLOAD" | sed -n 's/.*"digest":"\([^"]*\)".*/\1/p')"
+[ -n "$DIGEST" ] || fail "no digest in upload response: $UPLOAD"
+[ "$DIGEST" = "$WANT_DIGEST" ] ||
+	fail "server digest $DIGEST != CLI digest $WANT_DIGEST"
+echo "store-smoke: dataset registered as $DIGEST"
+
+echo "store-smoke: analyzing by reference"
+printf '{"dataset_ref":"%s"}' "$DIGEST" >"$TMP/byref.json"
+CACHE1="$(curl -fsS -D - -o "$TMP/rep1.json" -X POST --data-binary @"$TMP/byref.json" \
+	"$BASE/v1/analyze" | sed -n 's/^X-Cache: *//Ip' | tr -d '\r')"
+[ "$CACHE1" = "miss" ] || fail "first analyze X-Cache = '$CACHE1', want miss"
+CACHE2="$(curl -fsS -D - -o "$TMP/rep2.json" -X POST --data-binary @"$TMP/byref.json" \
+	"$BASE/v1/analyze" | sed -n 's/^X-Cache: *//Ip' | tr -d '\r')"
+[ "$CACHE2" = "hit" ] || fail "repeat analyze X-Cache = '$CACHE2', want hit"
+cmp -s "$TMP/rep1.json" "$TMP/rep2.json" ||
+	fail "cached analyze body differs from computed one"
+echo "store-smoke: repeat analyze served from cache, byte-identical"
+
+STATS="$(curl -fsS "$BASE/v1/stats")"
+case "$STATS" in
+*'"hits":0'*) fail "stats show no cache hit: $STATS" ;;
+*'"hits":'*) ;;
+*) fail "stats missing hit counter: $STATS" ;;
+esac
+
+echo "store-smoke: diffing two stored snapshots"
+go run ./cmd/rolediet generate -org -scale 300 -out "$TMP/org2.json" >/dev/null
+UPLOAD2="$(curl -fsS -X POST --data-binary @"$TMP/org2.json" "$BASE/v1/datasets")"
+DIGEST2="$(printf '%s' "$UPLOAD2" | sed -n 's/.*"digest":"\([^"]*\)".*/\1/p')"
+[ -n "$DIGEST2" ] || fail "no digest in second upload: $UPLOAD2"
+printf '{"before_ref":"%s","after_ref":"%s"}' "$DIGEST" "$DIGEST2" >"$TMP/diffreq.json"
+DIFF="$(curl -fsS -X POST --data-binary @"$TMP/diffreq.json" "$BASE/v1/diff")" ||
+	fail "diff by refs rejected"
+case "$DIFF" in
+*'"structural"'*) ;;
+*) fail "diff response missing structural section: $DIFF" ;;
+esac
+
+echo "store-smoke: restarting daemon"
+kill "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+start_daemon
+
+CODE="$(curl -s -o "$TMP/survived.json" -w '%{http_code}' "$BASE/v1/datasets/$DIGEST")"
+[ "$CODE" = "200" ] || fail "dataset $DIGEST not addressable after restart ($CODE)"
+echo "store-smoke: dataset survived the restart"
+
+echo "store-smoke: deleting dataset"
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$BASE/v1/datasets/$DIGEST")"
+[ "$CODE" = "200" ] || fail "delete returned $CODE"
+MISS="$(curl -s "$BASE/v1/datasets/$DIGEST")"
+case "$MISS" in
+*'"code":"not_found"'*) ;;
+*) fail "deleted digest fetch missing not_found code: $MISS" ;;
+esac
+
+echo "store-smoke: PASS"
