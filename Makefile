@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-figures bench-json experiments jobs-smoke store-smoke clean
+.PHONY: all build vet test race cover bench bench-figures bench-json experiments jobs-smoke store-smoke cluster-smoke clean
 
 all: build vet test
 
@@ -57,6 +57,13 @@ jobs-smoke:
 # persistence (see scripts/store_smoke.sh).
 store-smoke:
 	sh scripts/store_smoke.sh
+
+# Fault-injection smoke of the sharded fleet: 3 nodes + oracle, kill
+# one mid-audit, verify routed reads, graceful degradation, the 503
+# peer_unavailable contract, breaker visibility, and retry through
+# injected transport faults (see scripts/cluster_smoke.sh).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 clean:
 	rm -f rolediet roledietd

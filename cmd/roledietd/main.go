@@ -35,8 +35,27 @@
 //	                  least-recently-used entries are evicted beyond it
 //	-store-ttl        how long cached analysis results stay servable
 //
+// Fleet knobs (sharded multi-node deployment; see internal/fleet):
+//
+//	-peers                comma-separated base URLs of every node,
+//	                      this one included; empty runs single-node
+//	-self                 this node's own URL from the -peers list
+//	-node-id              stable name reported by /healthz and stats
+//	-replicas             extra holders per dataset beyond the owner
+//	-peer-timeout         per-attempt deadline for any peer call
+//	-peer-retries         attempts per peer call (retries = n-1)
+//	-peer-probe-interval  async /healthz probe cadence; <0 disables
+//	-peer-breaker-threshold / -peer-breaker-cooldown
+//	                      consecutive failures opening a peer's
+//	                      circuit, and how long it stays open
+//	-fault-inject         deterministic fault spec for the peer
+//	                      transport (testing only); the ROLEDIET_FAULT
+//	                      environment variable is the fallback
+//
 // /healthz is exempt from the timeout and the limiter, so probes keep
-// answering while the service is saturated or draining.
+// answering while the service is saturated or draining; its JSON body
+// reports the node ID, build revision, boot ID, and ready/draining
+// state.
 package main
 
 import (
@@ -50,9 +69,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -89,6 +111,26 @@ func run(args []string) error {
 			"byte budget shared by registered datasets and cached results; LRU eviction beyond it")
 		storeTTL = fs.Duration("store-ttl", time.Hour,
 			"retention of cached analysis results")
+		peers = fs.String("peers", "",
+			"comma-separated base URLs of every fleet node, this one included; empty runs single-node")
+		self = fs.String("self", "",
+			"this node's own base URL from the -peers list; required when -peers is set")
+		nodeID = fs.String("node-id", "",
+			"stable node name reported by /healthz and fleet stats; defaults to a per-process identifier")
+		replicas = fs.Int("replicas", 1,
+			"extra holders per dataset beyond its rendezvous owner")
+		peerTimeout = fs.Duration("peer-timeout", 2*time.Second,
+			"per-attempt deadline for any single peer call")
+		peerRetries = fs.Int("peer-retries", 3,
+			"attempts per peer call including the first; capped exponential backoff with full jitter between them")
+		peerProbeInterval = fs.Duration("peer-probe-interval", time.Second,
+			"async peer /healthz probe cadence; negative disables probing")
+		breakerThreshold = fs.Int("peer-breaker-threshold", 3,
+			"consecutive failures (requests or probes) that open a peer's circuit")
+		breakerCooldown = fs.Duration("peer-breaker-cooldown", 5*time.Second,
+			"how long an open circuit waits before trialling the peer again")
+		faultInject = fs.String("fault-inject", "",
+			"deterministic fault spec for the peer transport, e.g. drop:2,delay:100ms (testing; ROLEDIET_FAULT env is the fallback)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,10 +153,44 @@ func run(args []string) error {
 	}
 	defer st.Close()
 
+	// ready flips to false the moment a shutdown signal arrives, so
+	// /healthz reports "draining" while in-flight work finishes and
+	// peers stop routing new fleet work here.
+	var ready atomic.Bool
+	ready.Store(true)
+
+	var fl *fleet.Fleet
+	if *peers != "" {
+		spec := *faultInject
+		if spec == "" {
+			spec = os.Getenv("ROLEDIET_FAULT")
+		}
+		fl, err = fleet.New(fleet.Options{
+			Self:             *self,
+			Peers:            strings.Split(*peers, ","),
+			Replicas:         *replicas,
+			AttemptTimeout:   *peerTimeout,
+			MaxAttempts:      *peerRetries,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			ProbeInterval:    *peerProbeInterval,
+			FaultSpec:        spec,
+			BaseContext:      baseCtx,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+		defer fl.Close()
+	}
+
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: server.NewHandler(server.Options{
-			Store: st,
+			Store:          st,
+			Fleet:          fl,
+			NodeID:         *nodeID,
+			Readiness:      ready.Load,
 			MaxBodyBytes:   *maxBodyMiB << 20,
 			RequestTimeout: *requestTimeout,
 			MaxConcurrent:  *maxConcurrent,
@@ -148,6 +224,7 @@ func run(args []string) error {
 		}
 		return fmt.Errorf("serve: %w", err)
 	case sig := <-sigCh:
+		ready.Store(false) // /healthz now reports draining
 		log.Printf("received %v, draining for up to %s", sig, *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a per-peer circuit breaker. Closed passes requests
+// through and counts consecutive failures; Threshold consecutive
+// failures open it. Open fails fast — callers get ErrPeerUnavailable
+// without a connection attempt, so requests never queue behind a dead
+// peer. After Cooldown the next caller is admitted as a half-open
+// trial; its success closes the circuit, its failure re-opens it for
+// another cooldown.
+//
+// The breaker is fed from two sides: every real peer call records its
+// outcome, and the async health prober records every probe — so a
+// peer that dies between requests is opened by the prober within a few
+// probe intervals, and a peer that recovers is closed by the prober
+// without a user request having to pay for the discovery.
+
+// BreakerState enumerates the circuit states.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state for stats payloads.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalText makes the state JSON-friendly in stats payloads.
+func (s BreakerState) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// Breaker is safe for concurrent use.
+type Breaker struct {
+	mu         sync.Mutex
+	state      BreakerState
+	failures   int
+	threshold  int
+	cooldown   time.Duration
+	openedAt   time.Time
+	trial      bool   // a half-open trial is in flight
+	generation uint64 // bumps on every state transition
+	now        func() time.Time
+}
+
+// NewBreaker builds a closed breaker opening after threshold
+// consecutive failures and probing again after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+func (b *Breaker) transitionLocked(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	b.generation++
+	if to == BreakerOpen {
+		b.openedAt = b.now()
+	}
+}
+
+// Allow reports whether a request may proceed. In the open state it
+// admits nothing until the cooldown elapses, then flips to half-open
+// and admits exactly one trial at a time; every admitted caller must
+// pair its Allow with a Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.transitionLocked(BreakerHalfOpen)
+		b.trial = true
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// Record feeds one outcome. A success closes the circuit and clears
+// the failure count; a failure in half-open (or the threshold-th
+// consecutive one in closed) opens it.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+	if ok {
+		b.failures = 0
+		b.transitionLocked(BreakerClosed)
+		return
+	}
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		// Re-opening from open refreshes the cooldown window so a
+		// stream of failures keeps the circuit open, not flapping.
+		if b.state == BreakerOpen {
+			b.openedAt = b.now()
+		}
+		b.transitionLocked(BreakerOpen)
+	}
+}
+
+// BreakerSnapshot is the JSON-ready view for /v1/fleet/stats.
+type BreakerSnapshot struct {
+	State      BreakerState `json:"state"`
+	Failures   int          `json:"consecutiveFailures"`
+	Generation uint64       `json:"generation"`
+}
+
+// Snapshot reads the current state atomically.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{State: b.state, Failures: b.failures, Generation: b.generation}
+}
+
+// State reports the current circuit state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+// TestBreakerOpenHalfOpenClosed walks the full transition cycle with a
+// fake clock and checks the generation counter bumps exactly once per
+// transition.
+func TestBreakerOpenHalfOpenClosed(t *testing.T) {
+	b, clk := newTestBreaker(3, 5*time.Second)
+
+	if !b.Allow() {
+		t.Fatal("closed breaker denied a request")
+	}
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("opened below threshold")
+	}
+	b.Record(false) // third consecutive failure
+	if got := b.Snapshot(); got.State != BreakerOpen || got.Generation != 1 || got.Failures != 3 {
+		t.Fatalf("after threshold failures: %+v", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	clk.advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but trial denied")
+	}
+	if got := b.Snapshot(); got.State != BreakerHalfOpen || got.Generation != 2 {
+		t.Fatalf("after cooldown: %+v", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open admitted a second concurrent trial")
+	}
+
+	// Failed trial: straight back to open for another cooldown.
+	b.Record(false)
+	if got := b.Snapshot(); got.State != BreakerOpen || got.Generation != 3 {
+		t.Fatalf("after failed trial: %+v", got)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a request immediately")
+	}
+
+	clk.advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed but trial denied")
+	}
+	b.Record(true)
+	if got := b.Snapshot(); got.State != BreakerClosed || got.Generation != 5 || got.Failures != 0 {
+		t.Fatalf("after successful trial: %+v", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied a request after recovery")
+	}
+}
+
+// TestBreakerSuccessResetsCount pins that failures must be consecutive:
+// any success zeroes the count.
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("three consecutive failures did not open the breaker")
+	}
+}
+
+// TestBreakerTrialReleasedOnRecord checks a finished trial frees the
+// half-open slot for the next caller.
+func TestBreakerTrialReleasedOnRecord(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Record(false) // open
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("trial denied")
+	}
+	b.Record(false) // trial failed -> open again, trial slot freed
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second trial denied after the first was recorded")
+	}
+}
+
+// TestBreakerStateJSON pins the wire rendering /v1/fleet/stats exposes.
+func TestBreakerStateJSON(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		txt, err := state.MarshalText()
+		if err != nil || string(txt) != want {
+			t.Fatalf("MarshalText(%d) = %q, %v; want %q", state, txt, err, want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func okResponse(req *http.Request, body string) *http.Response {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(body)),
+		Request:    req,
+	}
+}
+
+// TestInjectorParse covers the spec grammar: empty means no layer,
+// malformed directives are rejected at startup rather than surprising
+// at request time.
+func TestInjectorParse(t *testing.T) {
+	if inj, err := NewInjector("", nil); inj != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", inj, err)
+	}
+	for _, bad := range []string{"bogus:1", "drop:0", "drop:x", "delay:zzz", "slowbody:-1s", "5xx:-2"} {
+		if _, err := NewInjector(bad, nil); err == nil {
+			t.Fatalf("spec %q accepted, want parse error", bad)
+		}
+	}
+	if _, err := NewInjector("drop:2, 5xx ,delay:10ms", rtFunc(nil)); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestInjectorCountedFaults pins the deterministic counter semantics:
+// drop:2,5xx:1 fails exactly requests 1-2 with a transport error,
+// synthesizes a 503 for request 3 without contacting the peer, and
+// passes request 4 through untouched.
+func TestInjectorCountedFaults(t *testing.T) {
+	reached := 0
+	inj, err := NewInjector("drop:2,5xx:1", rtFunc(func(req *http.Request) (*http.Response, error) {
+		reached++
+		return okResponse(req, "real"), nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "http://peer/x", nil)
+
+	for i := 0; i < 2; i++ {
+		if _, err := inj.RoundTrip(req); err == nil {
+			t.Fatalf("request %d: want injected transport error", i+1)
+		}
+	}
+	resp, err := inj.RoundTrip(req)
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request 3 = (%v, %v), want synthesized 503", resp, err)
+	}
+	if reached != 0 {
+		t.Fatalf("peer contacted %d times during injected faults", reached)
+	}
+	resp, err = inj.RoundTrip(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("request 4 = (%v, %v), want pass-through", resp, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "real" || reached != 1 {
+		t.Fatalf("pass-through body %q, peer reached %d times", body, reached)
+	}
+}
+
+// TestInjectorDelay checks delay applies to every request and honours
+// the request context.
+func TestInjectorDelay(t *testing.T) {
+	inj, err := NewInjector("delay:30ms", rtFunc(func(req *http.Request) (*http.Response, error) {
+		return okResponse(req, "ok"), nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "http://peer/x", nil)
+	start := time.Now()
+	if _, err := inj.RoundTrip(req); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := inj.RoundTrip(req.WithContext(ctx)); err == nil {
+		t.Fatal("delayed request outlived its context")
+	}
+}
+
+// TestInjectorSlowBody checks the hung-peer simulation: the body
+// arrives intact when the reader is patient, and a context deadline
+// cuts the trickle off.
+func TestInjectorSlowBody(t *testing.T) {
+	const payload = "0123456789"
+	inj, err := NewInjector("slowbody:1ms", rtFunc(func(req *http.Request) (*http.Response, error) {
+		return okResponse(req, payload), nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := inj.RoundTrip(httptest.NewRequest(http.MethodGet, "http://peer/x", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || string(body) != payload {
+		t.Fatalf("slow body = %q, %v; want full payload", body, err)
+	}
+
+	slow, err := NewInjector("slowbody:100ms", rtFunc(func(req *http.Request) (*http.Response, error) {
+		return okResponse(req, payload), nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	resp, err = slow.RoundTrip(httptest.NewRequest(http.MethodGet, "http://peer/x", nil).WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("slow body read outlived its context deadline")
+	}
+}

@@ -1,0 +1,367 @@
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// swapHandler lets a test replace a running httptest server's behaviour
+// mid-test (healthy -> failing -> healthy) without restarting it.
+type swapHandler struct{ v atomic.Value }
+
+func newSwapHandler(h http.HandlerFunc) *swapHandler {
+	s := &swapHandler{}
+	s.v.Store(h)
+	return s
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.v.Load().(http.HandlerFunc)(w, r)
+}
+
+func (s *swapHandler) set(h http.HandlerFunc) { s.v.Store(h) }
+
+func healthzOK(node, boot string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			_ = json.NewEncoder(w).Encode(Health{
+				Status: "ok", Node: node, State: StateReady, Ready: true, Boot: boot,
+			})
+			return
+		}
+		http.NotFound(w, r)
+	}
+}
+
+// newTestFleet starts n swappable httptest peers and builds a fleet
+// whose self is a never-dialled placeholder URL, so every remote peer
+// is a real server the test controls.
+func newTestFleet(t *testing.T, n int, mutate func(*Options)) (*Fleet, []*swapHandler) {
+	t.Helper()
+	const self = "http://self.invalid:9"
+	peers := []string{self}
+	handlers := make([]*swapHandler, n)
+	for i := range handlers {
+		handlers[i] = newSwapHandler(healthzOK("n", "b"))
+		srv := httptest.NewServer(handlers[i])
+		t.Cleanup(srv.Close)
+		peers = append(peers, srv.URL)
+	}
+	opts := Options{
+		Self:           self,
+		Peers:          peers,
+		Replicas:       n, // every peer holds every digest
+		AttemptTimeout: 2 * time.Second,
+		MaxAttempts:    2,
+		BaseDelay:      time.Millisecond,
+		MaxDelay:       2 * time.Millisecond,
+		ProbeInterval:  -1, // tests drive probes explicitly
+		Logf:           t.Logf,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	f, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f, handlers
+}
+
+// remotePeer returns the fleet's single non-self peer URL.
+func remotePeer(t *testing.T, f *Fleet) string {
+	t.Helper()
+	for _, p := range f.Peers() {
+		if p != f.Self() {
+			return p
+		}
+	}
+	t.Fatal("no remote peer")
+	return ""
+}
+
+func TestNewValidation(t *testing.T) {
+	base := Options{ProbeInterval: -1}
+
+	o := base
+	o.Self = "http://a:1"
+	o.Peers = []string{"http://b:1"}
+	if _, err := New(o); err == nil {
+		t.Fatal("self outside the peer list accepted")
+	}
+
+	o = base
+	o.Self = "ftp://a:1"
+	o.Peers = []string{"ftp://a:1"}
+	if _, err := New(o); err == nil {
+		t.Fatal("non-http peer URL accepted")
+	}
+
+	// Dedup, trailing-slash normalization, replica capping.
+	o = base
+	o.Self = "http://a:1/"
+	o.Peers = []string{"http://a:1", "http://a:1/", " http://b:1 ", "http://c:1"}
+	o.Replicas = 99
+	f, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := f.Peers(); len(got) != 3 {
+		t.Fatalf("peers = %v, want 3 deduped entries", got)
+	}
+	if h := f.Holders("abc"); len(h) != 3 {
+		t.Fatalf("holders = %v, want replicas capped at fleet size", h)
+	}
+	if !f.Enabled() {
+		t.Fatal("3-peer fleet not enabled")
+	}
+
+	// Single-node fleet: valid but disabled.
+	o = base
+	o.Self = "http://a:1"
+	o.Peers = []string{"http://a:1"}
+	single, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if single.Enabled() {
+		t.Fatal("single-peer fleet claims enabled")
+	}
+	var nilFleet *Fleet
+	if nilFleet.Enabled() {
+		t.Fatal("nil fleet claims enabled")
+	}
+}
+
+// TestDoRetriesTransientFailures pins the happy retry path: two 500s
+// then a 200 succeeds within one Do call and the counters record the
+// re-attempts.
+func TestDoRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int32
+	f, handlers := newTestFleet(t, 1, func(o *Options) { o.MaxAttempts = 3 })
+	handlers[0].set(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write([]byte("recovered"))
+	})
+	peer := remotePeer(t, f)
+	resp, err := f.Do(context.Background(), http.MethodGet, peer, "/x", nil, nil)
+	if err != nil || string(resp.Body) != "recovered" {
+		t.Fatalf("Do = (%v, %v), want recovery on third attempt", resp, err)
+	}
+	st := f.Stats()
+	if st.Counters.Attempts != 3 || st.Counters.Retries != 2 {
+		t.Fatalf("counters = %+v, want 3 attempts / 2 retries", st.Counters)
+	}
+}
+
+// TestDo4xxDefinitive pins that a 4xx is an answer, not a failure: no
+// retry, a typed *StatusError, and a breaker success.
+func TestDo4xxDefinitive(t *testing.T) {
+	var calls atomic.Int32
+	f, handlers := newTestFleet(t, 1, nil)
+	handlers[0].set(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such thing", http.StatusNotFound)
+	})
+	_, err := f.Do(context.Background(), http.MethodGet, remotePeer(t, f), "/x", nil, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusNotFound {
+		t.Fatalf("Do = %v, want *StatusError 404", err)
+	}
+	if !IsPermanent(err) || calls.Load() != 1 {
+		t.Fatalf("4xx was retried (%d calls) or not permanent", calls.Load())
+	}
+	if st := f.Stats(); st.Peers[0].Breaker.State != BreakerClosed {
+		t.Fatal("definitive 4xx answer counted as a peer failure")
+	}
+
+	if _, err := f.Do(context.Background(), http.MethodGet, "http://stranger:1", "/x", nil, nil); err == nil {
+		t.Fatal("Do against an unknown peer accepted")
+	}
+}
+
+// TestDoBreakerFailsFast drives a peer's breaker open through real
+// failures and checks the next call is rejected without touching the
+// network.
+func TestDoBreakerFailsFast(t *testing.T) {
+	var calls atomic.Int32
+	f, handlers := newTestFleet(t, 1, func(o *Options) {
+		o.MaxAttempts = 1
+		o.BreakerThreshold = 2
+		o.BreakerCooldown = time.Hour // stays open for the whole test
+	})
+	handlers[0].set(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	})
+	peer := remotePeer(t, f)
+	for i := 0; i < 2; i++ {
+		if _, err := f.Do(context.Background(), http.MethodGet, peer, "/x", nil, nil); !errors.Is(err, ErrPeerUnavailable) {
+			t.Fatalf("call %d = %v, want ErrPeerUnavailable", i, err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("network calls = %d, want 2", calls.Load())
+	}
+	_, err := f.Do(context.Background(), http.MethodGet, peer, "/x", nil, nil)
+	if !errors.Is(err, ErrPeerUnavailable) || !strings.Contains(err.Error(), "circuit open") {
+		t.Fatalf("Do with open breaker = %v, want fast circuit-open rejection", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("open breaker still contacted the peer (%d calls)", calls.Load())
+	}
+	if st := f.Stats(); st.Peers[0].Breaker.State != BreakerOpen {
+		t.Fatalf("stats breaker = %+v, want open", st.Peers[0].Breaker)
+	}
+}
+
+// serveRaw answers the internal raw-transfer endpoint with body for
+// digest, 404 otherwise.
+func serveRaw(digest string, body []byte) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/datasets/"+digest+"/raw" {
+			_, _ = w.Write(body)
+			return
+		}
+		http.NotFound(w, r)
+	}
+}
+
+// TestFetchDatasetWalksHolders pins degradation order: a holder that
+// answers 404 or serves corrupt bytes is skipped and the next holder
+// tried; all-404 is ErrNotFound; nobody-reachable is ErrPeerUnavailable.
+func TestFetchDatasetWalksHolders(t *testing.T) {
+	payload := []byte(`{"fleet":"payload"}`)
+	sum := sha256.Sum256(payload)
+	digest := hex.EncodeToString(sum[:])
+
+	f, handlers := newTestFleet(t, 2, func(o *Options) { o.BreakerThreshold = 100 })
+
+	// One holder missing, one good: fetch succeeds whichever the
+	// ranking visits first.
+	handlers[0].set(http.NotFound)
+	handlers[1].set(serveRaw(digest, payload))
+	body, peer, err := f.FetchDataset(context.Background(), digest)
+	if err != nil || string(body) != string(payload) || peer == "" {
+		t.Fatalf("FetchDataset = (%q, %q, %v), want the payload", body, peer, err)
+	}
+
+	// One holder corrupt (200 with wrong bytes — must be rejected by
+	// digest re-verification), one good.
+	handlers[0].set(serveRaw(digest, []byte(`{"fleet":"tampered"}`)))
+	body, _, err = f.FetchDataset(context.Background(), digest)
+	if err != nil || string(body) != string(payload) {
+		t.Fatalf("FetchDataset with corrupt holder = (%q, %v), want the verified payload", body, err)
+	}
+
+	// Both corrupt: no holder serves verifiable bytes.
+	handlers[1].set(serveRaw(digest, []byte(`{"fleet":"tampered"}`)))
+	if _, _, err := f.FetchDataset(context.Background(), digest); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("FetchDataset all-corrupt = %v, want ErrPeerUnavailable", err)
+	}
+
+	// Every holder answers 404: the digest is not in the fleet.
+	handlers[0].set(http.NotFound)
+	handlers[1].set(http.NotFound)
+	if _, _, err := f.FetchDataset(context.Background(), digest); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("FetchDataset all-404 = %v, want ErrNotFound", err)
+	}
+
+	// Every holder down: unavailable, not not-found.
+	down := func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "dying", http.StatusInternalServerError)
+	}
+	handlers[0].set(down)
+	handlers[1].set(down)
+	if _, _, err := f.FetchDataset(context.Background(), digest); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("FetchDataset all-down = %v, want ErrPeerUnavailable", err)
+	}
+}
+
+// TestProbeTransitions drives the prober by hand through
+// ready -> draining -> down -> recovered and checks state, generation
+// counter, readiness gating, and the probe-fed breaker at each step.
+func TestProbeTransitions(t *testing.T) {
+	f, handlers := newTestFleet(t, 1, func(o *Options) {
+		o.BreakerThreshold = 3
+		o.BreakerCooldown = time.Hour
+	})
+	peer := remotePeer(t, f)
+	ctx := context.Background()
+
+	if !f.PeerReady(peer) {
+		t.Fatal("unprobed peer must count as ready (cold-start routing)")
+	}
+
+	f.probeAll(ctx)
+	st := f.Stats()
+	if st.Peers[0].State != StateReady || st.Peers[0].Generation != 1 || st.Peers[0].Node != "n" {
+		t.Fatalf("after first probe: %+v", st.Peers[0])
+	}
+
+	// Draining: alive (breaker success) but not routable for new work.
+	handlers[0].set(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(Health{Status: "ok", State: StateDraining, Ready: false, Boot: "b"})
+	})
+	f.probeAll(ctx)
+	st = f.Stats()
+	if st.Peers[0].State != StateDraining || st.Peers[0].Generation != 2 {
+		t.Fatalf("after draining probe: %+v", st.Peers[0])
+	}
+	if f.PeerReady(peer) {
+		t.Fatal("draining peer reported ready")
+	}
+	if st.Peers[0].Breaker.State != BreakerClosed {
+		t.Fatal("draining peer opened the breaker; it is alive and must stay reachable")
+	}
+
+	// Dead: threshold probes open the breaker without any user request.
+	handlers[0].set(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "crashed", http.StatusInternalServerError)
+	})
+	for i := 0; i < 3; i++ {
+		f.probeAll(ctx)
+	}
+	st = f.Stats()
+	if st.Peers[0].State != StateDown || st.Peers[0].Generation != 3 {
+		t.Fatalf("after down probes: %+v", st.Peers[0])
+	}
+	if st.Peers[0].Breaker.State != BreakerOpen || st.Peers[0].LastError == "" {
+		t.Fatalf("prober did not open the dead peer's breaker: %+v", st.Peers[0])
+	}
+	if _, err := f.Do(ctx, http.MethodGet, peer, "/x", nil, nil); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("Do against probed-dead peer = %v, want fast ErrPeerUnavailable", err)
+	}
+
+	// Recovery closes the breaker from the prober too, with a restart
+	// (new boot id) bumping the generation once more.
+	handlers[0].set(healthzOK("n", "b2"))
+	f.probeAll(ctx)
+	st = f.Stats()
+	if st.Peers[0].State != StateReady || st.Peers[0].Breaker.State != BreakerClosed {
+		t.Fatalf("after recovery probe: %+v", st.Peers[0])
+	}
+	// down->ready and boot b->b2 were observed in one probe: one bump
+	// for the transition is the contract floor.
+	if st.Peers[0].Generation < 4 || st.Peers[0].Boot != "b2" {
+		t.Fatalf("restart not reflected: %+v", st.Peers[0])
+	}
+	if st.Peers[0].LastProbe == 0 {
+		t.Fatal("lastProbe timestamp missing")
+	}
+}

@@ -1,0 +1,53 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) hashing assigns every dataset
+// digest a total order over the fleet's peers: each (peer, digest)
+// pair hashes to a score and peers are ranked by descending score.
+// Every node computes the same ranking from the same static peer list,
+// so ownership needs no coordination, no ring state, and no
+// rebalancing metadata — and removing one peer reassigns only that
+// peer's datasets (the defining property rendezvous hashing has over
+// modulo assignment).
+//
+// Rank[0] is the digest's owner, Rank[1] its first replica, and so on;
+// a reader that misses locally walks the ranking until it finds a live
+// holder, which is exactly the order writes were placed in.
+
+// Rank orders peers for a digest by descending rendezvous score.
+// The input slice is not modified. Ties (practically impossible with a
+// 64-bit score, but the determinism contract must not depend on that)
+// break by peer name so every node agrees.
+func Rank(peers []string, digest string) []string {
+	ranked := make([]string, len(peers))
+	copy(ranked, peers)
+	scores := make(map[string]uint64, len(peers))
+	for _, p := range peers {
+		scores[p] = score(p, digest)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i]], scores[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// score hashes one (peer, digest) pair. SHA-256 is already the
+// digest's own hash; reusing it keeps the dependency surface zero and
+// the distribution quality beyond doubt. A NUL separator keeps
+// ("ab","c") and ("a","bc") from colliding.
+func score(peer, digest string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(digest))
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}

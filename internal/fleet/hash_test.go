@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testDigest(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("dataset-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://node%d:8080", i)
+	}
+	return peers
+}
+
+// TestRankPermutationInvariant pins the property placement correctness
+// rests on: every node computes the same ranking regardless of the
+// order its -peers flag listed the membership.
+func TestRankPermutationInvariant(t *testing.T) {
+	peers := testPeers(5)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		digest := testDigest(i)
+		want := Rank(peers, digest)
+		shuffled := append([]string(nil), peers...)
+		rng.Shuffle(len(shuffled), func(a, b int) {
+			shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
+		})
+		got := Rank(shuffled, digest)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("digest %d: rank differs under permutation:\n %v\n %v", i, want, got)
+			}
+		}
+	}
+}
+
+// TestRankIsCompleteOrder verifies Rank is a permutation of the peers:
+// nothing dropped, nothing duplicated, input untouched.
+func TestRankIsCompleteOrder(t *testing.T) {
+	peers := testPeers(7)
+	orig := append([]string(nil), peers...)
+	ranked := Rank(peers, testDigest(1))
+	if len(ranked) != len(peers) {
+		t.Fatalf("rank has %d entries, want %d", len(ranked), len(peers))
+	}
+	seen := map[string]bool{}
+	for _, p := range ranked {
+		if seen[p] {
+			t.Fatalf("peer %s ranked twice", p)
+		}
+		seen[p] = true
+	}
+	for i := range orig {
+		if peers[i] != orig[i] {
+			t.Fatal("Rank mutated its input slice")
+		}
+	}
+}
+
+// TestRankBalance checks ownership spreads roughly evenly: with 3 peers
+// and 3000 digests each peer should own about a thousand.
+func TestRankBalance(t *testing.T) {
+	peers := testPeers(3)
+	owned := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		owned[Rank(peers, testDigest(i))[0]]++
+	}
+	for _, p := range peers {
+		if owned[p] < n/3-300 || owned[p] > n/3+300 {
+			t.Fatalf("unbalanced ownership: %v", owned)
+		}
+	}
+}
+
+// TestRankMinimalDisruption pins the defining rendezvous property:
+// removing a peer reassigns only the datasets that peer owned; every
+// other dataset keeps its owner.
+func TestRankMinimalDisruption(t *testing.T) {
+	peers := testPeers(5)
+	removed := peers[2]
+	var survivors []string
+	for _, p := range peers {
+		if p != removed {
+			survivors = append(survivors, p)
+		}
+	}
+	moved := 0
+	for i := 0; i < 500; i++ {
+		digest := testDigest(i)
+		before := Rank(peers, digest)[0]
+		after := Rank(survivors, digest)[0]
+		if before == removed {
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("digest %d owner moved %s -> %s though %s was not removed",
+				i, before, after, removed)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("suspicious: removed peer owned nothing out of 500 digests")
+	}
+}

@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Async health membership: a single prober goroutine polls every
+// peer's /healthz on a fixed cadence and feeds the per-peer breaker,
+// so a dead peer is opened (and requests fail fast) within a few
+// intervals of dying, and a recovered one is closed without a user
+// request paying for the discovery. Peer state carries a revision-
+// style generation counter bumped on every observed transition
+// (up/down/draining and boot-id changes), the same shape OPA's
+// discovery plugin uses to notice a bundle revision moved without
+// diffing contents.
+
+// Health is the JSON body of /healthz. Status is "ok" whenever the
+// process answers at all — the bare "200 means alive" contract
+// predating the fleet — while State distinguishes a node that is
+// draining (alive, finishing in-flight work, not accepting new fleet
+// work) from one that is gone (no response). Boot identifies the
+// process instance: a changed Boot under the same URL means the peer
+// restarted and lost its in-memory state.
+type Health struct {
+	Status  string `json:"status"`
+	Node    string `json:"node,omitempty"`
+	State   string `json:"state,omitempty"` // "ready" or "draining"
+	Ready   bool   `json:"ready"`
+	Version string `json:"version,omitempty"`
+	Boot    string `json:"boot,omitempty"`
+}
+
+// Health states reported by /healthz and tracked per peer.
+const (
+	StateReady    = "ready"
+	StateDraining = "draining"
+	StateDown     = "down"
+	StateUnknown  = "unknown" // not probed yet
+)
+
+// peerState is everything the fleet tracks about one remote peer.
+type peerState struct {
+	url     string
+	breaker *Breaker
+
+	// Guarded by Fleet.mu.
+	state      string // StateReady, StateDraining, StateDown, StateUnknown
+	node       string // peer-reported node id
+	boot       string // peer-reported process instance
+	generation uint64 // bumps on every observed state/boot transition
+	lastErr    string
+	lastProbe  time.Time
+}
+
+// probeLoop polls every peer until ctx dies. One immediate round runs
+// before the first tick so routing decisions have real data within one
+// probe timeout of startup.
+func (f *Fleet) probeLoop(ctx context.Context) {
+	defer f.wg.Done()
+	f.probeAll(ctx)
+	t := time.NewTicker(f.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			f.probeAll(ctx)
+		}
+	}
+}
+
+func (f *Fleet) probeAll(ctx context.Context) {
+	for _, ps := range f.peerStates() {
+		f.probeOne(ctx, ps)
+	}
+}
+
+// probeOne performs one /healthz round trip and folds the outcome into
+// the peer's state and breaker.
+func (f *Fleet) probeOne(ctx context.Context, ps *peerState) {
+	pctx, cancel := context.WithTimeout(ctx, f.opts.AttemptTimeout)
+	defer cancel()
+	h, err := f.fetchHealth(pctx, ps.url)
+
+	f.mu.Lock()
+	ps.lastProbe = time.Now()
+	prevState, prevBoot := ps.state, ps.boot
+	if err != nil {
+		ps.state = StateDown
+		ps.lastErr = err.Error()
+	} else {
+		ps.lastErr = ""
+		ps.node = h.Node
+		ps.boot = h.Boot
+		if h.Ready || h.State == "" || h.State == StateReady {
+			ps.state = StateReady
+		} else {
+			ps.state = StateDraining
+		}
+	}
+	if ps.state != prevState || (prevBoot != "" && ps.boot != prevBoot) {
+		ps.generation++
+	}
+	f.mu.Unlock()
+
+	// A draining peer is alive: the breaker stays closed so reads can
+	// still reach data only it holds; only the routing layer avoids
+	// handing it new work.
+	ps.breaker.Record(err == nil)
+}
+
+// fetchHealth GETs and decodes one /healthz. A non-200 answer or an
+// undecodable body counts as a failed probe.
+func (f *Fleet) fetchHealth(ctx context.Context, peer string) (*Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Status: resp.StatusCode, Body: body}
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		// A bare-200 health endpoint (pre-fleet daemon) is alive and,
+		// absent richer signal, ready.
+		return &Health{Status: "ok", Ready: true, State: StateReady}, nil
+	}
+	return &h, nil
+}

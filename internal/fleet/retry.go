@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// The retry helper every peer call goes through: capped exponential
+// backoff with full jitter, a fleet-wide retry budget so a flapping
+// peer cannot amplify load, and hard short-circuits on context
+// cancellation — a caller whose request died never sleeps into its
+// next attempt.
+
+// ErrBudgetExhausted means the retry budget denied another attempt;
+// the last attempt's error is wrapped alongside it.
+var ErrBudgetExhausted = errors.New("fleet: retry budget exhausted")
+
+// permanentError marks an error that must not be retried (a definitive
+// answer, e.g. a 404 from a healthy peer).
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Do stops immediately instead of retrying.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the no-retry marker.
+func IsPermanent(err error) bool {
+	var p permanentError
+	return errors.As(err, &p)
+}
+
+// Budget is a token bucket bounding the fleet-wide *rate* of retries:
+// every success deposits PerSuccess tokens (capped at Max), every
+// retry withdraws one. When calls keep failing the bucket drains and
+// further failures return after their first attempt — the classic
+// retry-budget defence against retry storms. A nil *Budget allows
+// every retry.
+type Budget struct {
+	mu         sync.Mutex
+	tokens     float64
+	max        float64
+	perSuccess float64
+}
+
+// NewBudget builds a full bucket. max is the burst of retries allowed
+// from a standing start; perSuccess is the fraction of successful
+// calls that may be spent on retries (0.1 = one retry per ten
+// successes).
+func NewBudget(max, perSuccess float64) *Budget {
+	if max <= 0 {
+		max = 1
+	}
+	return &Budget{tokens: max, max: max, perSuccess: perSuccess}
+}
+
+// OnSuccess deposits the per-success allowance.
+func (b *Budget) OnSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.perSuccess
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Allow withdraws one retry token, reporting whether one was
+// available.
+func (b *Budget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// RetryPolicy drives Do. The zero value retries twice (three attempts)
+// with 50ms..2s full-jitter backoff and no budget.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts (first try included);
+	// defaults to 3.
+	MaxAttempts int
+	// BaseDelay is the backoff ceiling before the first retry; each
+	// further retry doubles it up to MaxDelay. Defaults to 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling. Defaults to 2s.
+	MaxDelay time.Duration
+	// Budget, when non-nil, gates every retry (never the first
+	// attempt) and is credited on success.
+	Budget *Budget
+	// Jitter yields uniform floats in [0,1) for full-jitter backoff:
+	// sleep = ceiling * Jitter(). Defaults to the shared math/rand
+	// source; tests inject a seeded one for determinism.
+	Jitter func() float64
+	// sleep is the test seam for observing computed delays; defaults
+	// to a context-aware timer sleep.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Jitter == nil {
+		p.Jitter = rand.Float64
+	}
+	if p.sleep == nil {
+		p.sleep = sleepCtx
+	}
+	return p
+}
+
+// delay computes the full-jitter backoff before retry number retry
+// (0-based): uniform in [0, min(MaxDelay, BaseDelay<<retry)).
+func (p RetryPolicy) delay(retry int) time.Duration {
+	ceiling := p.MaxDelay
+	if shifted := p.BaseDelay << uint(retry); shifted > 0 && shifted < ceiling {
+		ceiling = shifted
+	}
+	return time.Duration(p.Jitter() * float64(ceiling))
+}
+
+// Do runs op until it succeeds, returns a Permanent error, exhausts
+// MaxAttempts or the retry budget, or the context dies. Cancellation
+// short-circuits both before an attempt and during a backoff sleep,
+// returning the context's error rather than the last attempt's.
+func (p RetryPolicy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	for retry := 0; ; retry++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := op(ctx)
+		if err == nil {
+			p.Budget.OnSuccess()
+			return nil
+		}
+		if IsPermanent(err) {
+			return err
+		}
+		if retry+1 >= p.MaxAttempts {
+			return err
+		}
+		if !p.Budget.Allow() {
+			return fmt.Errorf("%w after %d attempts: %w", ErrBudgetExhausted, retry+1, err)
+		}
+		if serr := p.sleep(ctx, p.delay(retry)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx dies, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

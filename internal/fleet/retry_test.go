@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// recordingPolicy returns a policy whose jitter is a seeded PRNG and
+// whose sleeps are recorded instead of slept, so backoff sequences are
+// observable and deterministic.
+func recordingPolicy(seed int64, delays *[]time.Duration) RetryPolicy {
+	rng := rand.New(rand.NewSource(seed))
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Jitter:      rng.Float64,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			*delays = append(*delays, d)
+			return ctx.Err()
+		},
+	}
+}
+
+// TestRetryJitterDeterministic runs the same failing op under the same
+// seed twice and demands identical backoff sequences, each delay inside
+// the full-jitter envelope [0, min(MaxDelay, BaseDelay<<retry)).
+func TestRetryJitterDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var delays []time.Duration
+		p := recordingPolicy(7, &delays)
+		err := p.Do(context.Background(), func(context.Context) error {
+			return errors.New("flaky")
+		})
+		if err == nil || err.Error() != "flaky" {
+			t.Fatalf("Do = %v, want the last attempt's error", err)
+		}
+		return delays
+	}
+	first, second := run(), run()
+	if len(first) != 3 || len(second) != 3 {
+		t.Fatalf("want 3 backoffs for 4 attempts, got %d and %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("same seed produced different backoffs: %v vs %v", first, second)
+		}
+		ceiling := 10 * time.Millisecond << uint(i)
+		if ceiling > 40*time.Millisecond {
+			ceiling = 40 * time.Millisecond
+		}
+		if first[i] < 0 || first[i] >= ceiling {
+			t.Fatalf("backoff %d = %v outside [0, %v)", i, first[i], ceiling)
+		}
+	}
+}
+
+// TestRetryBudgetExhaustion drains a 2-token budget and checks Do stops
+// with ErrBudgetExhausted instead of burning its remaining attempts.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	var delays []time.Duration
+	p := recordingPolicy(1, &delays)
+	p.MaxAttempts = 10
+	p.Budget = NewBudget(2, 0)
+	attempts := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		attempts++
+		return fmt.Errorf("down")
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Do = %v, want ErrBudgetExhausted", err)
+	}
+	if attempts != 3 { // first try + the 2 budgeted retries
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+// TestBudgetRefill pins the deposit arithmetic: successes refill the
+// bucket at PerSuccess per call, capped at Max.
+func TestBudgetRefill(t *testing.T) {
+	b := NewBudget(1, 0.5)
+	if !b.Allow() {
+		t.Fatal("fresh budget denied its burst")
+	}
+	if b.Allow() {
+		t.Fatal("empty budget allowed a retry")
+	}
+	b.OnSuccess()
+	if b.Allow() {
+		t.Fatal("half a token should not buy a retry")
+	}
+	b.OnSuccess()
+	if !b.Allow() {
+		t.Fatal("two successes at 0.5/success should buy one retry")
+	}
+	for i := 0; i < 10; i++ {
+		b.OnSuccess()
+	}
+	if !b.Allow() || b.Allow() {
+		t.Fatal("refill must cap at Max=1")
+	}
+	var nilBudget *Budget
+	nilBudget.OnSuccess()
+	if !nilBudget.Allow() {
+		t.Fatal("nil budget must allow everything")
+	}
+}
+
+// TestRetryContextCanceled pins the short-circuits: a context cancelled
+// mid-sequence stops Do with the context's error — before the next
+// attempt and without sleeping out the backoff.
+func TestRetryContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	err := p.Do(ctx, func(context.Context) error {
+		attempts++
+		cancel() // dies during the first attempt
+		return errors.New("failed")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts after cancel = %d, want 1", attempts)
+	}
+
+	// Already-dead context: zero attempts.
+	attempts = 0
+	err = p.Do(ctx, func(context.Context) error { attempts++; return nil })
+	if !errors.Is(err, context.Canceled) || attempts != 0 {
+		t.Fatalf("pre-cancelled Do = %v after %d attempts, want Canceled after 0", err, attempts)
+	}
+}
+
+// TestRetryCancelDuringBackoff cancels while Do is sleeping a long
+// backoff; the sleep must end immediately with the context error.
+func TestRetryCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Minute,
+		MaxDelay:    time.Minute,
+		Jitter:      func() float64 { return 0.99 }, // force a ~1min sleep
+	}
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- p.Do(ctx, func(context.Context) error { return errors.New("down") })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("cancellation took %v, backoff sleep was not interrupted", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do still sleeping long after cancellation")
+	}
+}
+
+// TestRetryPermanentStops checks the no-retry marker: one attempt, the
+// wrapped error surfaces, errors.Is still sees through it.
+func TestRetryPermanentStops(t *testing.T) {
+	inner := errors.New("404 definitive")
+	attempts := 0
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	err := p.Do(context.Background(), func(context.Context) error {
+		attempts++
+		return Permanent(inner)
+	})
+	if attempts != 1 {
+		t.Fatalf("permanent error retried: %d attempts", attempts)
+	}
+	if !errors.Is(err, inner) || !IsPermanent(err) {
+		t.Fatalf("Do = %v, want permanent wrapper around inner error", err)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must stay nil")
+	}
+}

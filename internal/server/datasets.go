@@ -21,18 +21,33 @@ func (h *handler) registerDatasets() {
 }
 
 // datasetPutResponse acknowledges an ingest: the digest every later
-// request can reference instead of re-uploading the matrices.
+// request can reference instead of re-uploading the matrices. In a
+// fleet, Owner names the digest's rendezvous owner; Degraded means the
+// owner was unreachable and this node kept the upload locally so it is
+// not lost (reads find it by walking the ranking).
 type datasetPutResponse struct {
-	Digest  string     `json:"digest"`
-	Created bool       `json:"created"`
-	Bytes   int64      `json:"bytes"`
-	Stats   rbac.Stats `json:"stats"`
+	Digest   string     `json:"digest"`
+	Created  bool       `json:"created"`
+	Bytes    int64      `json:"bytes"`
+	Stats    rbac.Stats `json:"stats"`
+	Owner    string     `json:"owner,omitempty"`
+	Degraded bool       `json:"degraded,omitempty"`
 }
 
 // datasetPut registers a dataset export: the body is the dataset JSON
 // (optionally gzip-compressed), canonicalized and addressed by its
 // SHA-256 content digest. Re-uploading identical content answers 200
 // with the same digest; new content answers 201.
+//
+// In a fleet, the upload is routed to the digest's owner: a non-owner
+// node forwards the canonical bytes through the hardened client and
+// relays the owner's answer; the owner stores locally and replicates
+// asynchronously to the digest's other holders. The X-Rolediet-Fleet
+// header distinguishes internal hops (forwarded uploads and replica
+// pushes) from client traffic so routing cannot loop. If the owner is
+// unreachable the node degrades explicitly: it stores the upload
+// locally and marks the response degraded, rather than failing or
+// hanging.
 func (h *handler) datasetPut(w http.ResponseWriter, r *http.Request) {
 	body, ok := h.readBody(w, r)
 	if !ok {
@@ -43,7 +58,57 @@ func (h *handler) datasetPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parse dataset: %w", err))
 		return
 	}
-	digest, created, err := h.store.PutDataset(ds)
+	digest, canonical, err := store.DigestOf(ds)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	internal := r.Header.Get(fleetHeader)
+	meta := putMeta{}
+	if h.fleet.Enabled() {
+		meta.owner = h.fleet.Owner(digest)
+		switch internal {
+		case "":
+			if meta.owner != h.fleet.Self() {
+				resp, ferr := h.forwardPut(r.Context(), meta.owner, canonical)
+				if ferr == nil {
+					w.Header().Set("Location", "/v1/datasets/"+digest)
+					w.Header().Set("Content-Type", "application/json")
+					w.Header().Set("X-Fleet-Routed", meta.owner)
+					w.WriteHeader(resp.Status)
+					_, _ = w.Write(resp.Body)
+					return
+				}
+				h.opts.Logf("fleet: upload %s: owner %s unreachable, storing locally: %v",
+					digest, meta.owner, ferr)
+				meta.degraded = true
+			} else {
+				meta.replicate = true
+			}
+		case "forward":
+			// We are the owner on an internal hop: store and fan out,
+			// never forward again.
+			meta.replicate = true
+		case "replicate":
+			// Replica push: store and stop.
+		}
+	}
+	h.putLocal(w, digest, canonical, ds, meta)
+}
+
+// putMeta carries the fleet-routing outcome into putLocal.
+type putMeta struct {
+	owner     string
+	replicate bool
+	degraded  bool
+}
+
+// putLocal admits canonical bytes into the local store and writes the
+// ingest response, kicking off async replication when this node is the
+// digest's owner.
+func (h *handler) putLocal(w http.ResponseWriter, digest string, canonical []byte, ds *rbac.Dataset, meta putMeta) {
+	created, err := h.store.PutCanonical(digest, canonical)
 	switch {
 	case errors.Is(err, store.ErrTooLarge):
 		writeError(w, http.StatusUnprocessableEntity, err)
@@ -52,17 +117,21 @@ func (h *handler) datasetPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	_, canonical, _ := h.store.GetDataset(digest)
+	if meta.replicate {
+		h.replicateAsync(digest, canonical)
+	}
 	w.Header().Set("Location", "/v1/datasets/"+digest)
 	w.Header().Set("Content-Type", "application/json")
 	if created {
 		w.WriteHeader(http.StatusCreated)
 	}
 	writeJSON(w, datasetPutResponse{
-		Digest:  digest,
-		Created: created,
-		Bytes:   int64(len(canonical)),
-		Stats:   ds.Stats(),
+		Digest:   digest,
+		Created:  created,
+		Bytes:    int64(len(canonical)),
+		Stats:    ds.Stats(),
+		Owner:    meta.owner,
+		Degraded: meta.degraded,
 	})
 }
 
@@ -98,9 +167,14 @@ func (h *handler) datasetGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // datasetDelete removes a snapshot from the registry and, when
-// persistence is on, from disk. Cached analysis results for the digest
-// are left to their TTL: content addressing keeps them correct should
-// the same content ever be re-registered.
+// persistence is on, from disk. Already-cached analysis results for
+// the digest are left to their TTL (content addressing keeps them
+// correct should the same content ever be re-registered), but a
+// single-flight compute that is still in flight when the delete lands
+// is barred from being admitted to the cache afterwards: once DELETE
+// returns, no *new* cache entry for the digest can appear (see
+// store.DeleteDataset). In a fleet, DELETE is strictly local — each
+// holder is deleted from individually.
 func (h *handler) datasetDelete(w http.ResponseWriter, r *http.Request) {
 	digest, ok := h.pathDigest(w, r)
 	if !ok {

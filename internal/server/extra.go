@@ -108,7 +108,7 @@ type diffResponse struct {
 // diffSide resolves one side of the comparison: exactly one of the
 // inline dataset or the digest reference, named so errors read
 // "diff: before ...".
-func (h *handler) diffSide(w http.ResponseWriter, name string, inline *rbac.Dataset, ref string) (*rbac.Dataset, string, bool) {
+func (h *handler) diffSide(w http.ResponseWriter, r *http.Request, name string, inline *rbac.Dataset, ref string) (*rbac.Dataset, string, bool) {
 	switch {
 	case inline != nil && ref != "":
 		writeError(w, http.StatusBadRequest,
@@ -119,7 +119,7 @@ func (h *handler) diffSide(w http.ResponseWriter, name string, inline *rbac.Data
 			fmt.Errorf("diff: need %s (inline dataset or %s_ref digest)", name, name))
 		return nil, "", false
 	case ref != "":
-		return h.resolveRef(w, ref)
+		return h.resolveRef(w, r, ref)
 	}
 	if err := inline.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("diff: %s: %w", name, err))
@@ -155,11 +155,11 @@ func (h *handler) diff(w http.ResponseWriter, r *http.Request) {
 	if req.Options != nil {
 		opts = *req.Options
 	}
-	before, beforeDigest, ok := h.diffSide(w, "before", req.Before, req.BeforeRef)
+	before, beforeDigest, ok := h.diffSide(w, r, "before", req.Before, req.BeforeRef)
 	if !ok {
 		return
 	}
-	after, afterDigest, ok := h.diffSide(w, "after", req.After, req.AfterRef)
+	after, afterDigest, ok := h.diffSide(w, r, "after", req.After, req.AfterRef)
 	if !ok {
 		return
 	}

@@ -7,7 +7,7 @@
 //
 // # Endpoints
 //
-//	GET    /healthz                 liveness probe
+//	GET    /healthz                 liveness probe (JSON: node id, state, boot, version)
 //	POST   /v1/analyze              dataset -> inefficiency report
 //	POST   /v1/consolidate          dataset -> {plan, consolidated dataset}
 //	POST   /v1/suggest              dataset -> similar-merge suggestions
@@ -20,8 +20,17 @@
 //	POST   /v1/datasets             register a dataset -> content digest (201/200)
 //	GET    /v1/datasets             list registered datasets
 //	GET    /v1/datasets/{digest}    canonical dataset snapshot
-//	DELETE /v1/datasets/{digest}    remove a dataset from registry and disk
+//	DELETE /v1/datasets/{digest}    remove a dataset from registry and disk (local node only)
 //	GET    /v1/stats                store cache/registry counters + live job count
+//	GET    /v1/datasets/{digest}/raw   canonical bytes, strictly local (internal peer transfer)
+//	GET    /v1/fleet/stats          scatter-gathered fleet view; ?scope=local for one node
+//
+// In a fleet deployment (Options.Fleet set), POST /v1/datasets routes
+// the upload to the digest's rendezvous owner and replicates it, and
+// any dataset_ref that is not held locally is fetched from a fleet
+// holder, verified, and cached before the request proceeds — see
+// internal/fleet and the fleet endpoints above. Without a fleet every
+// endpoint is strictly local.
 //
 // # Request contract
 //
@@ -122,6 +131,8 @@
 //	429 shed           load shed (MaxConcurrent) or full job queue
 //	500 internal       recovered panic
 //	503 canceled       analysis canceled by disconnect, drain, or DELETE
+//	503 peer_unavailable  a referenced dataset's fleet holders are all
+//	                   unreachable; carries Retry-After (fleet mode only)
 //	504 timeout        request exceeded RequestTimeout
 package server
 
@@ -130,6 +141,7 @@ import (
 	"compress/gzip"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -140,6 +152,7 @@ import (
 
 	"repro/internal/consolidate"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/rbac"
 	"repro/internal/store"
@@ -189,6 +202,20 @@ type Options struct {
 	// nil, NewHandler builds a memory-only store with default limits;
 	// the daemon passes a configured (and possibly persistent) one.
 	Store *store.Store
+	// Fleet is the peer layer for a sharded deployment: uploads are
+	// forwarded to the digest's rendezvous owner (and replicated),
+	// dataset_ref misses are fetched from a live holder, and
+	// /v1/fleet/stats scatter-gathers the membership. Nil (or a
+	// single-peer fleet) keeps every endpoint strictly local.
+	Fleet *fleet.Fleet
+	// NodeID names this node in /healthz and fleet stats; defaults to
+	// a per-process identifier.
+	NodeID string
+	// Readiness, when set, feeds the /healthz readiness state: true is
+	// "ready", false is "draining" (alive, finishing in-flight work,
+	// not taking new fleet work). The bare-200 liveness contract is
+	// unchanged either way.
+	Readiness func() bool
 }
 
 func (o Options) withDefaults() Options {
@@ -206,12 +233,16 @@ func (o Options) withDefaults() Options {
 
 // handler carries the configured routes.
 type handler struct {
-	opts  Options
-	mux   *http.ServeMux
-	sem   chan struct{} // nil when MaxConcurrent == 0
-	inner http.Handler  // mux wrapped in the middleware stack
-	jobs  *jobs.Manager
-	store *store.Store
+	opts    Options
+	mux     *http.ServeMux
+	sem     chan struct{} // nil when MaxConcurrent == 0
+	inner   http.Handler  // mux wrapped in the middleware stack
+	jobs    *jobs.Manager
+	store   *store.Store
+	fleet   *fleet.Fleet // nil in single-node deployments
+	nodeID  string
+	boot    string // per-process instance id; restarts change it
+	version string
 }
 
 var _ http.Handler = (*handler)(nil)
@@ -238,6 +269,13 @@ func NewHandler(opts Options) http.Handler {
 			Logf:        h.opts.Logf,
 		})
 	}
+	h.fleet = h.opts.Fleet
+	h.boot = bootID()
+	h.version = buildVersion()
+	h.nodeID = h.opts.NodeID
+	if h.nodeID == "" {
+		h.nodeID = "node-" + h.boot
+	}
 	h.mux.HandleFunc("GET "+healthPath, h.health)
 	h.mux.HandleFunc("POST /v1/analyze", h.analyze)
 	h.mux.HandleFunc("POST /v1/consolidate", h.consolidate)
@@ -245,6 +283,7 @@ func NewHandler(opts Options) http.Handler {
 	h.registerExtra()
 	h.registerJobs()
 	h.registerDatasets()
+	h.registerFleet()
 	h.inner = h.withRecovery(h.withLoadShedding(h.withTimeout(h.mux)))
 	return h
 }
@@ -266,6 +305,12 @@ const (
 	CodeInternal         = "internal"
 	CodeCanceled         = "canceled"
 	CodeTimeout          = "timeout"
+	// CodePeerUnavailable is a 503 variant distinct from canceled: a
+	// fleet operation needed a peer (the owner or any replica holding
+	// a dataset) and none could be reached. It always ships with a
+	// Retry-After hint and is returned within the fleet client's
+	// bounded retry window — never after an unbounded hang.
+	CodePeerUnavailable = "peer_unavailable"
 )
 
 // codeFor maps a status the server emits to its stable error code.
@@ -299,9 +344,25 @@ type errorBody struct {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	writeErrorCode(w, status, codeFor(status), err)
+}
+
+// writeErrorCode writes the error envelope with an explicit code for
+// statuses whose default mapping does not apply (peer_unavailable).
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: codeFor(status)})
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: code})
+}
+
+// writePeerUnavailable is the explicit degraded-mode answer: the
+// request needed a peer none of whose holders were reachable. 503 with
+// a Retry-After hint and the peer_unavailable code — the client should
+// back off and retry once the fleet heals, rather than interpret the
+// failure as a missing dataset.
+func (h *handler) writePeerUnavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", retryAfterSeconds(h.opts.RetryAfter))
+	writeErrorCode(w, http.StatusServiceUnavailable, CodePeerUnavailable, err)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -325,9 +386,25 @@ func writeRawJSON(w http.ResponseWriter, body []byte) {
 	_, _ = w.Write([]byte{'\n'})
 }
 
-// health answers liveness probes.
+// health answers liveness probes. The response grew a JSON body (node
+// id, build info, readiness) for the fleet prober and load balancers,
+// but the pre-fleet contract — 200 means the process is alive — is
+// unchanged: a draining node still answers 200 with state "draining",
+// which is how a prober tells it apart from a dead one (no answer at
+// all).
 func (h *handler) health(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+	state, ready := fleet.StateReady, true
+	if h.opts.Readiness != nil && !h.opts.Readiness() {
+		state, ready = fleet.StateDraining, false
+	}
+	writeJSON(w, fleet.Health{
+		Status:  "ok",
+		Node:    h.nodeID,
+		State:   state,
+		Ready:   ready,
+		Version: h.version,
+		Boot:    h.boot,
+	})
 }
 
 // v1Request is the decoded form of a dataset-consuming request,
@@ -476,7 +553,7 @@ func (h *handler) decodeRequest(w http.ResponseWriter, r *http.Request) (*v1Requ
 					fmt.Errorf("request carries both dataset and dataset_ref; send one"))
 				return nil, false
 			}
-			ds, digest, ok := h.resolveRef(w, env.DatasetRef)
+			ds, digest, ok := h.resolveRef(w, r, env.DatasetRef)
 			if !ok {
 				return nil, false
 			}
@@ -507,20 +584,70 @@ func (h *handler) decodeRequest(w http.ResponseWriter, r *http.Request) (*v1Requ
 }
 
 // resolveRef maps a digest reference to a registered dataset, writing
-// 400 for malformed digests and 404 for unknown ones.
-func (h *handler) resolveRef(w http.ResponseWriter, ref string) (*rbac.Dataset, string, bool) {
+// 400 for malformed digests and 404 for unknown ones. In a fleet, a
+// local miss degrades to fetching the snapshot from a live holder
+// (owner first, then replicas) and caching it locally; when holders
+// exist but none is reachable the answer is an explicit 503
+// peer_unavailable rather than a misleading 404 or a hang.
+func (h *handler) resolveRef(w http.ResponseWriter, r *http.Request, ref string) (*rbac.Dataset, string, bool) {
 	digest, err := store.ParseDigest(ref)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return nil, "", false
 	}
+	if ds, _, ok := h.store.GetDataset(digest); ok {
+		return ds, digest, true
+	}
+	if h.fleet.Enabled() {
+		ds, ok := h.fetchThrough(w, r, digest)
+		return ds, digest, ok
+	}
+	writeError(w, http.StatusNotFound,
+		fmt.Errorf("dataset %s not found (never registered, deleted, or evicted)", digest))
+	return nil, "", false
+}
+
+// fetchThrough pulls a locally missing digest from its fleet holders,
+// verifying and caching the bytes locally, and writes the appropriate
+// error (503 peer_unavailable, 503 canceled, or 404) when it cannot.
+func (h *handler) fetchThrough(w http.ResponseWriter, r *http.Request, digest string) (*rbac.Dataset, bool) {
+	raw, peer, err := h.fleet.FetchDataset(r.Context(), digest)
+	switch {
+	case err == nil:
+	case errors.Is(err, fleet.ErrPeerUnavailable):
+		h.writePeerUnavailable(w, fmt.Errorf("dataset %s is held by unreachable peers: %w", digest, err))
+		return nil, false
+	case r.Context().Err() != nil:
+		writeEngineError(w, r.Context().Err())
+		return nil, false
+	default: // fleet.ErrNotFound and anything equally definitive
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("dataset %s not found on any fleet peer", digest))
+		return nil, false
+	}
+	if _, perr := h.store.PutCanonical(digest, raw); perr != nil {
+		// Too large for the local budget or otherwise inadmissible:
+		// still serve this request from the verified bytes.
+		h.opts.Logf("fleet: dataset %s fetched from %s not cached locally: %v", digest, peer, perr)
+		ds, derr := rbac.ReadJSON(bytes.NewReader(raw))
+		if derr != nil {
+			writeError(w, http.StatusInternalServerError, derr)
+			return nil, false
+		}
+		return ds, true
+	}
 	ds, _, ok := h.store.GetDataset(digest)
 	if !ok {
-		writeError(w, http.StatusNotFound,
-			fmt.Errorf("dataset %s not found (never registered, deleted, or evicted)", digest))
-		return nil, "", false
+		// Cached and immediately evicted (pathological budget); parse
+		// the bytes we already hold rather than failing the request.
+		ds, derr := rbac.ReadJSON(bytes.NewReader(raw))
+		if derr != nil {
+			writeError(w, http.StatusInternalServerError, derr)
+			return nil, false
+		}
+		return ds, true
 	}
-	return ds, digest, true
+	return ds, true
 }
 
 // The job kinds — exactly the sync endpoints that run the engine.

@@ -39,12 +39,24 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	var body map[string]string
+	var body struct {
+		Status string `json:"status"`
+		Node   string `json:"node"`
+		State  string `json:"state"`
+		Ready  bool   `json:"ready"`
+		Boot   string `json:"boot"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	if body["status"] != "ok" {
-		t.Fatalf("body = %v", body)
+	if body.Status != "ok" {
+		t.Fatalf("body = %+v", body)
+	}
+	if body.Node == "" || body.Boot == "" {
+		t.Fatalf("healthz missing node identity: %+v", body)
+	}
+	if body.State != "ready" || !body.Ready {
+		t.Fatalf("healthz not ready: %+v", body)
 	}
 }
 

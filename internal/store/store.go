@@ -29,13 +29,17 @@
 package store
 
 import (
+	"bytes"
 	"container/list"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -181,6 +185,13 @@ type Store struct {
 	lru      *list.List // front = most recently used
 	bytes    int64
 	stats    Stats
+	// delGen counts completed DeleteDataset calls per digest. A
+	// single-flight compute snapshots the generations of its key's
+	// digests when it starts; if any changed by the time it finishes,
+	// the result is handed to its waiters but not admitted to the
+	// cache — DELETE is a barrier against in-flight results of the
+	// deleted snapshot becoming newly cacheable after it returns.
+	delGen map[string]uint64
 }
 
 // New builds a Store and, when Dir is set, creates the layout and
@@ -195,6 +206,7 @@ func New(opts Options) (*Store, error) {
 		results:  make(map[string]*resEntry),
 		flights:  make(map[string]*flight),
 		lru:      list.New(),
+		delGen:   make(map[string]uint64),
 	}
 	if opts.Dir != "" {
 		if err := s.ensureDirs(); err != nil {
@@ -285,21 +297,79 @@ func (s *Store) GetDataset(digest string) (*rbac.Dataset, []byte, bool) {
 
 // DeleteDataset removes a dataset from memory and disk. It reports
 // whether anything was deleted.
+//
+// Deletion races an in-flight single-flight compute over the same
+// digest with defined semantics: the compute (which resolved the
+// dataset before the delete) finishes and its waiters get the result,
+// but the result is not admitted to the cache — by the time
+// DeleteDataset returns, the digest's delete generation has advanced,
+// and the flight's admission check sees it. The disk copy is removed
+// before the generation bump so a post-delete reload cannot resurrect
+// the snapshot either.
 func (s *Store) DeleteDataset(digest string) bool {
+	var removedFile bool
+	if s.opts.Dir != "" {
+		var err error
+		if removedFile, err = s.removeDatasetFile(digest); err != nil {
+			s.opts.Logf("store: delete dataset file %s: %v", digest, err)
+		}
+	}
 	s.mu.Lock()
 	e, ok := s.datasets[digest]
 	if ok {
 		s.removeDatasetLocked(e)
 	}
+	if ok || removedFile {
+		s.delGen[digest]++
+	}
+	s.mu.Unlock()
+	return ok || removedFile
+}
+
+// genLocked folds the delete generations of every digest a cache key
+// depends on (diff keys join two digests with "+").
+func (s *Store) genLocked(key Key) uint64 {
+	var gen uint64
+	for _, d := range strings.Split(key.Dataset, "+") {
+		gen += s.delGen[d]
+	}
+	return gen
+}
+
+// PutCanonical registers a dataset from its canonical bytes — the
+// fleet replication/fetch path, where the bytes arrived from a peer
+// already canonicalized. The bytes are verified against the expected
+// digest (a corrupt transfer is rejected, never stored) and the parsed
+// dataset is validated like any upload.
+func (s *Store) PutCanonical(digest string, raw []byte) (created bool, err error) {
+	sum := sha256.Sum256(raw)
+	if got := hex.EncodeToString(sum[:]); got != digest {
+		return false, fmt.Errorf("store: bytes hash to %s, not the expected %s", got, digest)
+	}
+	if int64(len(raw)) > s.opts.MaxBytes {
+		return false, fmt.Errorf("%w: %d canonical bytes > budget %d", ErrTooLarge, len(raw), s.opts.MaxBytes)
+	}
+	ds, err := rbac.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		return false, fmt.Errorf("store: parse verified snapshot: %w", err)
+	}
+	if err := ds.Validate(); err != nil {
+		return false, fmt.Errorf("store: invalid dataset %s: %w", digest, err)
+	}
+	s.mu.Lock()
+	if e, ok := s.datasets[digest]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		return false, nil
+	}
+	s.insertDatasetLocked(&dsEntry{digest: digest, ds: ds, canonical: raw, stats: ds.Stats()})
 	s.mu.Unlock()
 	if s.opts.Dir != "" {
-		if removed, err := s.removeDatasetFile(digest); err != nil {
-			s.opts.Logf("store: delete dataset file %s: %v", digest, err)
-		} else if removed {
-			ok = true
+		if werr := s.writeDatasetFile(digest, raw); werr != nil {
+			s.opts.Logf("store: persist dataset %s: %v", digest, werr)
 		}
 	}
-	return ok
+	return true, nil
 }
 
 func (s *Store) removeDatasetLocked(e *dsEntry) {
@@ -362,6 +432,7 @@ func (s *Store) Result(ctx context.Context, key Key, compute func(ctx context.Co
 		}
 		f := &flight{done: make(chan struct{})}
 		s.flights[keyStr] = f
+		gen := s.genLocked(key)
 		s.mu.Unlock()
 
 		body, fromDisk := s.loadWarmResult(key, keyStr)
@@ -370,13 +441,17 @@ func (s *Store) Result(ctx context.Context, key Key, compute func(ctx context.Co
 		}
 		s.mu.Lock()
 		delete(s.flights, keyStr)
+		// A delete of any underlying dataset while this flight ran
+		// makes the result non-admissible: waiters still get it, the
+		// cache does not.
+		stale := s.genLocked(key) != gen
 		if err == nil {
 			if fromDisk {
 				s.stats.Hits++
 			} else {
 				s.stats.Misses++
 			}
-			if _, ok := s.results[keyStr]; !ok && int64(len(body)) <= s.opts.MaxBytes {
+			if _, ok := s.results[keyStr]; !ok && !stale && int64(len(body)) <= s.opts.MaxBytes {
 				e := &resEntry{key: keyStr, body: body, created: time.Now()}
 				e.elem = s.lru.PushFront(lruItem{key: keyStr})
 				s.results[keyStr] = e
@@ -387,7 +462,7 @@ func (s *Store) Result(ctx context.Context, key Key, compute func(ctx context.Co
 		s.mu.Unlock()
 		f.body, f.err = body, err
 		close(f.done)
-		if err == nil && !fromDisk && s.opts.Dir != "" {
+		if err == nil && !fromDisk && !stale && s.opts.Dir != "" {
 			if werr := s.writeResultFile(key, keyStr, body); werr != nil {
 				s.opts.Logf("store: persist result %s: %v", keyStr, werr)
 			}

@@ -1,0 +1,266 @@
+#!/bin/sh
+# Fault-injection smoke test for the sharded roledietd fleet: build
+# roledietd, start three fleet nodes plus a standalone oracle, then
+# drive the full failure story with curl — upload routes to the
+# rendezvous owner and replicates; analyze-by-ref on a non-holder
+# fetches through the fleet and matches the oracle byte for byte
+# (wall-clock fields normalized); a node killed mid-audit does not lose
+# the job; reads degrade to replicas; a fully partitioned digest
+# answers a fast 503 + Retry-After with the peer_unavailable code; and
+# /v1/fleet/stats exposes the open breaker and the skipped peers.
+# Stdlib + curl + sed only (no jq).
+#
+# Usage: scripts/cluster_smoke.sh [baseport]   (default 18091; uses
+# baseport..baseport+4). Daemon logs land in $TMP and are printed on
+# failure; set CLUSTER_SMOKE_LOG_DIR to also copy them out (CI grabs
+# them as artifacts).
+set -eu
+
+BASEPORT="${1:-18091}"
+P1=$BASEPORT
+P2=$((BASEPORT + 1))
+P3=$((BASEPORT + 2))
+PORACLE=$((BASEPORT + 3))
+PFAULT=$((BASEPORT + 4))
+PEERS="http://127.0.0.1:$P1,http://127.0.0.1:$P2,http://127.0.0.1:$P3"
+TMP="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+	[ -n "${CLUSTER_SMOKE_LOG_DIR:-}" ] && {
+		mkdir -p "$CLUSTER_SMOKE_LOG_DIR"
+		cp "$TMP"/*.log "$CLUSTER_SMOKE_LOG_DIR"/ 2>/dev/null || true
+	}
+	for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "cluster-smoke: FAIL: $*" >&2
+	echo "--- daemon logs ---" >&2
+	tail -n 40 "$TMP"/*.log >&2 2>/dev/null || true
+	exit 1
+}
+
+# start_node name port: one fleet member with its own store dir.
+start_node() {
+	"$TMP/roledietd" -addr "127.0.0.1:$2" -node-id "$1" -store-dir "$TMP/store-$1" \
+		-peers "$PEERS" -self "http://127.0.0.1:$2" \
+		-peer-timeout 1s -peer-retries 2 -peer-probe-interval 200ms \
+		-peer-breaker-threshold 2 -peer-breaker-cooldown 30s \
+		>>"$TMP/$1.log" 2>&1 &
+	PIDS="$PIDS $!"
+	eval "PID_$1=$!"
+}
+
+wait_healthy() {
+	i=0
+	until curl -fsS "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && fail "daemon on :$1 never became healthy"
+		sleep 0.1
+	done
+}
+
+# normalize file: strip the only legitimately nondeterministic report
+# fields (wall-clock duration measurements) so runs compare bytewise.
+normalize() {
+	sed 's/"[a-zA-Z]*DurationNanos":[0-9]*/"durationNanos":0/g' "$1" >"$1.norm"
+}
+
+echo "cluster-smoke: building"
+go build -o "$TMP/roledietd" ./cmd/roledietd
+go run ./cmd/rolediet generate -org -scale 400 -out "$TMP/org.json" >/dev/null
+
+echo "cluster-smoke: starting 3 fleet nodes on :$P1-:$P3 and an oracle on :$PORACLE"
+start_node node1 "$P1"
+start_node node2 "$P2"
+start_node node3 "$P3"
+"$TMP/roledietd" -addr "127.0.0.1:$PORACLE" >>"$TMP/oracle.log" 2>&1 &
+PIDS="$PIDS $!"
+for p in "$P1" "$P2" "$P3" "$PORACLE"; do wait_healthy "$p"; done
+
+HEALTH="$(curl -fsS "http://127.0.0.1:$P1/healthz")"
+case "$HEALTH" in
+*'"node":"node1"'*'"state":"ready"'* | *'"state":"ready"'*'"node":"node1"'*) ;;
+*) fail "healthz missing node identity/state: $HEALTH" ;;
+esac
+
+echo "cluster-smoke: uploading dataset via node1"
+UPLOAD="$(curl -fsS -X POST --data-binary @"$TMP/org.json" "http://127.0.0.1:$P1/v1/datasets")" ||
+	fail "upload rejected"
+DIGEST="$(printf '%s' "$UPLOAD" | sed -n 's/.*"digest":"\([^"]*\)".*/\1/p')"
+OWNER="$(printf '%s' "$UPLOAD" | sed -n 's/.*"owner":"\([^"]*\)".*/\1/p')"
+[ -n "$DIGEST" ] || fail "no digest in upload response: $UPLOAD"
+[ -n "$OWNER" ] || fail "no owner in upload response: $UPLOAD"
+OWNER_PORT="${OWNER##*:}"
+echo "cluster-smoke: $DIGEST owned by $OWNER"
+
+echo "cluster-smoke: waiting for owner + replica to hold the dataset"
+i=0
+while :; do
+	HOLDERS=""
+	for p in "$P1" "$P2" "$P3"; do
+		CODE="$(curl -s -o /dev/null -w '%{http_code}' \
+			"http://127.0.0.1:$p/v1/datasets/$DIGEST/raw")"
+		[ "$CODE" = "200" ] && HOLDERS="$HOLDERS $p"
+	done
+	N="$(echo "$HOLDERS" | wc -w)"
+	[ "$N" -ge 2 ] && break
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && fail "replication never completed (holders:$HOLDERS)"
+	sleep 0.1
+done
+echo "cluster-smoke: held by$HOLDERS"
+case "$HOLDERS" in
+*"$OWNER_PORT"*) ;;
+*) fail "owner :$OWNER_PORT does not hold its own dataset" ;;
+esac
+
+# Pick the node that is NOT a holder (fetch-through candidate) and a
+# holder that is not the owner (the replica).
+OUTSIDER=""
+REPLICA=""
+for p in "$P1" "$P2" "$P3"; do
+	case "$HOLDERS" in
+	*"$p"*) [ "$p" != "$OWNER_PORT" ] && REPLICA="$p" ;;
+	*) OUTSIDER="$p" ;;
+	esac
+done
+[ -n "$OUTSIDER" ] && [ -n "$REPLICA" ] || fail "could not classify nodes (holders:$HOLDERS)"
+
+echo "cluster-smoke: fleet-routed analyze on non-holder :$OUTSIDER vs oracle"
+printf '{"dataset_ref":"%s"}' "$DIGEST" >"$TMP/byref.json"
+ORACLE_UP="$(curl -fsS -X POST --data-binary @"$TMP/org.json" "http://127.0.0.1:$PORACLE/v1/datasets")"
+case "$ORACLE_UP" in
+*"$DIGEST"*) ;;
+*) fail "oracle computed a different digest: $ORACLE_UP" ;;
+esac
+curl -fsS -X POST --data-binary @"$TMP/byref.json" \
+	"http://127.0.0.1:$PORACLE/v1/analyze" -o "$TMP/oracle.json" || fail "oracle analyze failed"
+curl -fsS -m 30 -X POST --data-binary @"$TMP/byref.json" \
+	"http://127.0.0.1:$OUTSIDER/v1/analyze" -o "$TMP/fleet.json" ||
+	fail "fleet-routed analyze on non-holder failed"
+normalize "$TMP/oracle.json"
+normalize "$TMP/fleet.json"
+cmp -s "$TMP/oracle.json.norm" "$TMP/fleet.json.norm" ||
+	fail "fleet-routed analyze differs from the single-node oracle"
+echo "cluster-smoke: fleet-routed analyze byte-identical to the oracle"
+
+echo "cluster-smoke: submitting async audit on replica :$REPLICA, then killing the owner mid-audit"
+{
+	printf '{"kind":"analyze","dataset_ref":"%s","options":{"method":"rolediet","threshold":1}}' "$DIGEST"
+} >"$TMP/job.json"
+SUBMIT="$(curl -fsS -X POST --data-binary @"$TMP/job.json" "http://127.0.0.1:$REPLICA/v1/jobs")" ||
+	fail "job submit rejected"
+JOB="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$JOB" ] || fail "no job id in submit response: $SUBMIT"
+
+case "$OWNER_PORT" in
+"$P1") OWNER_PID="$PID_node1" ;;
+"$P2") OWNER_PID="$PID_node2" ;;
+"$P3") OWNER_PID="$PID_node3" ;;
+*) fail "owner port $OWNER_PORT is not a fleet node" ;;
+esac
+kill -9 "$OWNER_PID" || fail "could not kill owner"
+echo "cluster-smoke: owner :$OWNER_PORT killed"
+
+i=0
+while :; do
+	SNAP="$(curl -fsS "http://127.0.0.1:$REPLICA/v1/jobs/$JOB")" || fail "job poll failed"
+	case "$SNAP" in
+	*'"status":"done"'*) break ;;
+	*'"status":"failed"'* | *'"status":"canceled"'*) fail "audit died with the owner: $SNAP" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -gt 300 ] && fail "audit never finished after owner kill: $SNAP"
+	sleep 0.1
+done
+curl -fsS "http://127.0.0.1:$REPLICA/v1/jobs/$JOB/result" >/dev/null ||
+	fail "job result not fetchable after owner kill"
+echo "cluster-smoke: audit survived the owner kill"
+
+echo "cluster-smoke: replica keeps serving reads with the owner dead"
+curl -fsS -m 30 -X POST --data-binary @"$TMP/byref.json" \
+	"http://127.0.0.1:$REPLICA/v1/analyze" >/dev/null ||
+	fail "replica-served analyze failed after owner kill"
+
+echo "cluster-smoke: partitioning the digest entirely"
+# Kill the remaining holder too, and drop the outsider's fetched copy;
+# now the only copies live on dead nodes and the contract is a fast,
+# structured 503 — never a hang.
+case "$REPLICA" in
+"$P1") kill -9 "$PID_node1" ;;
+"$P2") kill -9 "$PID_node2" ;;
+"$P3") kill -9 "$PID_node3" ;;
+esac
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X DELETE \
+	"http://127.0.0.1:$OUTSIDER/v1/datasets/$DIGEST")"
+[ "$CODE" = "200" ] || fail "local delete on :$OUTSIDER returned $CODE"
+
+# New options => new result-cache fingerprint, so the node must resolve
+# the ref again and discover every holder is gone. -m bounds the wait:
+# the daemon must answer well inside it.
+HDRS="$(curl -s -m 15 -D - -o "$TMP/unavail.json" -X POST --data-binary @"$TMP/byref.json" \
+	"http://127.0.0.1:$OUTSIDER/v1/analyze?threshold=2")" ||
+	fail "analyze against partitioned digest hung past the curl deadline"
+case "$HDRS" in
+*"503"*) ;;
+*) fail "partitioned analyze did not answer 503: $HDRS $(cat "$TMP/unavail.json")" ;;
+esac
+case "$HDRS" in
+*[Rr]etry-[Aa]fter:*) ;;
+*) fail "503 missing Retry-After header: $HDRS" ;;
+esac
+case "$(cat "$TMP/unavail.json")" in
+*'"code":"peer_unavailable"'*) ;;
+*) fail "error body missing peer_unavailable code: $(cat "$TMP/unavail.json")" ;;
+esac
+echo "cluster-smoke: partitioned digest answered 503 + Retry-After + peer_unavailable"
+
+echo "cluster-smoke: checking breaker visibility in /v1/fleet/stats"
+STATS="$(curl -fsS -m 15 "http://127.0.0.1:$OUTSIDER/v1/fleet/stats")" ||
+	fail "fleet stats unreachable"
+case "$STATS" in
+*'"state":"open"'*) ;;
+*) fail "no open breaker in fleet stats: $STATS" ;;
+esac
+case "$STATS" in
+*'"skipped":[{'*) ;;
+*) fail "dead peers not reported as skipped: $STATS" ;;
+esac
+echo "cluster-smoke: dead peers skipped, breaker open and visible"
+
+echo "cluster-smoke: fault-injected node on :$PFAULT (ROLEDIET_FAULT=drop:2)"
+# A two-node fleet of the oracle and a fresh node whose outbound peer
+# transport drops its first two requests (the deterministic injection
+# seam, via the env fallback). Probing is off so the drops hit the
+# upload's peer calls; with 3 attempts per call the retry/backoff layer
+# must absorb both faults and still place the dataset on the oracle.
+go run ./cmd/rolediet generate -org -scale 300 -out "$TMP/org2.json" >/dev/null
+ROLEDIET_FAULT=drop:2 "$TMP/roledietd" -addr "127.0.0.1:$PFAULT" -node-id faulty \
+	-peers "http://127.0.0.1:$PFAULT,http://127.0.0.1:$PORACLE" \
+	-self "http://127.0.0.1:$PFAULT" \
+	-peer-timeout 1s -peer-retries 3 -peer-probe-interval -1s \
+	>>"$TMP/faulty.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_healthy "$PFAULT"
+UPLOAD2="$(curl -fsS -m 30 -X POST --data-binary @"$TMP/org2.json" \
+	"http://127.0.0.1:$PFAULT/v1/datasets")" ||
+	fail "upload through faulty transport rejected"
+case "$UPLOAD2" in
+*'"degraded":true'*) fail "retries did not absorb the injected faults: $UPLOAD2" ;;
+esac
+DIGEST2="$(printf '%s' "$UPLOAD2" | sed -n 's/.*"digest":"\([^"]*\)".*/\1/p')"
+[ -n "$DIGEST2" ] || fail "no digest in faulty upload response: $UPLOAD2"
+i=0
+until [ "$(curl -s -o /dev/null -w '%{http_code}' \
+	"http://127.0.0.1:$PORACLE/v1/datasets/$DIGEST2/raw")" = "200" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && fail "dataset never reached the peer through the faulty transport"
+	sleep 0.1
+done
+echo "cluster-smoke: injected drops absorbed by retry; dataset placed through the faults"
+
+echo "cluster-smoke: PASS"
