@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-figures bench-json experiments jobs-smoke store-smoke cluster-smoke clean
+.PHONY: all build vet test race cover bench bench-figures bench-json experiments jobs-smoke store-smoke cluster-smoke drift-smoke clean
 
 all: build vet test
 
@@ -64,6 +64,14 @@ store-smoke:
 # injected transport faults (see scripts/cluster_smoke.sh).
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# End-to-end smoke of streaming ingest + mutation sessions + drift:
+# upload a base, apply a 3-event log, require the session audit to be
+# byte-identical to a standalone full re-analysis after normalization,
+# then exercise /v1/drift caching and the event-log bomb contract
+# (see scripts/drift_smoke.sh).
+drift-smoke:
+	sh scripts/drift_smoke.sh
 
 clean:
 	rm -f rolediet roledietd

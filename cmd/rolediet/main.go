@@ -54,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cmdReconcile(args[1:], stdout)
 	case "replay":
 		return cmdReplay(args[1:], stdout)
+	case "drift":
+		return cmdDrift(args[1:], stdout)
 	case "bench":
 		return cmdBench(args[1:], stdout, stderr)
 	case "recall":
@@ -84,6 +86,7 @@ subcommands:
   query        access-review queries (who holds what, and why)
   reconcile    compute the event log between two snapshots
   replay       apply an event log to a snapshot, auditing at checkpoints
+  drift        incremental drift audit between snapshots (server schema)
   bench        run the full evaluation and emit a Markdown report
   recall       quality sweep for the approximate methods (HNSW, LSH)
   digest       print a dataset's content digest (usable as dataset_ref)

@@ -26,6 +26,15 @@
 //	                  set workers themselves (via the workers query
 //	                  parameter or the options body); >= 2 parallelises
 //
+// Streaming ingest and mutation-session knobs (see internal/server and
+// internal/session):
+//
+//	-max-upload-bytes  decompressed byte cap for POST /v1/datasets,
+//	                   enforced while the upload streams (400
+//	                   payload_too_large past it); 0 uses -max-body-mib
+//	-session-ttl       idle expiry for live mutation sessions
+//	-max-sessions      live session cap per node (429 beyond it)
+//
 // Dataset registry and result cache knobs (see internal/store):
 //
 //	-store-dir        directory persisting registered datasets and warm
@@ -105,6 +114,12 @@ func run(args []string) error {
 			"retention of finished async job results before they expire (404)")
 		defaultWorkers = fs.Int("default-workers", 0,
 			"grouping workers applied to requests that don't set workers themselves; 0 keeps the serial default, >= 2 parallelises")
+		maxUploadBytes = fs.Int64("max-upload-bytes", 0,
+			"byte cap for POST /v1/datasets bodies (decompressed), enforced as the upload streams; 0 uses -max-body-mib")
+		sessionTTL = fs.Duration("session-ttl", 30*time.Minute,
+			"idle expiry for live mutation sessions (POST /v1/sessions)")
+		maxSessions = fs.Int("max-sessions", 128,
+			"live mutation session cap per node; creations beyond it are shed with 429")
 		storeDir = fs.String("store-dir", "",
 			"directory persisting registered datasets and warm cache entries across restarts; empty keeps the store memory-only")
 		storeMaxBytes = fs.Int64("store-max-bytes", 512<<20,
@@ -192,6 +207,9 @@ func run(args []string) error {
 			NodeID:         *nodeID,
 			Readiness:      ready.Load,
 			MaxBodyBytes:   *maxBodyMiB << 20,
+			MaxUploadBytes: *maxUploadBytes,
+			SessionTTL:     *sessionTTL,
+			MaxSessions:    *maxSessions,
 			RequestTimeout: *requestTimeout,
 			MaxConcurrent:  *maxConcurrent,
 			JobWorkers:     *jobWorkers,

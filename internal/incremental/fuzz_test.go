@@ -1,0 +1,111 @@
+package incremental
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// bruteGroups recomputes the duplicate partition from a plain mirror of
+// the assignment sets: bucket roles by their exact (sorted) column
+// list, keep buckets of two or more, canonical order. No hashing
+// anywhere — this is the ground truth the Zobrist buckets must match.
+func bruteGroups(mirror map[int]map[int]struct{}, ignoreEmpty bool) [][]int {
+	byKey := make(map[string][]int)
+	for role, set := range mirror {
+		if ignoreEmpty && len(set) == 0 {
+			continue
+		}
+		cols := make([]int, 0, len(set))
+		for c := range set {
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+		byKey[fmt.Sprint(cols)] = append(byKey[fmt.Sprint(cols)], role)
+	}
+	var groups [][]int
+	for _, g := range byKey {
+		if len(g) < 2 {
+			continue
+		}
+		sort.Ints(g)
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
+// sameGroups compares two canonical partitions.
+func sameGroups(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzIncrementalVsBrute drives random add/remove/assign/revoke
+// sequences through the index and checks Groups against brute-force
+// recomputation after every mutation. The seed is fuzz-chosen too, so
+// the Zobrist table itself is adversarial: a collision the buckets fail
+// to split by true set equality shows up as a merged group here. Small
+// role/column universes force heavy duplicate traffic, and errors from
+// invalid ops (unknown role, double add) are expected — only panics and
+// partition divergence fail.
+func FuzzIncrementalVsBrute(f *testing.F) {
+	f.Add(uint64(0), []byte{})
+	f.Add(uint64(1), []byte{0, 0, 0, 1, 2, 0, 2, 16, 2, 32})
+	f.Add(uint64(0xDEADBEEF), []byte{0, 0, 0, 1, 0, 2, 2, 0, 2, 1, 2, 2, 3, 1})
+	f.Fuzz(func(t *testing.T, seed uint64, data []byte) {
+		idx := New(seed)
+		mirror := make(map[int]map[int]struct{})
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i] % 4
+			role := int(data[i+1]) % 6
+			col := int(data[i+1]) / 6 % 8
+			switch op {
+			case 0:
+				if err := idx.AddRole(role); err == nil {
+					mirror[role] = make(map[int]struct{})
+				} else if _, tracked := mirror[role]; !tracked {
+					t.Fatalf("AddRole(%d) refused on untracked role: %v", role, err)
+				}
+			case 1:
+				if err := idx.RemoveRole(role); err == nil {
+					delete(mirror, role)
+				} else if _, tracked := mirror[role]; tracked {
+					t.Fatalf("RemoveRole(%d) refused on tracked role: %v", role, err)
+				}
+			case 2:
+				if err := idx.Assign(role, col); err == nil {
+					mirror[role][col] = struct{}{}
+				} else if _, tracked := mirror[role]; tracked {
+					t.Fatalf("Assign(%d,%d) refused on tracked role: %v", role, col, err)
+				}
+			case 3:
+				if err := idx.Revoke(role, col); err == nil {
+					delete(mirror[role], col)
+				} else if _, tracked := mirror[role]; tracked {
+					t.Fatalf("Revoke(%d,%d) refused on tracked role: %v", role, col, err)
+				}
+			}
+			for _, ignoreEmpty := range []bool{false, true} {
+				got := idx.Groups(GroupOptions{IgnoreEmpty: ignoreEmpty})
+				want := bruteGroups(mirror, ignoreEmpty)
+				if !sameGroups(got, want) {
+					t.Fatalf("after %d ops (seed %#x, ignoreEmpty=%v): index %v != brute %v",
+						i/2+1, seed, ignoreEmpty, got, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package rbac
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ReadJSONStream parses a dataset from r incrementally, token by
+// token, so memory stays proportional to the dataset's entity and edge
+// counts — never to the byte length of the input. It accepts the exact
+// schema ReadJSON accepts (users/roles/permissions arrays plus
+// userAssignments/permissionAssignments edge lists) and produces an
+// identical Dataset: entity insertion order per kind is the array
+// order, so DigestOf over the result matches a buffered decode of the
+// same document.
+//
+// Two deliberate strictness differences from the buffered path:
+//
+//   - A repeated top-level field is rejected (encoding/json's
+//     last-wins rule would silently drop the earlier array, which for
+//     an ingest endpoint means silently dropping data).
+//   - The top-level value must be an object (ReadJSON would fail later
+//     on a non-object too, just with a vaguer error).
+//
+// Edges may reference entities declared later in the document (any
+// field order is legal JSON); such edges are buffered and applied once
+// the whole document has streamed past. Edges whose entities never
+// appear fail with the usual ErrUnknown* error.
+func ReadJSONStream(r io.Reader) (*Dataset, error) {
+	// encoding/json's Decoder does not discard inter-token whitespace
+	// until it finds the next token, so a run of whitespace grows its
+	// buffer to the run's full length — a padding bomb. Collapsing
+	// whitespace runs outside strings up front keeps the decoder's
+	// buffer proportional to the largest real token instead.
+	dec := json.NewDecoder(&spaceSqueezer{r: r})
+	d := NewDataset()
+
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("rbac: read dataset: %w", err)
+	}
+	if delim, ok := tok.(json.Delim); !ok || delim != '{' {
+		return nil, fmt.Errorf("rbac: read dataset: top-level value is %v, want an object", tok)
+	}
+
+	// Edges seen before their endpoints; applied after the full
+	// document has streamed past.
+	var pendingUsers []userEdgeJSON
+	var pendingPerms []permEdgeJSON
+
+	seen := make(map[string]bool, 5)
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("rbac: read dataset: %w", err)
+		}
+		key, _ := keyTok.(string)
+		if seen[key] {
+			return nil, fmt.Errorf("rbac: read dataset: field %q appears twice", key)
+		}
+		seen[key] = true
+
+		switch key {
+		case "users":
+			err = decodeArray(dec, func() error {
+				var u UserID
+				if err := dec.Decode(&u); err != nil {
+					return err
+				}
+				return d.AddUser(u)
+			})
+		case "roles":
+			err = decodeArray(dec, func() error {
+				var id RoleID
+				if err := dec.Decode(&id); err != nil {
+					return err
+				}
+				return d.AddRole(id)
+			})
+		case "permissions":
+			err = decodeArray(dec, func() error {
+				var p PermissionID
+				if err := dec.Decode(&p); err != nil {
+					return err
+				}
+				return d.AddPermission(p)
+			})
+		case "userAssignments":
+			err = decodeArray(dec, func() error {
+				var e userEdgeJSON
+				if err := dec.Decode(&e); err != nil {
+					return err
+				}
+				if aerr := d.AssignUser(e.Role, e.User); aerr != nil {
+					if errors.Is(aerr, ErrUnknownRole) || errors.Is(aerr, ErrUnknownUser) {
+						pendingUsers = append(pendingUsers, e)
+						return nil
+					}
+					return aerr
+				}
+				return nil
+			})
+		case "permissionAssignments":
+			err = decodeArray(dec, func() error {
+				var e permEdgeJSON
+				if err := dec.Decode(&e); err != nil {
+					return err
+				}
+				if aerr := d.AssignPermission(e.Role, e.Permission); aerr != nil {
+					if errors.Is(aerr, ErrUnknownRole) || errors.Is(aerr, ErrUnknownPermission) {
+						pendingPerms = append(pendingPerms, e)
+						return nil
+					}
+					return aerr
+				}
+				return nil
+			})
+		default:
+			err = skipValue(dec)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rbac: read dataset: field %q: %w", key, err)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return nil, fmt.Errorf("rbac: read dataset: %w", err)
+	}
+
+	for _, e := range pendingUsers {
+		if err := d.AssignUser(e.Role, e.User); err != nil {
+			return nil, fmt.Errorf("rbac: read dataset: userAssignments: %w", err)
+		}
+	}
+	for _, e := range pendingPerms {
+		if err := d.AssignPermission(e.Role, e.Permission); err != nil {
+			return nil, fmt.Errorf("rbac: read dataset: permissionAssignments: %w", err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// decodeArray consumes one JSON array (or null), calling elem once per
+// element with dec positioned at that element.
+func decodeArray(dec *json.Decoder, elem func() error) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if tok == nil { // null field value, same as absent
+		return nil
+	}
+	if delim, ok := tok.(json.Delim); !ok || delim != '[' {
+		return fmt.Errorf("got %v, want an array", tok)
+	}
+	for dec.More() {
+		if err := elem(); err != nil {
+			return err
+		}
+	}
+	_, err = dec.Token() // closing ']'
+	return err
+}
+
+// skipValue consumes one JSON value of any shape without materialising
+// it: unknown fields stream past in bounded memory too.
+func skipValue(dec *json.Decoder) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	delim, ok := tok.(json.Delim)
+	if !ok || (delim != '[' && delim != '{') {
+		return nil
+	}
+	for dec.More() {
+		if err := skipValue(dec); err != nil {
+			return err
+		}
+	}
+	_, err = dec.Token() // closing delimiter
+	return err
+}
+
+// spaceSqueezer collapses every run of JSON whitespace outside string
+// literals to a single space as the stream passes through. Inter-token
+// whitespace is semantically void, so the transform preserves the
+// document's value exactly (string contents pass through untouched,
+// escape sequences included); it only denies whitespace padding the
+// ability to grow the downstream decoder's buffer.
+type spaceSqueezer struct {
+	r        io.Reader
+	buf      [4096]byte
+	pending  []byte // unconsumed tail of the last fill
+	inStr    bool
+	escaped  bool
+	wasSpace bool
+}
+
+func (s *spaceSqueezer) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for {
+		if len(s.pending) == 0 {
+			n, err := s.r.Read(s.buf[:])
+			s.pending = s.buf[:n]
+			if n == 0 {
+				return 0, err
+			}
+		}
+		out := 0
+		for len(s.pending) > 0 && out < len(p) {
+			b := s.pending[0]
+			s.pending = s.pending[1:]
+			if s.inStr {
+				switch {
+				case s.escaped:
+					s.escaped = false
+				case b == '\\':
+					s.escaped = true
+				case b == '"':
+					s.inStr = false
+				}
+				p[out] = b
+				out++
+				continue
+			}
+			if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+				if s.wasSpace {
+					continue
+				}
+				s.wasSpace = true
+				p[out] = ' '
+				out++
+				continue
+			}
+			s.wasSpace = false
+			if b == '"' {
+				s.inStr = true
+			}
+			p[out] = b
+			out++
+		}
+		// A chunk of pure run-continuation whitespace can squeeze to
+		// nothing; keep filling rather than returning a zero-byte read.
+		if out > 0 {
+			return out, nil
+		}
+	}
+}

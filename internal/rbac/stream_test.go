@@ -1,0 +1,150 @@
+package rbac
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// streamFixture renders a moderately sized dataset as JSON.
+func streamFixture(t testing.TB, roles, users int) (*Dataset, []byte) {
+	t.Helper()
+	ds := NewDataset()
+	for u := 0; u < users; u++ {
+		ds.EnsureUser(UserID(string(rune('a'+u%26)) + string(rune('a'+u/26%26)) + string(rune('a'+u/676))))
+	}
+	for r := 0; r < roles; r++ {
+		role := RoleID("role" + string(rune('a'+r%26)) + string(rune('a'+r/26%26)) + string(rune('a'+r/676)))
+		ds.EnsureRole(role)
+		for u := r % users; u < users; u += 7 {
+			_ = ds.AssignUser(role, ds.User(u))
+		}
+	}
+	ds.EnsurePermission("p0")
+	for r := 0; r < roles; r += 3 {
+		_ = ds.AssignPermission(ds.Role(r), "p0")
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return ds, buf.Bytes()
+}
+
+// TestReadJSONStreamMatchesBuffered: the streaming decoder must land on
+// the same dataset as the buffered one for a full round-tripped export.
+func TestReadJSONStreamMatchesBuffered(t *testing.T) {
+	_, raw := streamFixture(t, 120, 80)
+	buffered, err := ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := ReadJSONStream(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bj, sj) {
+		t.Fatalf("streamed decode differs from buffered decode:\n  buffered: %.200s\n  streamed: %.200s", bj, sj)
+	}
+}
+
+// TestReadJSONStreamForwardReferences: edges may precede the entity
+// arrays in the document; the pending buffer must resolve them.
+func TestReadJSONStreamForwardReferences(t *testing.T) {
+	doc := `{
+		"userAssignments": [{"role":"r1","user":"u1"},{"role":"r2","user":"u1"}],
+		"permissionAssignments": [{"role":"r1","permission":"p1"}],
+		"users": ["u1"], "roles": ["r1","r2"], "permissions": ["p1"]
+	}`
+	ds, err := ReadJSONStream(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.HasAssignment("r1", "u1") || !ds.HasAssignment("r2", "u1") || !ds.HasPermission("r1", "p1") {
+		t.Fatalf("forward-referenced edges missing: %+v", ds.Stats())
+	}
+}
+
+// TestReadJSONStreamRejectsTruncated: a body cut off mid-stream must
+// error, never yield a partial dataset.
+func TestReadJSONStreamRejectsTruncated(t *testing.T) {
+	_, raw := streamFixture(t, 40, 30)
+	for _, cut := range []int{len(raw) / 4, len(raw) / 2, len(raw) - 2} {
+		if _, err := ReadJSONStream(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncated at %d/%d bytes decoded without error", cut, len(raw))
+		}
+	}
+}
+
+// TestReadJSONStreamRejectsUnknownEdges: an edge naming an entity that
+// never appears must fail validation at the end of the stream.
+func TestReadJSONStreamRejectsUnknownEdges(t *testing.T) {
+	doc := `{"users":["u1"],"roles":["r1"],"permissions":[],
+		"userAssignments":[{"role":"ghost","user":"u1"}],"permissionAssignments":[]}`
+	if _, err := ReadJSONStream(strings.NewReader(doc)); err == nil {
+		t.Fatal("edge to unknown role decoded without error")
+	}
+}
+
+// paddedReader serves a JSON document logically embedded in a much
+// larger byte stream: leading whitespace inflates the wire size without
+// changing the decoded value. It never materialises the padding as one
+// allocation — each Read fills from a counter — so any large allocation
+// observed by the caller belongs to the decoder under test.
+type paddedReader struct {
+	pad int
+	doc io.Reader
+}
+
+func (p *paddedReader) Read(b []byte) (int, error) {
+	if p.pad > 0 {
+		n := len(b)
+		if n > p.pad {
+			n = p.pad
+		}
+		for i := 0; i < n; i++ {
+			b[i] = ' '
+		}
+		p.pad -= n
+		return n, nil
+	}
+	return p.doc.Read(b)
+}
+
+// TestReadJSONStreamBoundedMemory is the streaming-ingest regression
+// guard: decoding a document whose wire size is tens of megabytes must
+// allocate in proportion to the decoded entities, not the wire size.
+// 48 MiB of leading whitespace around a small dataset has to decode in
+// well under a tenth of that allocation budget — a buffered decoder
+// (io.ReadAll + Unmarshal) fails this immediately.
+func TestReadJSONStreamBoundedMemory(t *testing.T) {
+	_, raw := streamFixture(t, 40, 30)
+	const pad = 48 << 20
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	ds, err := ReadJSONStream(&paddedReader{pad: pad, doc: bytes.NewReader(raw)})
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRoles() != 40 {
+		t.Fatalf("decoded %d roles, want 40", ds.NumRoles())
+	}
+	allocated := after.TotalAlloc - before.TotalAlloc
+	if allocated > pad/10 {
+		t.Fatalf("decoding a %d-byte stream allocated %d bytes — decoder is buffering the body", pad+len(raw), allocated)
+	}
+}

@@ -1,0 +1,107 @@
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/rbac"
+)
+
+// eventsFromBytes derives a deterministic event sequence from fuzz
+// bytes: every two bytes pick an op and an entity id from a small
+// universe. Small universes maximise collisions — duplicate adds,
+// revokes of absent edges, removals of unknown entities — which is
+// exactly the error surface the round-trip must survive.
+func eventsFromBytes(data []byte) []Event {
+	ops := []Op{
+		OpAddUser, OpRemoveUser, OpAddRole, OpRemoveRole,
+		OpAddPermission, OpRemovePermission,
+		OpAssignUser, OpRevokeUser, OpAssignPermission, OpRevokePermission,
+	}
+	var events []Event
+	for i := 0; i+1 < len(data); i += 2 {
+		op := ops[int(data[i])%len(ops)]
+		id := int(data[i+1]) % 8
+		e := Event{Op: op, Seq: int64(len(events) + 1)}
+		switch op {
+		case OpAddUser, OpRemoveUser:
+			e.User = rbac.UserID(fmt.Sprintf("u%d", id))
+		case OpAddRole, OpRemoveRole:
+			e.Role = rbac.RoleID(fmt.Sprintf("r%d", id))
+		case OpAddPermission, OpRemovePermission:
+			e.Permission = rbac.PermissionID(fmt.Sprintf("p%d", id))
+		case OpAssignUser, OpRevokeUser:
+			e.Role = rbac.RoleID(fmt.Sprintf("r%d", id%4))
+			e.User = rbac.UserID(fmt.Sprintf("u%d", id/4))
+		case OpAssignPermission, OpRevokePermission:
+			e.Role = rbac.RoleID(fmt.Sprintf("r%d", id%4))
+			e.Permission = rbac.PermissionID(fmt.Sprintf("p%d", id/4))
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// FuzzReplayRoundtrip drives random event logs through the full
+// pipeline: WriteLog must encode whatever eventsFromBytes builds,
+// ReadLog must decode it back identically, and replaying the decoded
+// log through a Replayer must never panic and must leave the dataset
+// Validate-clean — whether the whole log applied or it stopped at a
+// semantically invalid event (the applied prefix still has to be a
+// consistent dataset).
+func FuzzReplayRoundtrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 2, 0, 6, 0})
+	f.Add([]byte{2, 1, 0, 4, 6, 1, 8, 1, 3, 1, 1, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := eventsFromBytes(data)
+
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, events); err != nil {
+			t.Fatalf("WriteLog on valid events: %v", err)
+		}
+		decoded, err := ReadLog(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadLog of WriteLog output: %v", err)
+		}
+		if len(decoded) != len(events) {
+			t.Fatalf("round-trip lost events: wrote %d, read %d", len(events), len(decoded))
+		}
+		for i := range events {
+			if decoded[i] != events[i] {
+				t.Fatalf("event %d mutated in round-trip: %+v != %+v", i, decoded[i], events[i])
+			}
+		}
+
+		rp := &Replayer{Dataset: rbac.NewDataset()}
+		applied, err := rp.Run(decoded)
+		if err != nil && applied >= len(decoded) {
+			t.Fatalf("Run failed yet claims all %d events applied: %v", applied, err)
+		}
+		if verr := rp.Dataset.Validate(); verr != nil {
+			t.Fatalf("dataset invalid after %d events (err=%v): %v", applied, err, verr)
+		}
+	})
+}
+
+// FuzzReadLogRaw feeds arbitrary bytes straight into the bounded log
+// reader: it must never panic, and with tight Limits it must refuse
+// oversized input with ErrLogTooLarge rather than allocating without
+// bound.
+func FuzzReadLogRaw(f *testing.F) {
+	f.Add([]byte(`{"op":"add-role","role":"r1"}` + "\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte(strings.Repeat("x", 256)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Default bounds: any outcome but a panic is acceptable.
+		_, _ = ReadLog(bytes.NewReader(data))
+
+		// Tight bounds: events beyond the cap must be refused, not kept.
+		events, err := ReadLogLimited(bytes.NewReader(data), Limits{MaxLineBytes: 64, MaxEvents: 4})
+		if err == nil && len(events) > 4 {
+			t.Fatalf("ReadLogLimited kept %d events past MaxEvents=4", len(events))
+		}
+	})
+}

@@ -11,7 +11,6 @@
 package replay
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -121,31 +120,13 @@ func WriteLog(w io.Writer, events []Event) error {
 	return nil
 }
 
-// ReadLog decodes a JSONL event stream, validating every event.
+// ReadLog decodes a JSONL event stream, validating every event. It is
+// bounded by the package default Limits (1 MiB lines, 1,000,000
+// events); use ReadLogLimited to pick different bounds. A stream
+// exceeding them fails with an error wrapping ErrLogTooLarge instead
+// of allocating without bound.
 func ReadLog(r io.Reader) ([]Event, error) {
-	var out []Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
-		var e Event
-		if err := json.Unmarshal(raw, &e); err != nil {
-			return nil, fmt.Errorf("replay: line %d: %w", line, err)
-		}
-		if err := e.Validate(); err != nil {
-			return nil, fmt.Errorf("replay: line %d: %w", line, err)
-		}
-		out = append(out, e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("replay: scan: %w", err)
-	}
-	return out, nil
+	return ReadLogLimited(r, Limits{})
 }
 
 // ErrStopped is returned by Replayer.Run when a checkpoint callback

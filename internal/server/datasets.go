@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"net/http"
@@ -39,6 +38,15 @@ type datasetPutResponse struct {
 // SHA-256 content digest. Re-uploading identical content answers 200
 // with the same digest; new content answers 201.
 //
+// The body is decoded incrementally — memory is proportional to the
+// dataset's entities and edges, never to the upload's byte length —
+// and MaxUploadBytes is enforced as the stream is consumed: an
+// oversized body fails with 400 payload_too_large after at most the
+// cap has been read, and a truncated or malformed body fails with 400
+// before the store admits anything. Nothing partial is ever stored;
+// the digest is computed from the fully decoded, canonicalized
+// dataset.
+//
 // In a fleet, the upload is routed to the digest's owner: a non-owner
 // node forwards the canonical bytes through the hardened client and
 // relays the owner's answer; the owner stores locally and replicates
@@ -49,13 +57,14 @@ type datasetPutResponse struct {
 // locally and marks the response degraded, rather than failing or
 // hanging.
 func (h *handler) datasetPut(w http.ResponseWriter, r *http.Request) {
-	body, ok := h.readBody(w, r)
+	body, closeBody, ok := h.bodyStream(w, r, h.opts.MaxUploadBytes)
 	if !ok {
 		return
 	}
-	ds, err := rbac.ReadJSON(bytes.NewReader(body))
+	defer closeBody()
+	ds, err := rbac.ReadJSONStream(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("parse dataset: %w", err))
+		writeBodyError(w, "parse dataset", err)
 		return
 	}
 	digest, canonical, err := store.DigestOf(ds)
@@ -189,8 +198,9 @@ func (h *handler) datasetDelete(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /v1/stats payload.
 type statsResponse struct {
-	Store store.Stats `json:"store"`
-	Jobs  jobStats    `json:"jobs"`
+	Store    store.Stats  `json:"store"`
+	Jobs     jobStats     `json:"jobs"`
+	Sessions sessionStats `json:"sessions"`
 }
 
 type jobStats struct {
@@ -198,11 +208,17 @@ type jobStats struct {
 	Live int `json:"live"`
 }
 
+type sessionStats struct {
+	// Live counts open mutation sessions on this node.
+	Live int `json:"live"`
+}
+
 // statsReport surfaces the store's hit/miss/eviction/single-flight
-// counters and byte accounting, plus the live job count.
+// counters and byte accounting, plus the live job and session counts.
 func (h *handler) statsReport(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, statsResponse{
-		Store: h.store.Stats(),
-		Jobs:  jobStats{Live: h.jobs.Len()},
+		Store:    h.store.Stats(),
+		Jobs:     jobStats{Live: h.jobs.Len()},
+		Sessions: sessionStats{Live: h.sessions.Len()},
 	})
 }

@@ -21,9 +21,16 @@
 //	GET    /v1/datasets             list registered datasets
 //	GET    /v1/datasets/{digest}    canonical dataset snapshot
 //	DELETE /v1/datasets/{digest}    remove a dataset from registry and disk (local node only)
-//	GET    /v1/stats                store cache/registry counters + live job count
+//	GET    /v1/stats                store cache/registry counters + live job and session counts
 //	GET    /v1/datasets/{digest}/raw   canonical bytes, strictly local (internal peer transfer)
 //	GET    /v1/fleet/stats          scatter-gathered fleet view; ?scope=local for one node
+//	POST   /v1/sessions             open a live mutation session over a base dataset_ref
+//	GET    /v1/sessions             list live sessions
+//	GET    /v1/sessions/{id}        session snapshot (events applied, dataset stats)
+//	DELETE /v1/sessions/{id}        close a session
+//	POST   /v1/sessions/{id}/events apply a JSONL replay event batch -> applied count
+//	GET    /v1/sessions/{id}/audit  O(answer) duplicate-group audit; ?mode=async runs it as a job
+//	POST   /v1/drift                {before_ref, after_ref} -> duplicate groups gained/lost + event count
 //
 // In a fleet deployment (Options.Fleet set), POST /v1/datasets routes
 // the upload to the digest's rendezvous owner and replicates it, and
@@ -124,6 +131,9 @@
 //
 //	400 bad_request    malformed body, unknown method, negative threshold,
 //	                   inconsistent dataset (Validate()d before analysis)
+//	400 payload_too_large  dataset upload exceeding MaxUploadBytes, or an
+//	                   event log exceeding the line/event caps; nothing
+//	                   partial is admitted
 //	404 not_found      unknown or expired job id; unknown dataset digest
 //	409 conflict       job result not ready yet, or cancel of a finished job
 //	415 unsupported_media_type  Content-Encoding other than gzip/identity
@@ -155,6 +165,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/rbac"
+	"repro/internal/session"
 	"repro/internal/store"
 )
 
@@ -166,6 +177,22 @@ type Options struct {
 	// MaxBodyBytes caps request bodies; defaults to 256 MiB, enough for
 	// an organisation-scale dataset export.
 	MaxBodyBytes int64
+	// MaxUploadBytes caps POST /v1/datasets bodies specifically
+	// (decompressed when gzipped). The ingest path decodes the body
+	// incrementally and enforces this limit as it reads, so an
+	// oversized upload fails with 400 payload_too_large after at most
+	// this many bytes — it is never buffered whole. Defaults to
+	// MaxBodyBytes.
+	MaxUploadBytes int64
+	// SessionTTL expires live mutation sessions idle that long;
+	// defaults to 30 minutes.
+	SessionTTL time.Duration
+	// MaxSessions caps live mutation sessions per node; defaults to 128.
+	MaxSessions int
+	// MaxLogEvents caps one POST /v1/sessions/{id}/events batch;
+	// defaults to replay.DefaultMaxEvents. Lines are always capped at
+	// replay.DefaultMaxLineBytes.
+	MaxLogEvents int
 	// RequestTimeout bounds each request's total handling time,
 	// synchronous analysis included; exceeding it returns 504. Zero
 	// disables the per-request deadline (the engine still honours
@@ -222,6 +249,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 256 << 20
 	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = o.MaxBodyBytes
+	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
 	}
@@ -233,16 +263,17 @@ func (o Options) withDefaults() Options {
 
 // handler carries the configured routes.
 type handler struct {
-	opts    Options
-	mux     *http.ServeMux
-	sem     chan struct{} // nil when MaxConcurrent == 0
-	inner   http.Handler  // mux wrapped in the middleware stack
-	jobs    *jobs.Manager
-	store   *store.Store
-	fleet   *fleet.Fleet // nil in single-node deployments
-	nodeID  string
-	boot    string // per-process instance id; restarts change it
-	version string
+	opts     Options
+	mux      *http.ServeMux
+	sem      chan struct{} // nil when MaxConcurrent == 0
+	inner    http.Handler  // mux wrapped in the middleware stack
+	jobs     *jobs.Manager
+	store    *store.Store
+	fleet    *fleet.Fleet // nil in single-node deployments
+	sessions *session.Manager
+	nodeID   string
+	boot     string // per-process instance id; restarts change it
+	version  string
 }
 
 var _ http.Handler = (*handler)(nil)
@@ -270,6 +301,10 @@ func NewHandler(opts Options) http.Handler {
 		})
 	}
 	h.fleet = h.opts.Fleet
+	h.sessions = session.NewManager(session.Options{
+		TTL:         h.opts.SessionTTL,
+		MaxSessions: h.opts.MaxSessions,
+	})
 	h.boot = bootID()
 	h.version = buildVersion()
 	h.nodeID = h.opts.NodeID
@@ -284,6 +319,7 @@ func NewHandler(opts Options) http.Handler {
 	h.registerJobs()
 	h.registerDatasets()
 	h.registerFleet()
+	h.registerSessions()
 	h.inner = h.withRecovery(h.withLoadShedding(h.withTimeout(h.mux)))
 	return h
 }
@@ -305,6 +341,11 @@ const (
 	CodeInternal         = "internal"
 	CodeCanceled         = "canceled"
 	CodeTimeout          = "timeout"
+	// CodePayloadTooLarge is a 400 variant for bodies that exceed a
+	// configured cap — an oversized dataset upload (MaxUploadBytes) or
+	// an event-log bomb (line/event limits). Distinct from bad_request
+	// so clients can tell "shrink your payload" from "fix your JSON".
+	CodePayloadTooLarge = "payload_too_large"
 	// CodePeerUnavailable is a 503 variant distinct from canceled: a
 	// fleet operation needed a peer (the owner or any replica holding
 	// a dataset) and none could be reached. It always ships with a
@@ -505,6 +546,89 @@ func (h *handler) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool
 		return nil, false
 	}
 	return body, true
+}
+
+// limitError reports a body exceeding a byte cap on the streaming
+// ingest path; the HTTP layer maps it to 400 payload_too_large.
+type limitError struct{ limit int64 }
+
+func (e *limitError) Error() string {
+	return fmt.Sprintf("body exceeds the %d byte limit", e.limit)
+}
+
+// limitedReader hands out at most limit bytes and then fails with a
+// typed *limitError instead of a silent EOF — the difference between
+// "the upload ended" and "the upload was cut off", which the streaming
+// decoder cannot otherwise tell apart. A body of exactly limit bytes
+// still reads cleanly: the boundary is probed before erroring.
+type limitedReader struct {
+	r         io.Reader
+	remaining int64
+	limit     int64
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if l.remaining <= 0 {
+		// At the cap: only an immediate EOF distinguishes a
+		// limit-sized body from an oversized one.
+		var probe [1]byte
+		n, err := l.r.Read(probe[:])
+		if n > 0 {
+			return 0, &limitError{l.limit}
+		}
+		if err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	if int64(len(p)) > l.remaining {
+		p = p[:l.remaining]
+	}
+	n, err := l.r.Read(p)
+	l.remaining -= int64(n)
+	return n, err
+}
+
+// bodyStream prepares the request body for incremental decoding: the
+// returned reader enforces limit as it is consumed (both on the wire
+// bytes and, for gzip, on the decompressed stream) and fails with a
+// typed *limitError past it. The caller owns closing via the returned
+// func. A false return means the error response was already written
+// (415 for unknown encodings, 400 for a broken gzip header).
+func (h *handler) bodyStream(w http.ResponseWriter, r *http.Request, limit int64) (io.Reader, func(), bool) {
+	rd := io.Reader(&limitedReader{r: http.MaxBytesReader(w, r.Body, limit+1), remaining: limit, limit: limit})
+	closeFn := func() {}
+	switch enc := strings.ToLower(strings.TrimSpace(r.Header.Get("Content-Encoding"))); enc {
+	case "", "identity":
+	case "gzip", "x-gzip":
+		gz, err := gzip.NewReader(rd)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("gzip body: %w", err))
+			return nil, nil, false
+		}
+		closeFn = func() { gz.Close() }
+		rd = &limitedReader{r: gz, remaining: limit, limit: limit}
+	default:
+		writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("unsupported Content-Encoding %q (use gzip or no encoding)", enc))
+		return nil, nil, false
+	}
+	return rd, closeFn, true
+}
+
+// writeBodyError maps a streaming-decode failure: limit breaches get
+// 400 payload_too_large, anything else 400 bad_request.
+func writeBodyError(w http.ResponseWriter, context string, err error) {
+	var le *limitError
+	if errors.As(err, &le) {
+		writeErrorCode(w, http.StatusBadRequest, CodePayloadTooLarge,
+			fmt.Errorf("%s: %w", context, err))
+		return
+	}
+	writeError(w, http.StatusBadRequest, fmt.Errorf("%s: %w", context, err))
 }
 
 // decodeRequest is the one decode path every dataset-consuming

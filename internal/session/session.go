@@ -1,0 +1,470 @@
+// Package session maintains live mutation sessions: a dataset snapshot
+// plus two incremental duplicate-role indices (user side and
+// permission side) that are kept current as replay events apply, so a
+// duplicate-group audit reads off the index in time proportional to
+// the answer instead of re-running the detection engine over the
+// corpus.
+//
+// A Session is the O(delta) counterpart of core.Analyze's class-4
+// findings: after any event sequence, Audit() returns exactly the
+// same-user and same-permission groups a full re-analysis of the
+// mutated dataset would report (the differential suite in
+// internal/testkit proves this over every seeded corpus).
+package session
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/incremental"
+	"repro/internal/rbac"
+	"repro/internal/replay"
+	"repro/internal/ttl"
+)
+
+// Sentinel errors.
+var (
+	// ErrNotFound reports an unknown or expired session id.
+	ErrNotFound = errors.New("session: not found")
+	// ErrTooManySessions reports the manager's live-session cap.
+	ErrTooManySessions = errors.New("session: too many live sessions")
+)
+
+// defaultSeed perturbs the Zobrist column hashes. Any fixed value is
+// fine for correctness (collisions are verified away); a constant keeps
+// audits reproducible across restarts.
+const defaultSeed = 0x726f6c6564696574 // "rolediet"
+
+// Session is one live mutation stream over a base dataset. All methods
+// are safe for concurrent use.
+//
+// Role identities inside the indices are session-stable ints that are
+// never reused: rbac.Dataset indices shift when entities are removed,
+// so the session keeps its own id maps and mirrors every event into
+// them alongside the dataset itself.
+type Session struct {
+	mu sync.Mutex
+
+	id      string
+	base    string // content digest of the base dataset
+	created time.Time
+	touched time.Time
+
+	ds    *rbac.Dataset
+	users *incremental.Index // role -> assigned user set
+	perms *incremental.Index // role -> granted permission set
+
+	roleInt map[rbac.RoleID]int
+	roleOf  map[int]rbac.RoleID
+	userInt map[rbac.UserID]int
+	permInt map[rbac.PermissionID]int
+
+	// Reverse adjacency: column int -> set of role ints holding it, so
+	// removing a user/permission revokes only its own edges (O(degree),
+	// not O(roles)).
+	userRoles map[int]map[int]struct{}
+	permRoles map[int]map[int]struct{}
+
+	nextRole, nextUser, nextPerm int
+
+	applied int // events applied over the session's lifetime
+}
+
+// New builds a session over its own clone of base. The digest is
+// carried verbatim into Info/Audit for correlation; it is not
+// recomputed here.
+func New(id, digest string, base *rbac.Dataset) *Session {
+	s := &Session{
+		id:        id,
+		base:      digest,
+		created:   time.Now(),
+		touched:   time.Now(),
+		ds:        base.Clone(),
+		users:     incremental.New(defaultSeed),
+		perms:     incremental.New(defaultSeed ^ 0x5045524d), // "PERM"
+		roleInt:   make(map[rbac.RoleID]int),
+		roleOf:    make(map[int]rbac.RoleID),
+		userInt:   make(map[rbac.UserID]int),
+		permInt:   make(map[rbac.PermissionID]int),
+		userRoles: make(map[int]map[int]struct{}),
+		permRoles: make(map[int]map[int]struct{}),
+	}
+	for _, u := range s.ds.Users() {
+		s.userInt[u] = s.nextUser
+		s.userRoles[s.nextUser] = make(map[int]struct{})
+		s.nextUser++
+	}
+	for _, p := range s.ds.Permissions() {
+		s.permInt[p] = s.nextPerm
+		s.permRoles[s.nextPerm] = make(map[int]struct{})
+		s.nextPerm++
+	}
+	for _, r := range s.ds.Roles() {
+		ri := s.nextRole
+		s.nextRole++
+		s.roleInt[r] = ri
+		s.roleOf[ri] = r
+		_ = s.users.AddRole(ri)
+		_ = s.perms.AddRole(ri)
+		us, _ := s.ds.RoleUsers(r)
+		for _, u := range us {
+			ui := s.userInt[u]
+			_ = s.users.Assign(ri, ui)
+			s.userRoles[ui][ri] = struct{}{}
+		}
+		ps, _ := s.ds.RolePermissions(r)
+		for _, p := range ps {
+			pi := s.permInt[p]
+			_ = s.perms.Assign(ri, pi)
+			s.permRoles[pi][ri] = struct{}{}
+		}
+	}
+	return s
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Base returns the base dataset's content digest.
+func (s *Session) Base() string { return s.base }
+
+// Apply validates and applies events in order, mutating the dataset
+// and both indices. It stops at the first failing event and reports
+// how many events before it applied cleanly — the session stays
+// consistent at that prefix; nothing of the failed event takes effect.
+func (s *Session) Apply(events []replay.Event) (applied int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touched = time.Now()
+	for i, e := range events {
+		if err := replay.Apply(s.ds, e); err != nil {
+			return i, fmt.Errorf("event %d (%s): %w", i, e.Op, err)
+		}
+		if err := s.mirror(e); err != nil {
+			// The dataset accepted the event, so a mirror failure is an
+			// internal invariant break, not bad input.
+			return i, fmt.Errorf("event %d (%s): index mirror: %w", i, e.Op, err)
+		}
+		s.applied++
+	}
+	return len(events), nil
+}
+
+// mirror folds one already-dataset-applied event into the indices and
+// id maps. replay.Apply has validated the event against the dataset,
+// so entity lookups here cannot miss.
+func (s *Session) mirror(e replay.Event) error {
+	switch e.Op {
+	case replay.OpAddUser:
+		s.userInt[e.User] = s.nextUser
+		s.userRoles[s.nextUser] = make(map[int]struct{})
+		s.nextUser++
+	case replay.OpRemoveUser:
+		ui := s.userInt[e.User]
+		for ri := range s.userRoles[ui] {
+			if err := s.users.Revoke(ri, ui); err != nil {
+				return err
+			}
+		}
+		delete(s.userRoles, ui)
+		delete(s.userInt, e.User)
+	case replay.OpAddPermission:
+		s.permInt[e.Permission] = s.nextPerm
+		s.permRoles[s.nextPerm] = make(map[int]struct{})
+		s.nextPerm++
+	case replay.OpRemovePermission:
+		pi := s.permInt[e.Permission]
+		for ri := range s.permRoles[pi] {
+			if err := s.perms.Revoke(ri, pi); err != nil {
+				return err
+			}
+		}
+		delete(s.permRoles, pi)
+		delete(s.permInt, e.Permission)
+	case replay.OpAddRole:
+		ri := s.nextRole
+		s.nextRole++
+		s.roleInt[e.Role] = ri
+		s.roleOf[ri] = e.Role
+		if err := s.users.AddRole(ri); err != nil {
+			return err
+		}
+		if err := s.perms.AddRole(ri); err != nil {
+			return err
+		}
+	case replay.OpRemoveRole:
+		ri := s.roleInt[e.Role]
+		ucols, _ := s.users.Columns(ri)
+		for _, ui := range ucols {
+			delete(s.userRoles[ui], ri)
+		}
+		pcols, _ := s.perms.Columns(ri)
+		for _, pi := range pcols {
+			delete(s.permRoles[pi], ri)
+		}
+		if err := s.users.RemoveRole(ri); err != nil {
+			return err
+		}
+		if err := s.perms.RemoveRole(ri); err != nil {
+			return err
+		}
+		delete(s.roleInt, e.Role)
+		delete(s.roleOf, ri)
+	case replay.OpAssignUser:
+		ri, ui := s.roleInt[e.Role], s.userInt[e.User]
+		if err := s.users.Assign(ri, ui); err != nil {
+			return err
+		}
+		s.userRoles[ui][ri] = struct{}{}
+	case replay.OpRevokeUser:
+		ri, ui := s.roleInt[e.Role], s.userInt[e.User]
+		if err := s.users.Revoke(ri, ui); err != nil {
+			return err
+		}
+		delete(s.userRoles[ui], ri)
+	case replay.OpAssignPermission:
+		ri, pi := s.roleInt[e.Role], s.permInt[e.Permission]
+		if err := s.perms.Assign(ri, pi); err != nil {
+			return err
+		}
+		s.permRoles[pi][ri] = struct{}{}
+	case replay.OpRevokePermission:
+		ri, pi := s.roleInt[e.Role], s.permInt[e.Permission]
+		if err := s.perms.Revoke(ri, pi); err != nil {
+			return err
+		}
+		delete(s.permRoles[pi], ri)
+	default:
+		return fmt.Errorf("session: unknown op %q", e.Op)
+	}
+	return nil
+}
+
+// Audit is the O(answer) duplicate-group report: role groups sharing
+// identical user sets and identical permission sets, matching the
+// class-4 findings of a full core.Analyze of the mutated dataset
+// (empty assignment sets are excluded, as the framework files those
+// under class 2). Groups and members are sorted lexically so equal
+// audits are byte-identical when encoded.
+type Audit struct {
+	Base                 string          `json:"base"`
+	Events               int             `json:"events"`
+	Stats                rbac.Stats      `json:"stats"`
+	SameUserGroups       [][]rbac.RoleID `json:"sameUserGroups"`
+	SamePermissionGroups [][]rbac.RoleID `json:"samePermissionGroups"`
+}
+
+// Audit snapshots the current duplicate groups off the indices — no
+// engine run, no matrix materialisation.
+func (s *Session) Audit() Audit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touched = time.Now()
+	return Audit{
+		Base:                 s.base,
+		Events:               s.applied,
+		Stats:                s.ds.Stats(),
+		SameUserGroups:       s.groupIDs(s.users),
+		SamePermissionGroups: s.groupIDs(s.perms),
+	}
+}
+
+// groupIDs reads one index's duplicate groups and maps session ints
+// back to role ids in canonical order.
+func (s *Session) groupIDs(idx *incremental.Index) [][]rbac.RoleID {
+	raw := idx.Groups(incremental.GroupOptions{IgnoreEmpty: true})
+	out := make([][]rbac.RoleID, 0, len(raw))
+	for _, g := range raw {
+		ids := make([]rbac.RoleID, 0, len(g))
+		for _, ri := range g {
+			ids = append(ids, s.roleOf[ri])
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out = append(out, ids)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Dataset returns a snapshot clone of the session's current dataset.
+func (s *Session) Dataset() *rbac.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ds.Clone()
+}
+
+// Info is a session snapshot for listings and create responses.
+type Info struct {
+	ID      string     `json:"id"`
+	Base    string     `json:"base"`
+	Events  int        `json:"events"`
+	Stats   rbac.Stats `json:"stats"`
+	Created time.Time  `json:"created"`
+	Touched time.Time  `json:"touched"`
+}
+
+// Info snapshots identity, event count, and dataset stats.
+func (s *Session) Info() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Info{
+		ID:      s.id,
+		Base:    s.base,
+		Events:  s.applied,
+		Stats:   s.ds.Stats(),
+		Created: s.created,
+		Touched: s.touched,
+	}
+}
+
+// Options configures a Manager.
+type Options struct {
+	// TTL expires sessions idle (no Apply/Audit/Get) that long;
+	// defaults to 30 minutes. Expiry is checked lazily on access and
+	// garbage-collected by a background sweeper.
+	TTL time.Duration
+	// MaxSessions caps live sessions; Create past it fails with
+	// ErrTooManySessions. Defaults to 128.
+	MaxSessions int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TTL <= 0 {
+		o.TTL = 30 * time.Minute
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 128
+	}
+	return o
+}
+
+// Manager owns the live sessions of one node: creation, lookup with
+// idle-TTL expiry, and a background sweep bounding memory for
+// abandoned ids.
+type Manager struct {
+	opts    Options
+	mu      sync.Mutex
+	live    map[string]*Session
+	sweeper *ttl.Sweeper
+	closed  bool
+}
+
+// NewManager builds a manager and starts its sweeper.
+func NewManager(opts Options) *Manager {
+	m := &Manager{opts: opts.withDefaults(), live: make(map[string]*Session)}
+	m.sweeper = ttl.NewSweeper(nil, ttl.Interval(m.opts.TTL), m.sweep)
+	return m
+}
+
+// Create opens a session over base (identified by its content digest)
+// and registers it under a fresh id.
+func (m *Manager) Create(digest string, base *rbac.Dataset) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errors.New("session: manager closed")
+	}
+	if len(m.live) >= m.opts.MaxSessions {
+		return nil, fmt.Errorf("%w (%d live)", ErrTooManySessions, len(m.live))
+	}
+	s := New(newID(), digest, base)
+	m.live[s.id] = s
+	return s, nil
+}
+
+// Get resolves a live session, touching its idle timer. An expired
+// session is removed and reported as ErrNotFound.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.live[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	s.mu.Lock()
+	expired := ttl.Expired(s.touched, time.Now(), m.opts.TTL)
+	if !expired {
+		s.touched = time.Now()
+	}
+	s.mu.Unlock()
+	if expired {
+		delete(m.live, id)
+		return nil, fmt.Errorf("%w: %q (expired)", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// Delete closes a session; it reports whether the id was live.
+func (m *Manager) Delete(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.live[id]
+	delete(m.live, id)
+	return ok
+}
+
+// Len counts live sessions (including not-yet-swept expired ones).
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.live)
+}
+
+// List snapshots every live session, ordered by id.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.live))
+	for _, s := range m.live {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	out := make([]Info, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Close stops the sweeper and drops every session.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.live = make(map[string]*Session)
+	m.mu.Unlock()
+	m.sweeper.Stop()
+}
+
+// sweep garbage-collects idle-expired sessions.
+func (m *Manager) sweep(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, s := range m.live {
+		s.mu.Lock()
+		expired := ttl.Expired(s.touched, now, m.opts.TTL)
+		s.mu.Unlock()
+		if expired {
+			delete(m.live, id)
+		}
+	}
+}
+
+// newID mints a 16-hex-character session id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a time-derived id
+		// keeps the daemon limping rather than panicking.
+		return fmt.Sprintf("s%015x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}

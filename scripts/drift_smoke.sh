@@ -1,0 +1,123 @@
+#!/bin/sh
+# Smoke test for streaming ingest + mutation sessions + drift audits:
+# build roledietd, upload an org-scale base dataset, open a session,
+# apply a generated 3-event log, and require the session audit to match
+# a standalone full re-analysis byte-for-byte after normalization. Then
+# drive /v1/drift (cache miss -> hit, byte-identical) and the event-log
+# bomb contract (400 payload_too_large). Stdlib + curl + sed only.
+#
+# Usage: scripts/drift_smoke.sh [port]   (default 18083)
+set -eu
+
+PORT="${1:-18083}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+	[ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "drift-smoke: FAIL: $*" >&2
+	[ -f "$TMP/daemon.log" ] && tail -20 "$TMP/daemon.log" >&2
+	exit 1
+}
+
+echo "drift-smoke: building"
+go build -o "$TMP/roledietd" ./cmd/roledietd
+go build -o "$TMP/rolediet" ./cmd/rolediet
+
+echo "drift-smoke: generating base dataset and a 3-event churn log"
+"$TMP/rolediet" generate -org -scale 400 -out "$TMP/base.json" >/dev/null
+"$TMP/rolediet" drift -gen-base "$TMP/base.json" -gen-events 3 -seed 7 -out "$TMP/events.jsonl"
+[ "$(wc -l <"$TMP/events.jsonl")" = "3" ] || fail "generated log is not 3 events"
+
+echo "drift-smoke: starting roledietd on :$PORT"
+"$TMP/roledietd" -addr "127.0.0.1:$PORT" -store-dir "$TMP/store" >>"$TMP/daemon.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && fail "daemon never became healthy"
+	sleep 0.1
+done
+
+echo "drift-smoke: uploading base dataset (streaming ingest)"
+UPLOAD="$(curl -fsS -X POST --data-binary @"$TMP/base.json" "$BASE/v1/datasets")" ||
+	fail "upload rejected"
+DIGEST="$(printf '%s' "$UPLOAD" | sed -n 's/.*"digest":"\([^"]*\)".*/\1/p')"
+[ -n "$DIGEST" ] || fail "no digest in upload response: $UPLOAD"
+
+echo "drift-smoke: opening a mutation session over $DIGEST"
+printf '{"base_ref":"%s"}' "$DIGEST" >"$TMP/create.json"
+CREATED="$(curl -fsS -X POST --data-binary @"$TMP/create.json" "$BASE/v1/sessions")" ||
+	fail "session create rejected"
+SID="$(printf '%s' "$CREATED" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$SID" ] || fail "no session id in create response: $CREATED"
+
+echo "drift-smoke: applying the event log to session $SID"
+APPLIED="$(curl -fsS -X POST --data-binary @"$TMP/events.jsonl" "$BASE/v1/sessions/$SID/events")" ||
+	fail "event batch rejected"
+case "$APPLIED" in
+*'"applied":3'*) ;;
+*) fail "batch did not apply 3 events: $APPLIED" ;;
+esac
+
+echo "drift-smoke: session audit vs standalone full re-analysis"
+curl -fsS "$BASE/v1/sessions/$SID/audit" >"$TMP/audit.json" || fail "audit rejected"
+"$TMP/rolediet" drift -normalize "$TMP/audit.json" -out "$TMP/audit.norm.json"
+"$TMP/rolediet" replay -base "$TMP/base.json" -log "$TMP/events.jsonl" -out "$TMP/after.json" >/dev/null
+"$TMP/rolediet" analyze -data "$TMP/after.json" -format json >"$TMP/report.json"
+"$TMP/rolediet" drift -normalize "$TMP/report.json" -out "$TMP/report.norm.json"
+cmp -s "$TMP/audit.norm.json" "$TMP/report.norm.json" || {
+	echo "audit:  $(head -c 400 "$TMP/audit.norm.json")" >&2
+	echo "report: $(head -c 400 "$TMP/report.norm.json")" >&2
+	fail "incremental session audit differs from full re-analysis"
+}
+echo "drift-smoke: audit is byte-identical to full re-analysis after normalization"
+
+echo "drift-smoke: drift endpoint between the two snapshots"
+UPLOAD2="$(curl -fsS -X POST --data-binary @"$TMP/after.json" "$BASE/v1/datasets")"
+DIGEST2="$(printf '%s' "$UPLOAD2" | sed -n 's/.*"digest":"\([^"]*\)".*/\1/p')"
+[ -n "$DIGEST2" ] || fail "no digest in after upload: $UPLOAD2"
+printf '{"before_ref":"%s","after_ref":"%s"}' "$DIGEST" "$DIGEST2" >"$TMP/driftreq.json"
+CACHE1="$(curl -fsS -D - -o "$TMP/drift1.json" -X POST --data-binary @"$TMP/driftreq.json" \
+	"$BASE/v1/drift" | sed -n 's/^X-Cache: *//Ip' | tr -d '\r')"
+[ "$CACHE1" = "miss" ] || fail "first drift X-Cache = '$CACHE1', want miss"
+case "$(cat "$TMP/drift1.json")" in
+*'"events":3'*) ;;
+*) fail "drift report does not carry the 3-event delta: $(head -c 300 "$TMP/drift1.json")" ;;
+esac
+CACHE2="$(curl -fsS -D - -o "$TMP/drift2.json" -X POST --data-binary @"$TMP/driftreq.json" \
+	"$BASE/v1/drift" | sed -n 's/^X-Cache: *//Ip' | tr -d '\r')"
+[ "$CACHE2" = "hit" ] || fail "repeat drift X-Cache = '$CACHE2', want hit"
+cmp -s "$TMP/drift1.json" "$TMP/drift2.json" ||
+	fail "cached drift body differs from computed one"
+echo "drift-smoke: drift served and cached, byte-identical"
+
+echo "drift-smoke: event-log bomb is refused"
+{
+	printf '{"op":"add-role","role":"'
+	i=0
+	while [ "$i" -lt 20000 ]; do
+		printf 'xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx'
+		i=$((i + 1))
+	done
+	printf '"}\n'
+} >"$TMP/bomb.jsonl"
+CODE="$(curl -s -o "$TMP/bomb_resp.json" -w '%{http_code}' -X POST \
+	--data-binary @"$TMP/bomb.jsonl" "$BASE/v1/sessions/$SID/events")"
+[ "$CODE" = "400" ] || fail "event bomb returned $CODE, want 400"
+case "$(cat "$TMP/bomb_resp.json")" in
+*'"code":"payload_too_large"'*) ;;
+*) fail "event bomb missing payload_too_large code: $(cat "$TMP/bomb_resp.json")" ;;
+esac
+
+echo "drift-smoke: closing session"
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$BASE/v1/sessions/$SID")"
+[ "$CODE" = "200" ] || fail "session delete returned $CODE"
+
+echo "drift-smoke: PASS"
