@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-figures bench-json experiments jobs-smoke store-smoke cluster-smoke drift-smoke clean
+.PHONY: all build vet test race cover bench bench-figures bench-json experiments jobs-smoke store-smoke cluster-smoke drift-smoke continuous-smoke clean
 
 all: build vet test
 
@@ -72,6 +72,14 @@ cluster-smoke:
 # (see scripts/drift_smoke.sh).
 drift-smoke:
 	sh scripts/drift_smoke.sh
+
+# End-to-end smoke of the continuous-audit subsystem: register a
+# dataset, point a tight-interval schedule at a live session, mutate
+# the session, and assert the drift alert reaches a webhook, the
+# decision log records both runs, and /metrics counted the loop
+# (see scripts/continuous_smoke.sh).
+continuous-smoke:
+	sh scripts/continuous_smoke.sh
 
 clean:
 	rm -f rolediet roledietd

@@ -62,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cmdRecall(args[1:], stdout)
 	case "digest":
 		return cmdDigest(args[1:], stdout)
+	case "webhook":
+		return cmdWebhook(args[1:], stdout, stderr)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return nil
@@ -90,6 +92,7 @@ subcommands:
   bench        run the full evaluation and emit a Markdown report
   recall       quality sweep for the approximate methods (HNSW, LSH)
   digest       print a dataset's content digest (usable as dataset_ref)
+  webhook      tiny alert receiver: POST bodies out as JSONL (smoke tests)
   help         show this message
 `)
 }

@@ -61,7 +61,26 @@
 //	                      transport (testing only); the ROLEDIET_FAULT
 //	                      environment variable is the fallback
 //
-// /healthz is exempt from the timeout and the limiter, so probes keep
+// Continuous-audit knobs (schedules, alert rules, webhook sinks, and
+// the decision log; see internal/continuous and internal/server):
+//
+//	-schedule-min-interval  floor for POST /v1/schedules intervals
+//	-decision-buffer / -decision-flush-interval
+//	                        decision-log flush batching; with -store-dir
+//	                        set the log persists to
+//	                        <store-dir>/decisions.jsonl and is replayed
+//	                        on restart
+//	-sink-attempts / -sink-timeout
+//	                        webhook delivery attempts per alert and the
+//	                        per-attempt deadline
+//	-sink-breaker-threshold / -sink-breaker-cooldown
+//	                        consecutive delivery failures opening a
+//	                        sink's circuit, and how long it stays open
+//	-sink-fault-inject      deterministic fault spec for the webhook
+//	                        transport (testing only; ROLEDIET_SINK_FAULT
+//	                        env is the fallback)
+//
+// /healthz and /metrics are exempt from the timeout and the limiter, so probes keep
 // answering while the service is saturated or draining; its JSON body
 // reports the node ID, build revision, boot ID, and ready/draining
 // state.
@@ -72,11 +91,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -146,6 +167,22 @@ func run(args []string) error {
 			"how long an open circuit waits before trialling the peer again")
 		faultInject = fs.String("fault-inject", "",
 			"deterministic fault spec for the peer transport, e.g. drop:2,delay:100ms (testing; ROLEDIET_FAULT env is the fallback)")
+		scheduleMinInterval = fs.Duration("schedule-min-interval", 30*time.Second,
+			"floor for continuous-audit schedule intervals (POST /v1/schedules)")
+		decisionBuffer = fs.Int("decision-buffer", 0,
+			"decision-log flush batch size; 0 uses the subsystem default")
+		decisionFlushInterval = fs.Duration("decision-flush-interval", 0,
+			"decision-log flush timer; 0 uses the subsystem default")
+		sinkAttempts = fs.Int("sink-attempts", 3,
+			"webhook delivery attempts per alert including the first; capped exponential backoff between them")
+		sinkTimeout = fs.Duration("sink-timeout", 5*time.Second,
+			"per-attempt deadline for one webhook POST")
+		sinkBreakerThreshold = fs.Int("sink-breaker-threshold", 3,
+			"consecutive delivery failures that open a sink's circuit")
+		sinkBreakerCooldown = fs.Duration("sink-breaker-cooldown", 5*time.Second,
+			"how long an open sink circuit waits before trialling the sink again")
+		sinkFaultInject = fs.String("sink-fault-inject", "",
+			"deterministic fault spec for the webhook transport, e.g. 5xx:2 (testing; ROLEDIET_SINK_FAULT env is the fallback)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -199,27 +236,68 @@ func run(args []string) error {
 		defer fl.Close()
 	}
 
+	// The decision log persists next to the store when one is on disk;
+	// a memory-only store keeps the log memory-only too.
+	decisionLogPath := ""
+	if *storeDir != "" {
+		decisionLogPath = filepath.Join(*storeDir, "decisions.jsonl")
+	}
+	sinkSpec := *sinkFaultInject
+	if sinkSpec == "" {
+		sinkSpec = os.Getenv("ROLEDIET_SINK_FAULT")
+	}
+	sinkTransport, err := fleet.NewInjector(sinkSpec, nil)
+	if err != nil {
+		return fmt.Errorf("sink-fault-inject: %w", err)
+	}
+	var sinkRT http.RoundTripper
+	if sinkTransport != nil {
+		sinkRT = sinkTransport
+	}
+
+	hnd := server.NewHandler(server.Options{
+		Store:          st,
+		Fleet:          fl,
+		NodeID:         *nodeID,
+		Readiness:      ready.Load,
+		MaxBodyBytes:   *maxBodyMiB << 20,
+		MaxUploadBytes: *maxUploadBytes,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
+		RequestTimeout: *requestTimeout,
+		MaxConcurrent:  *maxConcurrent,
+		JobWorkers:     *jobWorkers,
+		JobQueueDepth:  *jobQueue,
+		JobResultTTL:   *jobResultTTL,
+		// Jobs outlive their submitting request but not the daemon:
+		// cancelling baseCtx during a forced shutdown aborts them too.
+		BaseContext:           baseCtx,
+		DefaultWorkers:        *defaultWorkers,
+		DecisionLogPath:       decisionLogPath,
+		DecisionBuffer:        *decisionBuffer,
+		DecisionFlushInterval: *decisionFlushInterval,
+		ScheduleMinInterval:   *scheduleMinInterval,
+		SinkAttempts:          *sinkAttempts,
+		SinkTimeout:           *sinkTimeout,
+		SinkBreakerThreshold:  *sinkBreakerThreshold,
+		SinkBreakerCooldown:   *sinkBreakerCooldown,
+		SinkTransport:         sinkRT,
+	})
+	// The handler owns the continuous-audit scheduler and the buffered
+	// decision log; closing it after the drain flushes pending decisions
+	// so a graceful restart replays the full log. Runs before the
+	// store's own deferred Close (LIFO).
+	defer func() {
+		if c, ok := hnd.(io.Closer); ok {
+			if err := c.Close(); err != nil {
+				log.Printf("shutdown: %v", err)
+			}
+		}
+	}()
+
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.NewHandler(server.Options{
-			Store:          st,
-			Fleet:          fl,
-			NodeID:         *nodeID,
-			Readiness:      ready.Load,
-			MaxBodyBytes:   *maxBodyMiB << 20,
-			MaxUploadBytes: *maxUploadBytes,
-			SessionTTL:     *sessionTTL,
-			MaxSessions:    *maxSessions,
-			RequestTimeout: *requestTimeout,
-			MaxConcurrent:  *maxConcurrent,
-			JobWorkers:     *jobWorkers,
-			JobQueueDepth:  *jobQueue,
-			JobResultTTL:   *jobResultTTL,
-			// Jobs outlive their submitting request but not the daemon:
-			// cancelling baseCtx during a forced shutdown aborts them too.
-			BaseContext:    baseCtx,
-			DefaultWorkers: *defaultWorkers,
-		}),
+		Addr:              *addr,
+		Handler:           hnd,
 		ReadTimeout:       *readTimeout,
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },

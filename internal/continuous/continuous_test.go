@@ -1,0 +1,370 @@
+package continuous
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/rbac"
+	"repro/internal/session"
+)
+
+// fakeBackend simulates the server's engine surface: a set of known
+// digests with canned reports, and a "session" whose head digest the
+// test moves to simulate mutation.
+type fakeBackend struct {
+	mu      sync.Mutex
+	reports map[string]*core.Report
+	head    string // digest the live session currently snapshots to
+	drifts  int
+}
+
+func report(reducible int) *core.Report {
+	rep := &core.Report{}
+	for i := 0; i < reducible; i++ {
+		rep.SameUserGroups = append(rep.SameUserGroups, core.RoleGroup{
+			Roles: []rbac.RoleID{rbac.RoleID(fmt.Sprintf("r%da", i)), rbac.RoleID(fmt.Sprintf("r%db", i))},
+		})
+	}
+	return rep
+}
+
+func (f *fakeBackend) backend() Backend {
+	return Backend{
+		Resolve: func(_ context.Context, ref string) (string, error) {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			if _, ok := f.reports[ref]; !ok {
+				return "", errors.New("not registered")
+			}
+			return ref, nil
+		},
+		SessionExists: func(id string) bool { return id == "sess" },
+		Snapshot: func(_ context.Context, id string) (string, error) {
+			if id != "sess" {
+				return "", errors.New("no such session")
+			}
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return f.head, nil
+		},
+		Analyze: func(_ context.Context, digest string, opts core.Options) (*core.Report, Meta, error) {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			rep, ok := f.reports[digest]
+			if !ok {
+				return nil, Meta{}, errors.New("unknown digest")
+			}
+			return rep, Meta{Fingerprint: "fp-" + digest}, nil
+		},
+		Drift: func(_ context.Context, before, after string) (*session.DriftReport, Meta, error) {
+			f.mu.Lock()
+			f.drifts++
+			f.mu.Unlock()
+			return &session.DriftReport{
+				BeforeRef: before,
+				AfterRef:  after,
+				Events:    2,
+				SameUser: session.DriftSide{
+					Gained: [][]rbac.RoleID{{"x", "y"}},
+					Lost:   [][]rbac.RoleID{},
+				},
+			}, Meta{Fingerprint: "fp-drift"}, nil
+		},
+	}
+}
+
+func newTestManager(t *testing.T, f *fakeBackend, mutate func(*Config)) *Manager {
+	t.Helper()
+	jm := jobs.NewManager(jobs.Options{Workers: 2, QueueDepth: 16})
+	t.Cleanup(jm.Close)
+	cfg := Config{
+		Backend:     f.backend(),
+		Jobs:        jm,
+		MinInterval: 5 * time.Millisecond,
+		Tick:        5 * time.Millisecond,
+		Logf:        t.Logf,
+		Sink:        SinkConfig{Attempts: 2, BaseDelay: time.Millisecond, Jitter: func() float64 { return 0 }},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestScheduleFiresAndTracksRuns(t *testing.T) {
+	f := &fakeBackend{reports: map[string]*core.Report{"d1": report(0)}}
+	m := newTestManager(t, f, nil)
+
+	s, err := m.CreateSchedule(context.Background(), Schedule{
+		DatasetRef: "d1", Interval: Duration(10 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatalf("CreateSchedule: %v", err)
+	}
+	waitFor(t, "two fires", func() bool {
+		got, _ := m.GetSchedule(s.ID)
+		return got.Fires >= 2
+	})
+	got, ok := m.GetSchedule(s.ID)
+	if !ok || got.LastRun == nil {
+		t.Fatalf("schedule state missing: ok=%v %+v", ok, got)
+	}
+	if got.LastRun.Digest != "d1" || got.LastRun.Fingerprint != "fp-d1" {
+		t.Fatalf("last run = %+v, want digest d1", got.LastRun)
+	}
+	if got.LastRun.Drift != nil {
+		t.Fatal("unchanged digest must not compute drift")
+	}
+	if st := m.Stats(); st.Fires < 2 || st.Schedules != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMutationTripsDriftRuleAndDeliversWebhook(t *testing.T) {
+	var mu sync.Mutex
+	var received []Alert
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		var a Alert
+		if err := json.Unmarshal(b, &a); err == nil {
+			mu.Lock()
+			received = append(received, a)
+			mu.Unlock()
+		}
+	}))
+	defer hook.Close()
+
+	logPath := filepath.Join(t.TempDir(), "decisions.jsonl")
+	dlog, err := OpenLog(LogOptions{Path: logPath, FlushInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dlog.Close()
+
+	f := &fakeBackend{
+		reports: map[string]*core.Report{"d1": report(0), "d2": report(3)},
+		head:    "d1",
+	}
+	m := newTestManager(t, f, func(c *Config) { c.Log = dlog })
+
+	sink, err := m.CreateSink(Sink{URL: hook.URL})
+	if err != nil {
+		t.Fatalf("CreateSink: %v", err)
+	}
+	sched, err := m.CreateSchedule(context.Background(), Schedule{
+		DatasetRef: "d1", SessionID: "sess", Interval: Duration(10 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatalf("CreateSchedule: %v", err)
+	}
+	if _, err := m.CreateRule(Rule{Type: RuleDrift, Threshold: 1, ScheduleID: sched.ID}); err != nil {
+		t.Fatalf("CreateRule (drift): %v", err)
+	}
+	spikeRule, err := m.CreateRule(Rule{Type: RuleSpike, Threshold: 2})
+	if err != nil {
+		t.Fatalf("CreateRule (spike): %v", err)
+	}
+
+	// Let the schedule observe the base snapshot first.
+	waitFor(t, "baseline run", func() bool {
+		got, _ := m.GetSchedule(sched.ID)
+		return got.Fires >= 1 && got.LastError == ""
+	})
+
+	// "Mutate the session": the next snapshot resolves to d2 (3 more
+	// findings, drifted groups).
+	f.mu.Lock()
+	f.head = "d2"
+	f.mu.Unlock()
+
+	waitFor(t, "webhook deliveries", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(received) >= 2
+	})
+
+	mu.Lock()
+	types := map[RuleType]Alert{}
+	for _, a := range received {
+		types[a.Type] = a
+	}
+	mu.Unlock()
+	drift, ok := types[RuleDrift]
+	if !ok {
+		t.Fatalf("no drift alert delivered; got %+v", types)
+	}
+	if drift.ScheduleID != sched.ID || drift.Digest != "d2" || drift.PrevDigest != "d1" {
+		t.Fatalf("drift alert = %+v, want d1 -> d2 on schedule %s", drift, sched.ID)
+	}
+	spike, ok := types[RuleSpike]
+	if !ok || spike.Value != 3 || spike.RuleID != spikeRule.ID {
+		t.Fatalf("spike alert = %+v (ok=%v), want value 3", spike, ok)
+	}
+
+	// The decision log recorded both runs (and the drift decision),
+	// with digests and fingerprints.
+	waitFor(t, "decisions", func() bool {
+		ds := dlog.List(0, 0)
+		var analyze, drifts int
+		for _, d := range ds {
+			switch {
+			case d.Kind == "analyze" && d.Error == "":
+				analyze++
+			case d.Kind == "drift":
+				drifts++
+			}
+		}
+		return analyze >= 2 && drifts >= 1
+	})
+	var sawTrip bool
+	for _, d := range dlog.List(0, 0) {
+		if d.Kind == "analyze" && d.Dataset == "d2" {
+			if d.Fingerprint != "fp-d2" {
+				t.Fatalf("decision fingerprint = %q", d.Fingerprint)
+			}
+			if len(d.Alerts) > 0 {
+				sawTrip = true
+			}
+		}
+	}
+	if !sawTrip {
+		t.Fatal("no decision carries the tripped rule ids")
+	}
+
+	waitFor(t, "sink counters", func() bool {
+		v, _ := m.GetSink(sink.ID)
+		return v.Delivered >= 2
+	})
+	if st := m.Stats(); st.Trips < 2 || st.Delivered < 2 {
+		t.Fatalf("stats = %+v, want >= 2 trips and deliveries", st)
+	}
+}
+
+func TestCreateScheduleValidation(t *testing.T) {
+	f := &fakeBackend{reports: map[string]*core.Report{"d1": report(0)}}
+	m := newTestManager(t, f, nil)
+	ctx := context.Background()
+
+	_, err := m.CreateSchedule(ctx, Schedule{DatasetRef: "nope", Interval: Duration(time.Second)})
+	if !errors.Is(err, ErrUnknownReference) {
+		t.Fatalf("unknown ref -> %v, want ErrUnknownReference", err)
+	}
+	_, err = m.CreateSchedule(ctx, Schedule{DatasetRef: "d1", Interval: Duration(time.Nanosecond)})
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("tiny interval -> %v, want ErrInvalid", err)
+	}
+	_, err = m.CreateSchedule(ctx, Schedule{DatasetRef: "d1"})
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("missing interval -> %v, want ErrInvalid", err)
+	}
+	_, err = m.CreateSchedule(ctx, Schedule{DatasetRef: "d1", Interval: Duration(time.Second), SessionID: "ghost"})
+	if !errors.Is(err, ErrUnknownReference) {
+		t.Fatalf("unknown session -> %v, want ErrUnknownReference", err)
+	}
+}
+
+func TestRuleAndSinkReferenceValidation(t *testing.T) {
+	f := &fakeBackend{reports: map[string]*core.Report{"d1": report(0)}}
+	m := newTestManager(t, f, nil)
+
+	if _, err := m.CreateRule(Rule{Type: RuleSpike, Threshold: 1, ScheduleID: "ghost"}); !errors.Is(err, ErrUnknownReference) {
+		t.Fatalf("rule with unknown schedule -> %v", err)
+	}
+	if _, err := m.CreateRule(Rule{Type: RuleSpike, Threshold: 1, SinkIDs: []string{"ghost"}}); !errors.Is(err, ErrUnknownReference) {
+		t.Fatalf("rule with unknown sink -> %v", err)
+	}
+	if _, err := m.CreateSink(Sink{URL: "not a url"}); !errors.Is(err, ErrInvalid) {
+		t.Fatal("bad sink URL accepted")
+	}
+
+	// Deletes are idempotent at the resource layer: absent ids report
+	// false, present ids true.
+	if m.DeleteSchedule("ghost") || m.DeleteRule("ghost") || m.DeleteSink("ghost") {
+		t.Fatal("deleting absent resources reported true")
+	}
+	s, _ := m.CreateSchedule(context.Background(), Schedule{DatasetRef: "d1", Interval: Duration(time.Hour)})
+	if !m.DeleteSchedule(s.ID) || m.DeleteSchedule(s.ID) {
+		t.Fatal("schedule delete not idempotent")
+	}
+}
+
+func TestPausedScheduleDoesNotFire(t *testing.T) {
+	f := &fakeBackend{reports: map[string]*core.Report{"d1": report(0)}}
+	m := newTestManager(t, f, nil)
+	s, err := m.CreateSchedule(context.Background(), Schedule{
+		DatasetRef: "d1", Interval: Duration(5 * time.Millisecond), Paused: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got, _ := m.GetSchedule(s.ID); got.Fires != 0 {
+		t.Fatalf("paused schedule fired %d times", got.Fires)
+	}
+}
+
+func TestListOrdering(t *testing.T) {
+	f := &fakeBackend{reports: map[string]*core.Report{"d1": report(0)}}
+	m := newTestManager(t, f, nil)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		s, err := m.CreateSchedule(context.Background(), Schedule{
+			DatasetRef: "d1", Interval: Duration(time.Hour), Paused: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID)
+		time.Sleep(2 * time.Millisecond) // distinct CreatedAt
+	}
+	list := m.ListSchedules()
+	if len(list) != 3 {
+		t.Fatalf("list = %d, want 3", len(list))
+	}
+	for i, s := range list {
+		if s.ID != ids[i] {
+			t.Fatalf("list order %v, want creation order %v", list, ids)
+		}
+	}
+}
+
+func TestGroupRecall(t *testing.T) {
+	exact := &core.Report{SameUserGroups: []core.RoleGroup{{Roles: []rbac.RoleID{"a", "b", "c"}}}}
+	approx := &core.Report{SameUserGroups: []core.RoleGroup{{Roles: []rbac.RoleID{"a", "b"}}}}
+	if got := groupRecall(exact, approx); got != 1.0/3.0 {
+		t.Fatalf("recall = %v, want 1/3", got)
+	}
+	if got := groupRecall(&core.Report{}, &core.Report{}); got != 1 {
+		t.Fatalf("empty exact -> recall %v, want 1", got)
+	}
+	if got := groupRecall(exact, exact); got != 1 {
+		t.Fatalf("perfect recall = %v, want 1", got)
+	}
+}

@@ -1,0 +1,348 @@
+package continuous
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The decision log: an append-only JSONL record of every analysis
+// decision the daemon takes — which dataset digest, which options
+// fingerprint, cache hit or engine run, how long, what it found, and
+// which alert rules the result tripped. The design follows OPA's
+// buffered decision logging: appends land in a bounded in-memory
+// buffer, a background flusher writes batches to disk (on a size
+// threshold or a timer, whichever comes first), and a bounded
+// in-memory ring serves the read API so GET /v1/decisions never
+// touches the file. On restart the log replays the file tail into the
+// ring and continues the sequence, so decision history survives the
+// process.
+
+// Decision is one logged analysis decision.
+type Decision struct {
+	// Seq is the monotonically increasing decision number, unique per
+	// log file; restarts continue where the file left off.
+	Seq int64 `json:"seq"`
+	// Time is when the decision completed.
+	Time time.Time `json:"time"`
+	// Source tells who initiated the run: "api" for synchronous
+	// endpoints, "job" for async submissions, "schedule:<id>" for
+	// continuous-audit fires.
+	Source string `json:"source"`
+	// Kind is the engine entry point: analyze, consolidate, suggest,
+	// diff, drift.
+	Kind string `json:"kind"`
+	// Dataset is the content digest the decision ran over (for drift,
+	// "<before>+<after>").
+	Dataset string `json:"dataset"`
+	// Fingerprint is the options fingerprint keying the result cache —
+	// together with Dataset it makes the decision reproducible.
+	Fingerprint string `json:"fingerprint"`
+	// CacheHit reports whether the result came from the cache.
+	CacheHit bool `json:"cache_hit"`
+	// DurationNanos is the wall time of the decision.
+	DurationNanos int64 `json:"durationNanos"`
+	// Error carries the failure message for failed runs.
+	Error string `json:"error,omitempty"`
+	// Findings is the reducible-role count of the report (0 for
+	// non-analyze kinds and failures).
+	Findings int `json:"findings"`
+	// Alerts lists the ids of alert rules this decision tripped.
+	Alerts []string `json:"alerts,omitempty"`
+}
+
+// LogOptions configures OpenLog.
+type LogOptions struct {
+	// Path is the JSONL file (parent directories are created). Empty
+	// runs the log memory-only: the ring and counters work, nothing
+	// persists, and restarts start the sequence over.
+	Path string
+	// BufferSize is the pending-append count that forces a flush;
+	// defaults to 256. Pending appends beyond 4x this are dropped
+	// oldest-first (counted in Stats) so a stalled disk cannot grow the
+	// buffer without bound.
+	BufferSize int
+	// FlushInterval is the timer-driven flush period; defaults to 2s.
+	FlushInterval time.Duration
+	// Ring is the in-memory read window (latest N decisions); defaults
+	// to 4096.
+	Ring int
+	// OnAppend and OnDrop, when set, observe every accepted append and
+	// every dropped pending decision (metrics hooks).
+	OnAppend func()
+	OnDrop   func()
+	// Logf receives flush failures; defaults to discarding them.
+	Logf func(format string, args ...any)
+}
+
+func (o LogOptions) withDefaults() LogOptions {
+	if o.BufferSize <= 0 {
+		o.BufferSize = 256
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 2 * time.Second
+	}
+	if o.Ring <= 0 {
+		o.Ring = 4096
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// LogStats counts the log's activity since open.
+type LogStats struct {
+	Appended int64 `json:"appended"`
+	Dropped  int64 `json:"dropped"`
+	Flushed  int64 `json:"flushed"`
+	Replayed int64 `json:"replayed"`
+	LastSeq  int64 `json:"lastSeq"`
+}
+
+// Log is the buffered decision log. All methods are safe for
+// concurrent use.
+type Log struct {
+	opts LogOptions
+
+	flushMu sync.Mutex // serialises flushes; taken before mu
+
+	mu      sync.Mutex
+	file    *os.File
+	pending []Decision
+	ring    []Decision // chronological window of the latest decisions
+	seq     int64
+	stats   LogStats
+	closed  bool
+
+	kick chan struct{} // wakes the flusher early on threshold
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// OpenLog opens (creating if needed) the JSONL file at opts.Path,
+// replays its tail into the in-memory ring, and starts the background
+// flusher. The sequence continues from the highest replayed seq. An
+// empty Path skips the file entirely — the log serves reads from its
+// ring but persists nothing.
+func OpenLog(opts LogOptions) (*Log, error) {
+	opts = opts.withDefaults()
+	l := &Log{
+		opts: opts,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	if opts.Path != "" {
+		if err := os.MkdirAll(filepath.Dir(opts.Path), 0o755); err != nil {
+			return nil, fmt.Errorf("continuous: decision log dir: %w", err)
+		}
+		if err := l.replay(); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("continuous: open decision log: %w", err)
+		}
+		l.file = f
+	}
+	l.wg.Add(1)
+	go l.flusher()
+	return l, nil
+}
+
+// replay reads the existing file, keeping the last Ring decisions and
+// the highest seq. Lines that fail to parse (a torn final write from a
+// crash) are skipped, not fatal — an audit log must open after a crash.
+func (l *Log) replay() error {
+	f, err := os.Open(l.opts.Path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("continuous: replay decision log: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var d Decision
+		if err := json.Unmarshal(line, &d); err != nil {
+			continue
+		}
+		l.ringAppendLocked(d)
+		if d.Seq > l.seq {
+			l.seq = d.Seq
+		}
+		l.stats.Replayed++
+	}
+	l.stats.LastSeq = l.seq
+	// A torn line makes Scan stop early or Err report bufio limits;
+	// either way the decisions before it are recovered, which is the
+	// contract.
+	return nil
+}
+
+// ringAppendLocked keeps the ring at the configured window. Callers
+// hold l.mu (or run before the flusher starts).
+func (l *Log) ringAppendLocked(d Decision) {
+	l.ring = append(l.ring, d)
+	if over := len(l.ring) - l.opts.Ring; over > 0 {
+		l.ring = append(l.ring[:0], l.ring[over:]...)
+	}
+}
+
+// Append assigns the next sequence number, stamps missing times, makes
+// the decision readable immediately, and buffers the disk write. It
+// returns the assigned seq, or 0 when the log is closed or the pending
+// buffer is saturated (the decision is then dropped and counted).
+func (l *Log) Append(d Decision) int64 {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0
+	}
+	if len(l.pending) >= 4*l.opts.BufferSize {
+		// Drop the oldest pending entry rather than the new one: the
+		// tail of an audit log is worth more than its middle when the
+		// disk has stalled.
+		l.pending = append(l.pending[:0], l.pending[1:]...)
+		l.stats.Dropped++
+		if l.opts.OnDrop != nil {
+			defer l.opts.OnDrop()
+		}
+	}
+	l.seq++
+	d.Seq = l.seq
+	if d.Time.IsZero() {
+		d.Time = time.Now().UTC()
+	}
+	l.pending = append(l.pending, d)
+	l.ringAppendLocked(d)
+	l.stats.Appended++
+	l.stats.LastSeq = l.seq
+	needFlush := len(l.pending) >= l.opts.BufferSize
+	l.mu.Unlock()
+	if l.opts.OnAppend != nil {
+		l.opts.OnAppend()
+	}
+	if needFlush {
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	return d.Seq
+}
+
+// List returns up to limit decisions with Seq > afterSeq, oldest
+// first, from the in-memory window. limit <= 0 means the whole window.
+func (l *Log) List(afterSeq int64, limit int) []Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// The ring is seq-ordered; binary search would work, but the window
+	// is small and bounded.
+	var out []Decision
+	for _, d := range l.ring {
+		if d.Seq <= afterSeq {
+			continue
+		}
+		out = append(out, d)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Flush writes every pending decision to disk synchronously. On a
+// write failure the batch is put back at the front of the pending
+// buffer (appends only ever grow the back, so order is preserved) to
+// be retried by the next flush; the saturation bound in Append is what
+// eventually sheds load if the disk never recovers.
+func (l *Log) Flush() error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	batch := l.pending
+	l.pending = nil
+	file := l.file
+	l.mu.Unlock()
+	if len(batch) == 0 || file == nil {
+		return nil
+	}
+	w := bufio.NewWriter(file)
+	for _, d := range batch {
+		// Decisions are plain data; Marshal cannot fail on them.
+		b, _ := json.Marshal(d)
+		w.Write(b)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		l.mu.Lock()
+		l.pending = append(batch, l.pending...)
+		l.mu.Unlock()
+		return fmt.Errorf("continuous: flush decision log: %w", err)
+	}
+	l.mu.Lock()
+	l.stats.Flushed += int64(len(batch))
+	l.mu.Unlock()
+	return nil
+}
+
+// flusher drives timer- and threshold-triggered flushes.
+func (l *Log) flusher() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-t.C:
+		case <-l.kick:
+		}
+		if err := l.Flush(); err != nil {
+			l.opts.Logf("continuous: %v", err)
+		}
+	}
+}
+
+// Close flushes what is pending and releases the file. Appends after
+// Close are dropped.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.done)
+	l.wg.Wait()
+	err := l.Flush()
+	l.mu.Lock()
+	f := l.file
+	l.file = nil
+	l.mu.Unlock()
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,179 @@
+package continuous
+
+import (
+	"fmt"
+	"time"
+)
+
+// Alert rules watch the observations scheduled runs produce. A rule
+// binds a threshold to one of three signals:
+//
+//   - spike: the reducible-finding count grew by at least Threshold
+//     since the previous run of the same schedule ("the snapshot got
+//     worse fast");
+//   - drift: at least Threshold duplicate groups appeared or
+//     disappeared between the previous digest and the current one (the
+//     O(delta) /v1/drift signal);
+//   - recall: the measured class-4 recall of the configured
+//     approximate method fell below Threshold (only fires on schedules
+//     created with measure_recall).
+//
+// A rule may be scoped to one schedule (schedule_id) or watch all of
+// them, and may route to specific sinks (sink_ids) or fan out to every
+// registered sink.
+
+// RuleType enumerates the rule signals.
+type RuleType string
+
+const (
+	RuleSpike  RuleType = "spike"
+	RuleDrift  RuleType = "drift"
+	RuleRecall RuleType = "recall"
+)
+
+// valid reports whether t is a known rule type.
+func (t RuleType) valid() bool {
+	return t == RuleSpike || t == RuleDrift || t == RuleRecall
+}
+
+// Rule is one thresholded alert rule.
+type Rule struct {
+	ID string `json:"id"`
+	// ScheduleID scopes the rule to one schedule; empty watches all.
+	ScheduleID string   `json:"schedule_id,omitempty"`
+	Type       RuleType `json:"type"`
+	// Threshold is the trip point; see the type docs for per-type
+	// semantics. Spike and drift thresholds must be >= 1; recall must
+	// be in (0, 1].
+	Threshold float64 `json:"threshold"`
+	// SinkIDs routes trips to specific sinks; empty fans out to all.
+	SinkIDs   []string  `json:"sink_ids,omitempty"`
+	CreatedAt time.Time `json:"createdAt"`
+	// Trips counts how often the rule has fired (read-only).
+	Trips int `json:"trips"`
+}
+
+// validate checks the user-settable fields.
+func (r Rule) validate() error {
+	if !r.Type.valid() {
+		return fmt.Errorf("%w: rule type %q (want spike, drift, or recall)", ErrInvalid, r.Type)
+	}
+	switch r.Type {
+	case RuleRecall:
+		if r.Threshold <= 0 || r.Threshold > 1 {
+			return fmt.Errorf("%w: recall threshold %v (want 0 < t <= 1)", ErrInvalid, r.Threshold)
+		}
+	default:
+		if r.Threshold < 1 {
+			return fmt.Errorf("%w: %s threshold %v (want >= 1)", ErrInvalid, r.Type, r.Threshold)
+		}
+	}
+	return nil
+}
+
+// DriftStats condenses a drift report for rule evaluation and the
+// decision log.
+type DriftStats struct {
+	// Events is the reconcile delta length between the digests.
+	Events int `json:"events"`
+	// Gained and Lost count duplicate groups that appeared/disappeared
+	// (both assignment sides summed).
+	Gained int `json:"gained"`
+	Lost   int `json:"lost"`
+}
+
+// Observation is what one scheduled run observed — the input to rule
+// evaluation and the per-schedule history entry.
+type Observation struct {
+	// Run is the 1-based fire count of the schedule.
+	Run  int       `json:"run"`
+	Time time.Time `json:"time"`
+	// Digest is the snapshot analysed in this run.
+	Digest string `json:"digest"`
+	// Fingerprint is the options fingerprint of the analysis.
+	Fingerprint string `json:"fingerprint"`
+	// Findings is the reducible-role total of the report.
+	Findings int `json:"findings"`
+	// DupGroups is the class-4 duplicate group count (both sides).
+	DupGroups int `json:"dupGroups"`
+	// Recall is the measured class-4 recall vs the exact method; nil
+	// unless the schedule measures it.
+	Recall *float64 `json:"recall,omitempty"`
+	// Drift compares against the previous run's digest; nil on the
+	// first run and when the digest did not change.
+	Drift         *DriftStats `json:"drift,omitempty"`
+	CacheHit      bool        `json:"cache_hit"`
+	DurationNanos int64       `json:"durationNanos"`
+}
+
+// Alert is one rule trip, the payload delivered to sinks.
+type Alert struct {
+	RuleID     string   `json:"rule_id"`
+	Type       RuleType `json:"type"`
+	ScheduleID string   `json:"schedule_id"`
+	// Digest (and PrevDigest for spike/drift) identify the snapshots
+	// behind the trip, so the alert is reproducible from the registry.
+	Digest     string `json:"digest"`
+	PrevDigest string `json:"prev_digest,omitempty"`
+	// Value is the observed signal, Threshold the configured trip point.
+	Value     float64   `json:"value"`
+	Threshold float64   `json:"threshold"`
+	Message   string    `json:"message"`
+	Time      time.Time `json:"time"`
+}
+
+// Evaluate runs one rule against consecutive observations of a
+// schedule. prev is nil on the schedule's first run. It returns the
+// alert and whether the rule tripped.
+func Evaluate(r Rule, scheduleID string, prev *Observation, cur Observation) (Alert, bool) {
+	if r.ScheduleID != "" && r.ScheduleID != scheduleID {
+		return Alert{}, false
+	}
+	a := Alert{
+		RuleID:     r.ID,
+		Type:       r.Type,
+		ScheduleID: scheduleID,
+		Digest:     cur.Digest,
+		Threshold:  r.Threshold,
+		Time:       cur.Time,
+	}
+	switch r.Type {
+	case RuleSpike:
+		if prev == nil {
+			return Alert{}, false
+		}
+		delta := float64(cur.Findings - prev.Findings)
+		if delta < r.Threshold {
+			return Alert{}, false
+		}
+		a.PrevDigest = prev.Digest
+		a.Value = delta
+		a.Message = fmt.Sprintf("findings spiked by %d (%d -> %d) over threshold %g",
+			int(delta), prev.Findings, cur.Findings, r.Threshold)
+		return a, true
+	case RuleDrift:
+		if cur.Drift == nil {
+			return Alert{}, false
+		}
+		moved := float64(cur.Drift.Gained + cur.Drift.Lost)
+		if moved < r.Threshold {
+			return Alert{}, false
+		}
+		if prev != nil {
+			a.PrevDigest = prev.Digest
+		}
+		a.Value = moved
+		a.Message = fmt.Sprintf("duplicate groups drifted: %d gained, %d lost (%d events) over threshold %g",
+			cur.Drift.Gained, cur.Drift.Lost, cur.Drift.Events, r.Threshold)
+		return a, true
+	case RuleRecall:
+		if cur.Recall == nil || *cur.Recall >= r.Threshold {
+			return Alert{}, false
+		}
+		a.Value = *cur.Recall
+		a.Message = fmt.Sprintf("class-4 recall %.3f fell below threshold %g", *cur.Recall, r.Threshold)
+		return a, true
+	default:
+		return Alert{}, false
+	}
+}

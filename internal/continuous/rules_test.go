@@ -1,0 +1,202 @@
+package continuous
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func f64(v float64) *float64 { return &v }
+
+func TestEvaluateTable(t *testing.T) {
+	base := Observation{Run: 2, Digest: "after", Findings: 10, DupGroups: 3, Time: time.Now()}
+	prev := &Observation{Run: 1, Digest: "before", Findings: 4, DupGroups: 2}
+
+	cases := []struct {
+		name     string
+		rule     Rule
+		schedule string
+		prev     *Observation
+		cur      func() Observation
+		trip     bool
+		value    float64
+		contains string
+	}{
+		{
+			name: "spike trips on threshold delta",
+			rule: Rule{ID: "r1", Type: RuleSpike, Threshold: 6},
+			prev: prev, cur: func() Observation { return base },
+			trip: true, value: 6, contains: "spiked by 6",
+		},
+		{
+			name: "spike below threshold stays quiet",
+			rule: Rule{ID: "r1", Type: RuleSpike, Threshold: 7},
+			prev: prev, cur: func() Observation { return base },
+			trip: false,
+		},
+		{
+			name: "spike needs a previous run",
+			rule: Rule{ID: "r1", Type: RuleSpike, Threshold: 1},
+			prev: nil, cur: func() Observation { return base },
+			trip: false,
+		},
+		{
+			name: "improvement never spikes",
+			rule: Rule{ID: "r1", Type: RuleSpike, Threshold: 1},
+			prev: &Observation{Digest: "before", Findings: 50},
+			cur:  func() Observation { return base },
+			trip: false,
+		},
+		{
+			name: "drift trips on gained+lost",
+			rule: Rule{ID: "r2", Type: RuleDrift, Threshold: 2},
+			prev: prev,
+			cur: func() Observation {
+				o := base
+				o.Drift = &DriftStats{Events: 5, Gained: 1, Lost: 1}
+				return o
+			},
+			trip: true, value: 2, contains: "1 gained, 1 lost",
+		},
+		{
+			name: "drift without movement stays quiet",
+			rule: Rule{ID: "r2", Type: RuleDrift, Threshold: 2},
+			prev: prev,
+			cur: func() Observation {
+				o := base
+				o.Drift = &DriftStats{Events: 5, Gained: 1, Lost: 0}
+				return o
+			},
+			trip: false,
+		},
+		{
+			name: "drift needs a drift signal",
+			rule: Rule{ID: "r2", Type: RuleDrift, Threshold: 1},
+			prev: prev, cur: func() Observation { return base },
+			trip: false,
+		},
+		{
+			name: "recall trips below threshold",
+			rule: Rule{ID: "r3", Type: RuleRecall, Threshold: 0.9},
+			prev: nil,
+			cur: func() Observation {
+				o := base
+				o.Recall = f64(0.5)
+				return o
+			},
+			trip: true, value: 0.5, contains: "recall 0.500 fell below",
+		},
+		{
+			name: "recall at threshold stays quiet",
+			rule: Rule{ID: "r3", Type: RuleRecall, Threshold: 0.9},
+			prev: nil,
+			cur: func() Observation {
+				o := base
+				o.Recall = f64(0.9)
+				return o
+			},
+			trip: false,
+		},
+		{
+			name: "recall without measurement stays quiet",
+			rule: Rule{ID: "r3", Type: RuleRecall, Threshold: 0.9},
+			prev: nil, cur: func() Observation { return base },
+			trip: false,
+		},
+		{
+			name:     "scoped rule ignores other schedules",
+			rule:     Rule{ID: "r4", Type: RuleSpike, Threshold: 1, ScheduleID: "other"},
+			schedule: "mine",
+			prev:     prev, cur: func() Observation { return base },
+			trip: false,
+		},
+		{
+			name:     "scoped rule matches its schedule",
+			rule:     Rule{ID: "r4", Type: RuleSpike, Threshold: 1, ScheduleID: "mine"},
+			schedule: "mine",
+			prev:     prev, cur: func() Observation { return base },
+			trip: true, value: 6,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scheduleID := tc.schedule
+			if scheduleID == "" {
+				scheduleID = "s1"
+			}
+			alert, tripped := Evaluate(tc.rule, scheduleID, tc.prev, tc.cur())
+			if tripped != tc.trip {
+				t.Fatalf("tripped = %v, want %v", tripped, tc.trip)
+			}
+			if !tc.trip {
+				return
+			}
+			if alert.Value != tc.value {
+				t.Errorf("value = %v, want %v", alert.Value, tc.value)
+			}
+			if alert.RuleID != tc.rule.ID || alert.ScheduleID != scheduleID {
+				t.Errorf("alert identity = (%s, %s), want (%s, %s)",
+					alert.RuleID, alert.ScheduleID, tc.rule.ID, scheduleID)
+			}
+			if alert.Digest != "after" {
+				t.Errorf("alert digest = %q, want after", alert.Digest)
+			}
+			if tc.contains != "" && !strings.Contains(alert.Message, tc.contains) {
+				t.Errorf("message %q missing %q", alert.Message, tc.contains)
+			}
+		})
+	}
+}
+
+func TestSpikeAlertCarriesPrevDigest(t *testing.T) {
+	prev := &Observation{Digest: "before", Findings: 0}
+	cur := Observation{Digest: "after", Findings: 5}
+	alert, ok := Evaluate(Rule{ID: "r", Type: RuleSpike, Threshold: 5}, "s", prev, cur)
+	if !ok {
+		t.Fatal("expected trip")
+	}
+	if alert.PrevDigest != "before" {
+		t.Fatalf("prev_digest = %q, want before", alert.PrevDigest)
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	cases := []struct {
+		rule Rule
+		ok   bool
+	}{
+		{Rule{Type: RuleSpike, Threshold: 1}, true},
+		{Rule{Type: RuleDrift, Threshold: 3}, true},
+		{Rule{Type: RuleRecall, Threshold: 0.95}, true},
+		{Rule{Type: RuleRecall, Threshold: 1}, true},
+		{Rule{Type: "nope", Threshold: 1}, false},
+		{Rule{Type: RuleSpike, Threshold: 0}, false},
+		{Rule{Type: RuleSpike, Threshold: 0.5}, false},
+		{Rule{Type: RuleRecall, Threshold: 0}, false},
+		{Rule{Type: RuleRecall, Threshold: 1.5}, false},
+	}
+	for _, tc := range cases {
+		err := tc.rule.validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("validate(%+v) = %v, want ok=%v", tc.rule, err, tc.ok)
+		}
+	}
+}
+
+func TestDurationWire(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"250ms"`)); err != nil || time.Duration(d) != 250*time.Millisecond {
+		t.Fatalf("string form: %v -> %v", err, time.Duration(d))
+	}
+	if err := d.UnmarshalJSON([]byte(`1000000`)); err != nil || time.Duration(d) != time.Millisecond {
+		t.Fatalf("integer form: %v -> %v", err, time.Duration(d))
+	}
+	if err := d.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Fatal("bogus duration accepted")
+	}
+	b, err := Duration(1500 * time.Millisecond).MarshalJSON()
+	if err != nil || string(b) != `"1.5s"` {
+		t.Fatalf("marshal = %s, %v", b, err)
+	}
+}

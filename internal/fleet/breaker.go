@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -44,6 +45,22 @@ func (s BreakerState) String() string {
 
 // MarshalText makes the state JSON-friendly in stats payloads.
 func (s BreakerState) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses the textual state back, so clients (and tests)
+// can round-trip stats payloads that embed a BreakerSnapshot.
+func (s *BreakerState) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "closed":
+		*s = BreakerClosed
+	case "open":
+		*s = BreakerOpen
+	case "half-open":
+		*s = BreakerHalfOpen
+	default:
+		return fmt.Errorf("unknown breaker state %q", b)
+	}
+	return nil
+}
 
 // Breaker is safe for concurrent use.
 type Breaker struct {

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -389,6 +390,33 @@ func (m *Manager) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.jobs)
+}
+
+// List snapshots every live job (queued, running, and terminal jobs
+// still inside their TTL), oldest first, ties broken by id so the
+// order is stable across calls.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	live := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		live = append(live, j)
+	}
+	m.mu.Unlock()
+	now := time.Now()
+	out := make([]Snapshot, 0, len(live))
+	for _, j := range live {
+		if j.expired(now, m.opts.ResultTTL) {
+			continue
+		}
+		out = append(out, j.Snapshot())
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].CreatedAt.Equal(out[k].CreatedAt) {
+			return out[i].CreatedAt.Before(out[k].CreatedAt)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
 }
 
 // Close stops accepting submissions, cancels every queued and running

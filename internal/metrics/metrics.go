@@ -1,0 +1,296 @@
+// Package metrics is a dependency-free Prometheus exposition library:
+// counters, histograms, and gauge callbacks registered on a Registry
+// that renders the text format (version 0.0.4) a Prometheus scraper
+// expects from GET /metrics.
+//
+// The scope is deliberately the subset the daemon needs — labelled
+// counters for schedule fires, alert trips, and sink deliveries,
+// per-endpoint latency histograms, and gauge callbacks snapshotting the
+// store/jobs/sessions state at scrape time. Cardinality is bounded by
+// construction: label values come from route patterns and enum-like
+// outcomes, never from request data.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefBuckets are the default latency buckets (seconds), tuned so the
+// sub-millisecond cached paths and the multi-second hard-class analyses
+// both land in interior buckets.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Registry holds the registered metric families and renders them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order
+}
+
+// family is one named metric with a fixed label-name schema.
+type family struct {
+	name   string
+	help   string
+	kind   string // counter, histogram, gauge
+	labels []string
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	buckets  []float64
+	gauge    func() float64
+	order    []string // label-key insertion order for stable output
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, kind string, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		// Re-registration returns the existing family; the caller is
+		// expected to use a consistent schema per name.
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   labels,
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+	r.families[name] = f
+	r.names = append(r.names, name)
+	return f
+}
+
+// CounterVec is a family of counters sharing a name and label schema.
+type CounterVec struct{ f *family }
+
+// Counter registers (or returns) a counter family. labels name the
+// label dimensions; a label-less counter passes none.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, "counter", labels)}
+}
+
+// Counter is one monotonically increasing series.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Value reads the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// With resolves the series for the given label values (in the schema's
+// order), creating it at zero on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := labelKey(v.f.labels, values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	c, ok := v.f.counters[key]
+	if !ok {
+		c = &Counter{}
+		v.f.counters[key] = c
+		v.f.order = append(v.f.order, key)
+	}
+	return c
+}
+
+// HistogramVec is a family of histograms sharing a name, label schema,
+// and bucket layout.
+type HistogramVec struct{ f *family }
+
+// Histogram registers (or returns) a histogram family with the given
+// upper bucket bounds (seconds for latency histograms); nil uses
+// DefBuckets. A +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	f := r.register(name, help, "histogram", labels)
+	if f.buckets == nil {
+		if buckets == nil {
+			buckets = DefBuckets
+		}
+		bs := append([]float64(nil), buckets...)
+		sort.Float64s(bs)
+		f.buckets = bs
+	}
+	return &HistogramVec{f: f}
+}
+
+// Histogram is one series of observations bucketed by upper bound.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	total  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// With resolves the series for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := labelKey(v.f.labels, values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	h, ok := v.f.hists[key]
+	if !ok {
+		h = &Histogram{bounds: v.f.buckets, counts: make([]uint64, len(v.f.buckets)+1)}
+		v.f.hists[key] = h
+		v.f.order = append(v.f.order, key)
+	}
+	return h
+}
+
+// GaugeFunc registers a label-less gauge whose value is computed at
+// scrape time — the natural fit for "current live sessions" style
+// state the daemon already tracks elsewhere.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "gauge", nil)
+	f.gauge = fn
+}
+
+// labelKey encodes label values into the series map key; it panics on
+// arity mismatch, which is a programming error, not runtime input.
+func labelKey(names, values []string) string {
+	if len(names) != len(values) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(names)))
+	}
+	if len(values) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format label escaping.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// series renders one sample line: name{labels,extra} value.
+func series(w io.Writer, name, labels, extra string, value float64) {
+	switch {
+	case labels == "" && extra == "":
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(value))
+	case labels == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", name, extra, formatValue(value))
+	case extra == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(value))
+	default:
+		fmt.Fprintf(w, "%s{%s,%s} %s\n", name, labels, extra, formatValue(value))
+	}
+}
+
+// WriteText renders every family in registration order, series within a
+// family in first-use order — stable output a test (or a diff between
+// two scrapes) can rely on.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		switch f.kind {
+		case "gauge":
+			if f.gauge != nil {
+				series(w, f.name, "", "", f.gauge())
+			}
+		case "counter":
+			f.mu.Lock()
+			for _, key := range f.order {
+				series(w, f.name, key, "", f.counters[key].Value())
+			}
+			f.mu.Unlock()
+		case "histogram":
+			f.mu.Lock()
+			for _, key := range f.order {
+				h := f.hists[key]
+				h.mu.Lock()
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.counts[i]
+					series(w, f.name+"_bucket", key, `le="`+formatValue(bound)+`"`, float64(cum))
+				}
+				cum += h.counts[len(h.bounds)]
+				series(w, f.name+"_bucket", key, `le="+Inf"`, float64(cum))
+				series(w, f.name+"_sum", key, "", h.sum)
+				series(w, f.name+"_count", key, "", float64(h.total))
+				h.mu.Unlock()
+			}
+			f.mu.Unlock()
+		}
+	}
+}
+
+// ContentType is the exposition-format content type for /metrics.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Total requests.", "method", "code")
+	c.With("GET", "200").Add(3)
+	c.With("POST", "500").Inc()
+	c.With("GET", "200").Inc()
+
+	out := render(r)
+	for _, want := range []string{
+		"# HELP test_requests_total Total requests.",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{method="GET",code="200"} 4`,
+		`test_requests_total{method="POST",code="500"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "t.")
+	c.With().Add(5)
+	c.With().Add(-3)
+	if got := c.With().Value(); got != 5 {
+		t.Fatalf("counter = %v, want 5", got)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_duration_seconds", "Latency.", []float64{0.1, 1}, "path")
+	s := h.With("/v1/analyze")
+	s.Observe(0.05)
+	s.Observe(0.5)
+	s.Observe(5)
+
+	out := render(r)
+	for _, want := range []string{
+		"# TYPE test_duration_seconds histogram",
+		`test_duration_seconds_bucket{path="/v1/analyze",le="0.1"} 1`,
+		`test_duration_seconds_bucket{path="/v1/analyze",le="1"} 2`,
+		`test_duration_seconds_bucket{path="/v1/analyze",le="+Inf"} 3`,
+		`test_duration_seconds_sum{path="/v1/analyze"} 5.55`,
+		`test_duration_seconds_count{path="/v1/analyze"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	if got := s.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+}
+
+func TestHistogramBoundaryValueLandsInBucket(t *testing.T) {
+	// An observation exactly equal to an upper bound belongs to that
+	// bucket (le is inclusive).
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "t.", []float64{1, 2})
+	h.With().Observe(1)
+	out := render(r)
+	if !strings.Contains(out, `test_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("value on bucket boundary not counted inclusively:\n%s", out)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.GaugeFunc("test_live", "Live things.", func() float64 { return v })
+	out := render(r)
+	if !strings.Contains(out, "# TYPE test_live gauge") || !strings.Contains(out, "test_live 7") {
+		t.Fatalf("gauge missing:\n%s", out)
+	}
+	v = 9
+	if !strings.Contains(render(r), "test_live 9") {
+		t.Fatal("gauge not evaluated at scrape time")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "t.", "path")
+	c.With(`a"b\c` + "\n").Inc()
+	out := render(r)
+	if !strings.Contains(out, `test_total{path="a\"b\\c\n"} 1`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+}
+
+func TestRegistrationOrderStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b.")
+	r.Counter("a_total", "a.")
+	out := render(r)
+	if strings.Index(out, "b_total") > strings.Index(out, "a_total") {
+		t.Fatalf("families not in registration order:\n%s", out)
+	}
+	if render(r) != out {
+		t.Fatal("output not deterministic across scrapes")
+	}
+}
+
+func TestReRegistrationReturnsSameFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x.").With().Inc()
+	r.Counter("x_total", "x.").With().Inc()
+	if got := r.Counter("x_total", "x.").With().Value(); got != 2 {
+		t.Fatalf("re-registered counter = %v, want 2", got)
+	}
+	if n := strings.Count(render(r), "# TYPE x_total"); n != 1 {
+		t.Fatalf("family emitted %d times, want 1", n)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "c.", "w")
+	h := r.Histogram("conc_seconds", "h.", nil, "w")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lbl := string(rune('a' + i%2))
+			for j := 0; j < 500; j++ {
+				c.With(lbl).Inc()
+				h.With(lbl).Observe(0.001)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			render(r)
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	total := c.With("a").Value() + c.With("b").Value()
+	if total != 4000 {
+		t.Fatalf("counter total = %v, want 4000", total)
+	}
+}

@@ -1,0 +1,398 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/continuous"
+	"repro/internal/rbac"
+)
+
+// getJSON fetches a path and decodes the body into v, asserting the
+// status code.
+func getJSON(t *testing.T, srv *httptest.Server, path string, wantStatus int, v any) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s status = %d, want %d (body %s)", path, resp.StatusCode, wantStatus, body)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s decode: %v", path, err)
+		}
+	}
+}
+
+// del issues a DELETE and returns the status code.
+func del(t *testing.T, srv *httptest.Server, path string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestContinuousResourceContract pins the v1 resource contract on the
+// continuous-audit surface: 201 + Location on create, 422
+// unknown_reference for dangling refs, 404 on unknown ids, and
+// unconditionally idempotent DELETE.
+func TestContinuousResourceContract(t *testing.T) {
+	srv := newServer(t)
+	digest := uploadDataset(t, srv, figure1Body(t).Bytes(), http.StatusCreated)
+
+	// Schedule over an unregistered dataset: 422 unknown_reference.
+	ghost := strings.Repeat("0", 64)
+	resp := post(t, srv, "/v1/schedules",
+		fmt.Sprintf(`{"dataset_ref":%q,"interval":"1h"}`, ghost))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("dangling ref status = %d, want 422", resp.StatusCode)
+	}
+	if eb := decodeErrorBody(t, resp); eb.Code != CodeUnknownReference {
+		t.Fatalf("dangling ref code = %q, want %q", eb.Code, CodeUnknownReference)
+	}
+
+	// Missing interval: 400 bad_request.
+	resp = post(t, srv, "/v1/schedules", fmt.Sprintf(`{"dataset_ref":%q}`, digest))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing interval status = %d, want 400", resp.StatusCode)
+	}
+
+	// Valid create: 201 with Location naming the new resource.
+	resp = post(t, srv, "/v1/schedules",
+		fmt.Sprintf(`{"dataset_ref":%q,"interval":"1h","paused":true}`, digest))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d, want 201", resp.StatusCode)
+	}
+	var sched continuous.Schedule
+	if err := json.NewDecoder(resp.Body).Decode(&sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.ID == "" {
+		t.Fatal("created schedule has no id")
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/schedules/"+sched.ID {
+		t.Fatalf("Location = %q, want /v1/schedules/%s", loc, sched.ID)
+	}
+
+	// The resource reads back, by id and in the list envelope.
+	var got continuous.Schedule
+	getJSON(t, srv, "/v1/schedules/"+sched.ID, http.StatusOK, &got)
+	if got.DatasetRef != digest {
+		t.Fatalf("schedule dataset_ref = %q, want %q", got.DatasetRef, digest)
+	}
+	var page struct {
+		Items []continuous.Schedule `json:"items"`
+	}
+	getJSON(t, srv, "/v1/schedules", http.StatusOK, &page)
+	if len(page.Items) != 1 || page.Items[0].ID != sched.ID {
+		t.Fatalf("schedule list = %+v", page.Items)
+	}
+
+	// Unknown id is 404 with the error envelope.
+	resp2, err := http.Get(srv.URL + "/v1/schedules/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status = %d, want 404", resp2.StatusCode)
+	}
+
+	// DELETE is idempotent: the second delete of the same id (and a
+	// delete of an id that never existed) is the same 204.
+	for i, path := range []string{
+		"/v1/schedules/" + sched.ID,
+		"/v1/schedules/" + sched.ID,
+		"/v1/schedules/never-existed",
+	} {
+		if code := del(t, srv, path); code != http.StatusNoContent {
+			t.Fatalf("delete #%d status = %d, want 204", i, code)
+		}
+	}
+
+	// Alert rule referencing an unknown sink: 422 unknown_reference.
+	resp = post(t, srv, "/v1/alerts", `{"type":"spike","threshold":2,"sink_ids":["ghost"]}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("dangling sink status = %d, want 422", resp.StatusCode)
+	}
+
+	// Sink and alert follow the same create/read/delete contract.
+	resp = post(t, srv, "/v1/sinks", `{"url":"http://127.0.0.1:9/hook","name":"test"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("sink create status = %d, want 201", resp.StatusCode)
+	}
+	var sink continuous.Sink
+	if err := json.NewDecoder(resp.Body).Decode(&sink); err != nil {
+		t.Fatal(err)
+	}
+	resp = post(t, srv, "/v1/alerts",
+		fmt.Sprintf(`{"type":"spike","threshold":2,"sink_ids":[%q]}`, sink.ID))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("alert create status = %d, want 201", resp.StatusCode)
+	}
+	var rule continuous.Rule
+	if err := json.NewDecoder(resp.Body).Decode(&rule); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, srv, "/v1/alerts/"+rule.ID, http.StatusOK, nil)
+	getJSON(t, srv, "/v1/sinks/"+sink.ID, http.StatusOK, nil)
+	if code := del(t, srv, "/v1/alerts/"+rule.ID); code != http.StatusNoContent {
+		t.Fatalf("alert delete status = %d", code)
+	}
+	if code := del(t, srv, "/v1/sinks/"+sink.ID); code != http.StatusNoContent {
+		t.Fatalf("sink delete status = %d", code)
+	}
+}
+
+// TestListPaginationContract walks a dataset listing page by page and
+// pins the error contract for malformed page parameters.
+func TestListPaginationContract(t *testing.T) {
+	srv := newServer(t)
+	// Three distinct datasets (figure 1 with a different extra user each).
+	for i := 0; i < 3; i++ {
+		ds := rbac.Figure1()
+		if err := ds.AddUser(rbac.UserID(fmt.Sprintf("extra-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		uploadDataset(t, srv, buf.Bytes(), http.StatusCreated)
+	}
+
+	type page struct {
+		Items         []json.RawMessage `json:"items"`
+		NextPageToken string            `json:"next_page_token"`
+	}
+	var seen int
+	token := ""
+	for hops := 0; ; hops++ {
+		if hops > 4 {
+			t.Fatal("pagination did not terminate")
+		}
+		path := "/v1/datasets?page_size=2"
+		if token != "" {
+			path += "&page_token=" + token
+		}
+		var p page
+		getJSON(t, srv, path, http.StatusOK, &p)
+		if len(p.Items) > 2 {
+			t.Fatalf("page overflows page_size: %d items", len(p.Items))
+		}
+		seen += len(p.Items)
+		if p.NextPageToken == "" {
+			break
+		}
+		token = p.NextPageToken
+	}
+	if seen != 3 {
+		t.Fatalf("walked %d datasets, want 3", seen)
+	}
+
+	// Malformed tokens answer 400 invalid_page_token; a bad page_size
+	// is a plain 400 bad_request.
+	resp, err := http.Get(srv.URL + "/v1/datasets?page_token=not-a-token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad token status = %d, want 400", resp.StatusCode)
+	}
+	if eb := decodeErrorBody(t, resp); eb.Code != CodeInvalidPageToken {
+		t.Fatalf("bad token code = %q, want %q", eb.Code, CodeInvalidPageToken)
+	}
+	resp2, err := http.Get(srv.URL + "/v1/datasets?page_size=zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad page_size status = %d, want 400", resp2.StatusCode)
+	}
+	if eb := decodeErrorBody(t, resp2); eb.Code != CodeBadRequest {
+		t.Fatalf("bad page_size code = %q, want %q", eb.Code, CodeBadRequest)
+	}
+
+	// The jobs, sessions, schedules, alerts, sinks, and decisions lists
+	// speak the same envelope.
+	for _, path := range []string{
+		"/v1/jobs", "/v1/sessions", "/v1/schedules",
+		"/v1/alerts", "/v1/sinks", "/v1/decisions",
+	} {
+		var p page
+		getJSON(t, srv, path, http.StatusOK, &p)
+		if p.Items == nil {
+			t.Fatalf("%s items missing or null", path)
+		}
+	}
+}
+
+// TestMetricsExposition verifies /metrics serves the Prometheus text
+// format and that request counters move when traffic flows.
+func TestMetricsExposition(t *testing.T) {
+	srv := newServer(t)
+	if resp := post(t, srv, "/v1/analyze", figure1Body(t).String()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`rolediet_http_requests_total{route="POST /v1/analyze",code="200"} 1`,
+		`rolediet_http_request_duration_seconds_count{route="POST /v1/analyze"} 1`,
+		"# TYPE rolediet_http_requests_total counter",
+		"rolediet_schedules 0",
+		"rolediet_decisions_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestDecisionLogRecordsAPIRuns verifies every sync analysis lands in
+// GET /v1/decisions with its source, kind, digest, and cache outcome.
+func TestDecisionLogRecordsAPIRuns(t *testing.T) {
+	srv := newServer(t)
+	body := figure1Body(t).String()
+	for i := 0; i < 2; i++ { // second run is a cache hit
+		if resp := post(t, srv, "/v1/analyze", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze #%d status = %d", i, resp.StatusCode)
+		}
+	}
+	var page struct {
+		Items []continuous.Decision `json:"items"`
+	}
+	getJSON(t, srv, "/v1/decisions", http.StatusOK, &page)
+	if len(page.Items) != 2 {
+		t.Fatalf("decisions = %d, want 2 (%+v)", len(page.Items), page.Items)
+	}
+	first, second := page.Items[0], page.Items[1]
+	if first.Source != "api" || first.Kind != "analyze" || first.Dataset == "" || first.Fingerprint == "" {
+		t.Fatalf("first decision incomplete: %+v", first)
+	}
+	if first.CacheHit || !second.CacheHit {
+		t.Fatalf("cache outcomes = %v,%v, want miss,hit", first.CacheHit, second.CacheHit)
+	}
+	if second.Seq <= first.Seq {
+		t.Fatalf("decision seq not increasing: %d then %d", first.Seq, second.Seq)
+	}
+
+	// Cursor pagination: asking for what follows the first seq returns
+	// exactly the second decision.
+	var tail struct {
+		Items []continuous.Decision `json:"items"`
+	}
+	getJSON(t, srv, fmt.Sprintf("/v1/decisions?page_token=%d", first.Seq), http.StatusOK, &tail)
+	if len(tail.Items) != 1 || tail.Items[0].Seq != second.Seq {
+		t.Fatalf("cursor tail = %+v", tail.Items)
+	}
+}
+
+// TestJobsListEndpoint verifies GET /v1/jobs lists a submitted job in
+// the page envelope.
+func TestJobsListEndpoint(t *testing.T) {
+	srv := newServer(t)
+	resp := post(t, srv, "/v1/jobs",
+		`{"kind":"analyze","dataset":`+figure1Body(t).String()+`}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Items []struct {
+			ID string `json:"id"`
+		} `json:"items"`
+	}
+	getJSON(t, srv, "/v1/jobs", http.StatusOK, &page)
+	found := false
+	for _, it := range page.Items {
+		if it.ID == job.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("job %s not in list %+v", job.ID, page.Items)
+	}
+}
+
+// TestDecisionLogFlushesOnHandlerClose pins the shutdown wiring: the
+// handler owns the buffered decision log, and closing it must flush
+// pending decisions so a restarted handler on the same path replays
+// them and continues the sequence. A daemon that skips the handler
+// Close loses every decision buffered since the last timer flush.
+func TestDecisionLogFlushesOnHandlerClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.jsonl")
+	body := figure1Body(t).String()
+
+	h1 := NewHandler(Options{DecisionLogPath: path})
+	srv1 := httptest.NewServer(h1)
+	if resp := post(t, srv1, "/v1/analyze", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status = %d", resp.StatusCode)
+	}
+	srv1.Close()
+	c, ok := h1.(io.Closer)
+	if !ok {
+		t.Fatal("NewHandler result does not implement io.Closer")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("handler close: %v", err)
+	}
+
+	h2 := NewHandler(Options{DecisionLogPath: path})
+	srv2 := httptest.NewServer(h2)
+	defer srv2.Close()
+	defer h2.(io.Closer).Close()
+	var page struct {
+		Items []continuous.Decision `json:"items"`
+	}
+	getJSON(t, srv2, "/v1/decisions", http.StatusOK, &page)
+	if len(page.Items) != 1 || page.Items[0].Seq != 1 {
+		t.Fatalf("replayed decisions = %+v, want the one flushed on close", page.Items)
+	}
+	if resp := post(t, srv2, "/v1/analyze", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze after restart status = %d", resp.StatusCode)
+	}
+	getJSON(t, srv2, "/v1/decisions", http.StatusOK, &page)
+	if len(page.Items) != 2 || page.Items[1].Seq != 2 {
+		t.Fatalf("post-restart decisions = %+v, want seq continuing at 2", page.Items)
+	}
+}

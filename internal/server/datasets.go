@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/continuous"
 	"repro/internal/rbac"
 	"repro/internal/store"
 )
@@ -12,11 +13,11 @@ import (
 // registerDatasets wires the dataset registry lifecycle and the stats
 // endpoint. Called from NewHandler.
 func (h *handler) registerDatasets() {
-	h.mux.HandleFunc("POST /v1/datasets", h.datasetPut)
-	h.mux.HandleFunc("GET /v1/datasets", h.datasetList)
-	h.mux.HandleFunc("GET /v1/datasets/{digest}", h.datasetGet)
-	h.mux.HandleFunc("DELETE /v1/datasets/{digest}", h.datasetDelete)
-	h.mux.HandleFunc("GET /v1/stats", h.statsReport)
+	h.handle("POST /v1/datasets", h.datasetPut)
+	h.handle("GET /v1/datasets", h.datasetList)
+	h.handle("GET /v1/datasets/{digest}", h.datasetGet)
+	h.handle("DELETE /v1/datasets/{digest}", h.datasetDelete)
+	h.handle("GET /v1/stats", h.statsReport)
 }
 
 // datasetPutResponse acknowledges an ingest: the digest every later
@@ -144,9 +145,14 @@ func (h *handler) putLocal(w http.ResponseWriter, digest string, canonical []byt
 	})
 }
 
-// datasetList enumerates the registered datasets.
-func (h *handler) datasetList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string][]store.DatasetInfo{"datasets": h.store.ListDatasets()})
+// datasetList enumerates the registered datasets, paginated.
+func (h *handler) datasetList(w http.ResponseWriter, r *http.Request) {
+	offset, size, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	items, next := pageSlice(h.store.ListDatasets(), offset, size)
+	writeJSON(w, listPage{Items: items, NextPageToken: next})
 }
 
 // pathDigest parses the {digest} path value, answering 400 for
@@ -201,6 +207,10 @@ type statsResponse struct {
 	Store    store.Stats  `json:"store"`
 	Jobs     jobStats     `json:"jobs"`
 	Sessions sessionStats `json:"sessions"`
+	// Continuous carries the continuous-audit subsystem's counters:
+	// resource counts, schedule fires, alert trips, sink delivery
+	// outcomes, and the decision log's activity.
+	Continuous *continuous.Stats `json:"continuous,omitempty"`
 }
 
 type jobStats struct {
@@ -214,11 +224,18 @@ type sessionStats struct {
 }
 
 // statsReport surfaces the store's hit/miss/eviction/single-flight
-// counters and byte accounting, plus the live job and session counts.
+// counters and byte accounting, the live job and session counts, and
+// the continuous-audit counters. GET /metrics exposes the same signals
+// in Prometheus exposition format.
 func (h *handler) statsReport(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, statsResponse{
+	resp := statsResponse{
 		Store:    h.store.Stats(),
 		Jobs:     jobStats{Live: h.jobs.Len()},
 		Sessions: sessionStats{Live: h.sessions.Len()},
-	})
+	}
+	if h.cont != nil {
+		cs := h.cont.Stats()
+		resp.Continuous = &cs
+	}
+	writeJSON(w, resp)
 }

@@ -16,8 +16,8 @@ import (
 // registerExtra wires the query and diff endpoints. Called from
 // NewHandler.
 func (h *handler) registerExtra() {
-	h.mux.HandleFunc("POST /v1/query", h.query)
-	h.mux.HandleFunc("POST /v1/diff", h.diff)
+	h.handle("POST /v1/query", h.query)
+	h.handle("POST /v1/diff", h.diff)
 }
 
 // queryResponse is the /v1/query result; only the fields relevant to

@@ -31,8 +31,8 @@ const fleetHeader = "X-Rolediet-Fleet"
 // registerFleet wires the internal raw-transfer endpoint and the
 // scatter-gather stats endpoint. Called from NewHandler.
 func (h *handler) registerFleet() {
-	h.mux.HandleFunc("GET /v1/datasets/{digest}/raw", h.datasetRaw)
-	h.mux.HandleFunc("GET /v1/fleet/stats", h.fleetStats)
+	h.handle("GET /v1/datasets/{digest}/raw", h.datasetRaw)
+	h.handle("GET /v1/fleet/stats", h.fleetStats)
 }
 
 // datasetRaw serves the exact canonical bytes of a locally held

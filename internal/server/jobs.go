@@ -12,10 +12,22 @@ import (
 // registerJobs wires the async job lifecycle endpoints. Called from
 // NewHandler.
 func (h *handler) registerJobs() {
-	h.mux.HandleFunc("POST /v1/jobs", h.jobSubmit)
-	h.mux.HandleFunc("GET /v1/jobs/{id}", h.jobStatus)
-	h.mux.HandleFunc("GET /v1/jobs/{id}/result", h.jobResult)
-	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.jobCancel)
+	h.handle("POST /v1/jobs", h.jobSubmit)
+	h.handle("GET /v1/jobs", h.jobList)
+	h.handle("GET /v1/jobs/{id}", h.jobStatus)
+	h.handle("GET /v1/jobs/{id}/result", h.jobResult)
+	h.handle("DELETE /v1/jobs/{id}", h.jobCancel)
+}
+
+// jobList enumerates this node's live jobs (queued, running, and
+// finished-but-unexpired), paginated, oldest first.
+func (h *handler) jobList(w http.ResponseWriter, r *http.Request) {
+	offset, size, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	items, next := pageSlice(h.jobs.List(), offset, size)
+	writeJSON(w, listPage{Items: items, NextPageToken: next, Node: h.nodeID})
 }
 
 // jobSubmit enqueues an analyze/consolidate/suggest run. The body is
@@ -47,7 +59,7 @@ func (h *handler) jobSubmit(w http.ResponseWriter, r *http.Request) {
 		// concurrent in-flight run — finishes without touching the
 		// engine, and its result stays byte-identical to the sync
 		// endpoint's response.
-		out, _, err := h.runKindCached(ctx, kind, req, progress)
+		out, _, err := h.runKindLogged(ctx, "job", kind, req, progress)
 		return out, err
 	})
 	switch {

@@ -19,9 +19,10 @@ import (
 // Recovery is outermost so a panic anywhere below (including in the
 // other middlewares) turns into a logged 500 instead of a dead
 // connection. The limiter sits above the timeout so shed requests are
-// rejected before a timer is armed for them. /healthz bypasses both
-// the limiter and the timeout: liveness probes must keep answering
-// while the service is saturated or draining.
+// rejected before a timer is armed for them. /healthz and /metrics
+// bypass both the limiter and the timeout: liveness probes and metric
+// scrapes must keep answering while the service is saturated or
+// draining — saturation is exactly when the scrape matters most.
 
 // statusRecorder tracks whether a handler already committed a response,
 // so the recovery middleware knows if a 500 can still be written.
@@ -73,7 +74,7 @@ func (h *handler) withLoadShedding(next http.Handler) http.Handler {
 	}
 	retryAfter := retryAfterSeconds(h.opts.RetryAfter)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == healthPath {
+		if r.URL.Path == healthPath || r.URL.Path == metricsPath {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -98,7 +99,7 @@ func (h *handler) withTimeout(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == healthPath {
+		if r.URL.Path == healthPath || r.URL.Path == metricsPath {
 			next.ServeHTTP(w, r)
 			return
 		}

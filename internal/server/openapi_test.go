@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// specRoutes parses api/openapi.yaml line-based (the toolchain has no
+// YAML dependency) and returns every documented "METHOD /path". The
+// spec's formatting contract — paths at two-space indent under
+// "paths:", HTTP methods at four-space indent — is noted at the top
+// of the file.
+func specRoutes(t *testing.T) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "api", "openapi.yaml"))
+	if err != nil {
+		t.Fatalf("read spec: %v", err)
+	}
+	methods := map[string]bool{"get": true, "post": true, "put": true, "patch": true, "delete": true}
+	routes := make(map[string]bool)
+	inPaths := false
+	current := ""
+	for _, line := range strings.Split(string(raw), "\n") {
+		trimmed := strings.TrimRight(line, " \r")
+		switch {
+		case trimmed == "paths:":
+			inPaths = true
+		case inPaths && len(trimmed) > 0 && trimmed[0] != ' ' && trimmed[0] != '#':
+			inPaths = false // left the paths: block (components:, etc.)
+		case inPaths && strings.HasPrefix(trimmed, "  ") && !strings.HasPrefix(trimmed, "   ") &&
+			strings.HasSuffix(trimmed, ":"):
+			current = strings.TrimSuffix(strings.TrimSpace(trimmed), ":")
+		case inPaths && strings.HasPrefix(trimmed, "    ") && !strings.HasPrefix(trimmed, "     ") &&
+			strings.HasSuffix(trimmed, ":"):
+			m := strings.TrimSuffix(strings.TrimSpace(trimmed), ":")
+			if methods[m] && current != "" {
+				routes[strings.ToUpper(m)+" "+current] = true
+			}
+		}
+	}
+	if len(routes) == 0 {
+		t.Fatal("parsed no routes from api/openapi.yaml — formatting contract broken?")
+	}
+	return routes
+}
+
+// TestOpenAPISpecMatchesRoutes is the drift check between the
+// documented contract and the live mux: every registered route must
+// appear in api/openapi.yaml and every documented route must be
+// registered. Run in CI, so adding an endpoint without documenting it
+// (or documenting one that does not exist) fails the build.
+func TestOpenAPISpecMatchesRoutes(t *testing.T) {
+	h, ok := NewHandler(Options{}).(interface{ Routes() []string })
+	if !ok {
+		t.Fatal("NewHandler result does not expose Routes()")
+	}
+	registered := make(map[string]bool)
+	for _, r := range h.Routes() {
+		registered[r] = true
+	}
+	documented := specRoutes(t)
+
+	var missing, stale []string
+	for r := range registered {
+		if !documented[r] {
+			missing = append(missing, r)
+		}
+	}
+	for r := range documented {
+		if !registered[r] {
+			stale = append(stale, r)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	var msgs []string
+	if len(missing) > 0 {
+		msgs = append(msgs, fmt.Sprintf("registered but undocumented in api/openapi.yaml:\n\t%s",
+			strings.Join(missing, "\n\t")))
+	}
+	if len(stale) > 0 {
+		msgs = append(msgs, fmt.Sprintf("documented in api/openapi.yaml but not registered:\n\t%s",
+			strings.Join(stale, "\n\t")))
+	}
+	if len(msgs) > 0 {
+		t.Fatal(strings.Join(msgs, "\n"))
+	}
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Uniform pagination for every list endpoint: responses are
+//
+//	{"items": [...], "next_page_token": "..."}
+//
+// controlled by ?page_size= (1..maxPageSize, default defaultPageSize)
+// and ?page_token= (opaque; the previous response's next_page_token).
+// An absent next_page_token means the listing is exhausted. Tokens are
+// positions into the snapshot the server holds at request time; a
+// malformed or negative token answers 400 invalid_page_token so the
+// client knows to restart from the beginning rather than retry.
+
+const (
+	defaultPageSize = 100
+	maxPageSize     = 1000
+)
+
+// listPage is the wire shape of every paginated list response. Items
+// is always non-nil so an empty page renders [] rather than null.
+type listPage struct {
+	Items         any    `json:"items"`
+	NextPageToken string `json:"next_page_token,omitempty"`
+	// Node names the serving node on node-local listings (sessions,
+	// jobs); empty elsewhere.
+	Node string `json:"node,omitempty"`
+}
+
+// pageParams decodes ?page_size= and ?page_token= (an integer offset
+// or sequence cursor rendered opaque to clients), answering 400 —
+// bad_request for a broken page_size, invalid_page_token for a broken
+// token — when they do not parse.
+func pageParams(w http.ResponseWriter, r *http.Request) (offset int64, size int, ok bool) {
+	size = defaultPageSize
+	q := r.URL.Query()
+	if s := q.Get("page_size"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("page_size %q must be a positive integer", s))
+			return 0, 0, false
+		}
+		if n > maxPageSize {
+			n = maxPageSize
+		}
+		size = n
+	}
+	if t := q.Get("page_token"); t != "" {
+		n, err := strconv.ParseInt(t, 10, 64)
+		if err != nil || n < 0 {
+			writeErrorCode(w, http.StatusBadRequest, CodeInvalidPageToken,
+				fmt.Errorf("page_token %q is not a token this server issued; restart the listing", t))
+			return 0, 0, false
+		}
+		offset = n
+	}
+	return offset, size, true
+}
+
+// pageSlice windows a snapshot listing by offset, returning the page
+// and the next token ("" when the listing is exhausted).
+func pageSlice[T any](items []T, offset int64, size int) ([]T, string) {
+	if offset >= int64(len(items)) {
+		return []T{}, ""
+	}
+	end := offset + int64(size)
+	if end >= int64(len(items)) {
+		return items[offset:], ""
+	}
+	return items[offset:end], strconv.FormatInt(end, 10)
+}

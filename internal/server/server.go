@@ -8,12 +8,15 @@
 // # Endpoints
 //
 //	GET    /healthz                 liveness probe (JSON: node id, state, boot, version)
+//	GET    /metrics                 Prometheus text exposition (per-route latency/counts,
+//	                                schedule fires, alert trips, sink deliveries, decisions)
 //	POST   /v1/analyze              dataset -> inefficiency report
 //	POST   /v1/consolidate          dataset -> {plan, consolidated dataset}
 //	POST   /v1/suggest              dataset -> similar-merge suggestions
 //	POST   /v1/query                dataset -> access-review answers
 //	POST   /v1/diff                 {before, after} -> structural + audit diff
 //	POST   /v1/jobs                 submit async analyze/consolidate/suggest -> 202 + job
+//	GET    /v1/jobs                 list live jobs (snapshots, oldest first)
 //	GET    /v1/jobs/{id}            job status + {stage, fraction} progress
 //	GET    /v1/jobs/{id}/result     finished job's result (same shape as the sync endpoint)
 //	DELETE /v1/jobs/{id}            cancel a queued or running job
@@ -31,6 +34,50 @@
 //	POST   /v1/sessions/{id}/events apply a JSONL replay event batch -> applied count
 //	GET    /v1/sessions/{id}/audit  O(answer) duplicate-group audit; ?mode=async runs it as a job
 //	POST   /v1/drift                {before_ref, after_ref} -> duplicate groups gained/lost + event count
+//	POST   /v1/schedules            create a continuous-audit schedule -> 201 + Location
+//	GET    /v1/schedules            list schedules with run/failure counters
+//	GET    /v1/schedules/{id}       one schedule
+//	DELETE /v1/schedules/{id}       remove a schedule (idempotent: always 204)
+//	POST   /v1/alerts               create an alert rule (spike|drift|recall) -> 201 + Location
+//	GET    /v1/alerts               list alert rules with trip counters
+//	GET    /v1/alerts/{id}          one alert rule
+//	DELETE /v1/alerts/{id}          remove an alert rule (idempotent: always 204)
+//	POST   /v1/sinks                create a webhook sink -> 201 + Location
+//	GET    /v1/sinks                list sinks with delivery and breaker state
+//	GET    /v1/sinks/{id}           one sink
+//	DELETE /v1/sinks/{id}           remove a sink (idempotent: always 204)
+//	GET    /v1/decisions            decision-log window, newest-capable cursor pagination
+//
+// # Continuous audit
+//
+// The /v1/schedules, /v1/alerts, /v1/sinks, and /v1/decisions resources
+// form the continuous-audit subsystem (see internal/continuous).
+// Schedules fire analyze or drift runs on the shared async worker pool
+// at a fixed interval; alert rules evaluate each run's outcome against
+// the previous one (findings spike, duplicate-group drift, recall
+// regression); tripped alerts are delivered to every webhook sink
+// through per-sink retry/backoff and a circuit breaker; and every
+// analysis decision — API-triggered, job-triggered, or scheduled — is
+// appended to a buffered JSONL decision log that survives restarts and
+// is readable back through GET /v1/decisions. These resources follow
+// the v1 contract: creation answers 201 with a Location header, a body
+// referencing an unknown dataset or session answers 422
+// unknown_reference, and DELETE is idempotent (204 whether or not the
+// id existed).
+//
+// # Pagination
+//
+// Every list endpoint (datasets, sessions, jobs, schedules, alerts,
+// sinks, decisions) answers the uniform page envelope
+//
+//	{"items": [...], "next_page_token": "<opaque>"}
+//
+// and accepts ?page_size= (default 100, max 1000) and ?page_token=
+// (the previous page's next_page_token). next_page_token is omitted on
+// the final page. A malformed or foreign token answers 400
+// invalid_page_token; tokens are opaque and only valid for the
+// endpoint that issued them. /v1/decisions pages by log cursor, so a
+// page boundary is stable even while new decisions are appended.
 //
 // In a fleet deployment (Options.Fleet set), POST /v1/datasets routes
 // the upload to the digest's rendezvous owner and replicates it, and
@@ -131,6 +178,8 @@
 //
 //	400 bad_request    malformed body, unknown method, negative threshold,
 //	                   inconsistent dataset (Validate()d before analysis)
+//	400 invalid_page_token  unparseable or foreign ?page_token on a list
+//	                   endpoint
 //	400 payload_too_large  dataset upload exceeding MaxUploadBytes, or an
 //	                   event log exceeding the line/event caps; nothing
 //	                   partial is admitted
@@ -138,6 +187,8 @@
 //	409 conflict       job result not ready yet, or cancel of a finished job
 //	415 unsupported_media_type  Content-Encoding other than gzip/identity
 //	422 unprocessable  well-formed input the engine rejects
+//	422 unknown_reference  a schedule/alert/sink body names a dataset,
+//	                   session, or rule target that does not exist
 //	429 shed           load shed (MaxConcurrent) or full job queue
 //	500 internal       recovered panic
 //	503 canceled       analysis canceled by disconnect, drain, or DELETE
@@ -161,16 +212,23 @@ import (
 	"time"
 
 	"repro/internal/consolidate"
+	"repro/internal/continuous"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/jobs"
+	"repro/internal/metrics"
 	"repro/internal/rbac"
 	"repro/internal/session"
 	"repro/internal/store"
 )
 
-// healthPath is exempt from load shedding and timeouts.
-const healthPath = "/healthz"
+// healthPath and metricsPath are exempt from load shedding and
+// timeouts: probes and scrapes must keep answering while the service
+// is saturated or draining.
+const (
+	healthPath  = "/healthz"
+	metricsPath = "/metrics"
+)
 
 // Options configures the handler.
 type Options struct {
@@ -243,6 +301,30 @@ type Options struct {
 	// not taking new fleet work). The bare-200 liveness contract is
 	// unchanged either way.
 	Readiness func() bool
+	// DecisionLogPath, when set, opens the append-only JSONL decision
+	// log there (the daemon derives it from -store-dir). Every analysis
+	// decision — api, job, or scheduled — is recorded with its dataset
+	// digest and options fingerprint and served by GET /v1/decisions.
+	// Empty disables persistence and the decisions endpoint serves only
+	// the in-memory window of this process.
+	DecisionLogPath string
+	// DecisionBuffer and DecisionFlushInterval tune the decision log's
+	// buffered flushing; zero keeps the continuous package defaults.
+	DecisionBuffer        int
+	DecisionFlushInterval time.Duration
+	// ScheduleMinInterval floors continuous-audit schedule intervals;
+	// zero keeps the continuous package default (100ms).
+	ScheduleMinInterval time.Duration
+	// Sink delivery knobs for continuous-audit webhook sinks; zero
+	// values keep the continuous package defaults.
+	SinkAttempts         int
+	SinkTimeout          time.Duration
+	SinkBreakerThreshold int
+	SinkBreakerCooldown  time.Duration
+	// SinkTransport is the webhook delivery RoundTripper — the
+	// deterministic fault-injection seam (-sink-fault-inject). Nil uses
+	// http.DefaultTransport.
+	SinkTransport http.RoundTripper
 }
 
 func (o Options) withDefaults() Options {
@@ -271,12 +353,39 @@ type handler struct {
 	store    *store.Store
 	fleet    *fleet.Fleet // nil in single-node deployments
 	sessions *session.Manager
+	cont     *continuous.Manager // continuous-audit subsystem
+	declog   *continuous.Log     // nil without a decision log path
 	nodeID   string
 	boot     string // per-process instance id; restarts change it
 	version  string
+
+	// routes lists every registered "METHOD /pattern" — the source of
+	// truth the OpenAPI drift check compares the spec against.
+	routes []string
+
+	// Prometheus-style exposition served by GET /metrics.
+	metrics  *metrics.Registry
+	httpDur  *metrics.HistogramVec
+	httpReqs *metrics.CounterVec
 }
 
 var _ http.Handler = (*handler)(nil)
+var _ io.Closer = (*handler)(nil)
+
+// Close stops the continuous-audit scheduler, waits out in-flight
+// scheduled runs, and flushes the buffered decision log to disk. The
+// HTTP server must be drained first so no request handler is racing an
+// append. Without this, a graceful shutdown silently loses every
+// decision buffered since the last timer flush.
+func (h *handler) Close() error {
+	if h.cont != nil {
+		h.cont.Close()
+	}
+	if h.declog != nil {
+		return h.declog.Close()
+	}
+	return nil
+}
 
 // NewHandler builds the service's http.Handler, with the resilience
 // middleware (recovery, load shedding, request timeout) applied and
@@ -311,17 +420,82 @@ func NewHandler(opts Options) http.Handler {
 	if h.nodeID == "" {
 		h.nodeID = "node-" + h.boot
 	}
-	h.mux.HandleFunc("GET "+healthPath, h.health)
-	h.mux.HandleFunc("POST /v1/analyze", h.analyze)
-	h.mux.HandleFunc("POST /v1/consolidate", h.consolidate)
-	h.mux.HandleFunc("POST /v1/suggest", h.suggest)
+	h.initMetrics()
+	h.initContinuous()
+	h.handle("GET "+healthPath, h.health)
+	h.handle("GET "+metricsPath, h.metricsReport)
+	h.handle("POST /v1/analyze", h.analyze)
+	h.handle("POST /v1/consolidate", h.consolidate)
+	h.handle("POST /v1/suggest", h.suggest)
 	h.registerExtra()
 	h.registerJobs()
 	h.registerDatasets()
 	h.registerFleet()
 	h.registerSessions()
+	h.registerContinuous()
 	h.inner = h.withRecovery(h.withLoadShedding(h.withTimeout(h.mux)))
 	return h
+}
+
+// handle registers one route on the mux, records its pattern in the
+// route registry (the OpenAPI drift check's source of truth), and
+// wraps the handler with per-endpoint metrics: a request counter
+// labelled by route and status class, and a latency histogram
+// labelled by route. Labels come from the static pattern — never from
+// request data — so cardinality is bounded by the route table.
+func (h *handler) handle(pattern string, fn http.HandlerFunc) {
+	h.routes = append(h.routes, pattern)
+	h.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &codeRecorder{ResponseWriter: w, code: http.StatusOK}
+		fn(rec, r)
+		h.httpDur.With(pattern).Observe(time.Since(start).Seconds())
+		h.httpReqs.With(pattern, strconv.Itoa(rec.code)).Inc()
+	})
+}
+
+// Routes returns every registered "METHOD /pattern". The concrete
+// handler type is unexported; callers reach this through a type
+// assertion on the NewHandler result.
+func (h *handler) Routes() []string {
+	return append([]string(nil), h.routes...)
+}
+
+// codeRecorder captures the response status for the request counter.
+type codeRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (c *codeRecorder) WriteHeader(code int) {
+	c.code = code
+	c.ResponseWriter.WriteHeader(code)
+}
+
+// initMetrics builds the exposition registry and the per-endpoint
+// instruments. Subsystem gauges that need the continuous manager are
+// added by initContinuous.
+func (h *handler) initMetrics() {
+	h.metrics = metrics.NewRegistry()
+	h.httpReqs = h.metrics.Counter("rolediet_http_requests_total",
+		"HTTP requests served, by route pattern and status code.", "route", "code")
+	h.httpDur = h.metrics.Histogram("rolediet_http_request_duration_seconds",
+		"HTTP request latency in seconds, by route pattern.", nil, "route")
+	h.metrics.GaugeFunc("rolediet_jobs_live",
+		"Jobs currently held by the async manager in any state.",
+		func() float64 { return float64(h.jobs.Len()) })
+	h.metrics.GaugeFunc("rolediet_sessions_live",
+		"Open mutation sessions on this node.",
+		func() float64 { return float64(h.sessions.Len()) })
+	h.metrics.GaugeFunc("rolediet_store_datasets",
+		"Datasets registered in the content-addressed store.",
+		func() float64 { return float64(h.store.Stats().Datasets) })
+}
+
+// metricsReport serves the Prometheus text exposition.
+func (h *handler) metricsReport(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	h.metrics.WriteText(w)
 }
 
 // ServeHTTP implements http.Handler.
@@ -352,6 +526,19 @@ const (
 	// Retry-After hint and is returned within the fleet client's
 	// bounded retry window — never after an unbounded hang.
 	CodePeerUnavailable = "peer_unavailable"
+	// CodeInvalidPageToken is a 400 variant for a malformed or
+	// out-of-range page_token on a list endpoint. Distinct from
+	// bad_request so a paginating client can tell "restart the listing
+	// from the beginning" apart from "your request body is broken".
+	CodeInvalidPageToken = "invalid_page_token"
+	// CodeUnknownReference is a 422 variant for a well-formed
+	// continuous-audit resource that points at something that does not
+	// exist — a dataset_ref that never registered, a session_id that
+	// expired, a schedule_id or sink_id that was deleted. Distinct from
+	// unprocessable (an engine rejection) and not_found (the URL names
+	// a missing resource): here the URL is fine and the body is valid,
+	// but a reference inside it dangles.
+	CodeUnknownReference = "unknown_reference"
 )
 
 // codeFor maps a status the server emits to its stable error code.
@@ -454,6 +641,7 @@ type v1Request struct {
 	kind    string // only set by the envelope form; required for /v1/jobs
 	dataset *rbac.Dataset
 	digest  string // content digest; set when resolved by ref, else lazily
+	fp      string // options fingerprint; set by runKindCached
 	opts    core.Options
 	sparse  bool
 }
@@ -867,6 +1055,7 @@ func (h *handler) runKindCached(ctx context.Context, kind string, req *v1Request
 	if err != nil {
 		return nil, false, err
 	}
+	req.fp = fp
 	key := store.Key{Dataset: req.digest, Fingerprint: fp, Kind: kind}
 	body, hit, err := h.store.Result(ctx, key, func(ctx context.Context) ([]byte, error) {
 		out, err := runKind(ctx, kind, req, progress)
@@ -884,13 +1073,41 @@ func (h *handler) runKindCached(ctx context.Context, kind string, req *v1Request
 	return rawResult(body), hit, nil
 }
 
+// runKindLogged wraps runKindCached with a decision-log append: every
+// engine-backed decision — served from cache or computed — lands in the
+// append-only log with its dataset digest and options fingerprint, so
+// any historical answer is reproducible from the content-addressed
+// registry. source is "api" for synchronous requests and "job" for
+// async submissions; scheduled runs log through the continuous manager
+// instead (their decisions carry tripped-alert ids too).
+func (h *handler) runKindLogged(ctx context.Context, source, kind string, req *v1Request,
+	progress func(stage string, fraction float64)) (any, bool, error) {
+	started := time.Now()
+	out, hit, err := h.runKindCached(ctx, kind, req, progress)
+	if h.declog != nil {
+		d := continuous.Decision{
+			Source:        source,
+			Kind:          kind,
+			Dataset:       req.digest,
+			Fingerprint:   req.fp,
+			CacheHit:      hit,
+			DurationNanos: time.Since(started).Nanoseconds(),
+		}
+		if err != nil {
+			d.Error = err.Error()
+		}
+		h.declog.Append(d)
+	}
+	return out, hit, err
+}
+
 // runSync decodes, dispatches, and writes one synchronous request.
 func (h *handler) runSync(kind string, w http.ResponseWriter, r *http.Request) {
 	req, ok := h.decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	out, hit, err := h.runKindCached(r.Context(), kind, req, nil)
+	out, hit, err := h.runKindLogged(r.Context(), "api", kind, req, nil)
 	if err != nil {
 		writeEngineError(w, err)
 		return

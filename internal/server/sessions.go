@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
+	"repro/internal/continuous"
 	"repro/internal/jobs"
 	"repro/internal/rbac"
 	"repro/internal/replay"
@@ -25,13 +27,13 @@ import (
 // registerSessions wires the mutation-session lifecycle and the drift
 // endpoint. Called from NewHandler.
 func (h *handler) registerSessions() {
-	h.mux.HandleFunc("POST /v1/sessions", h.sessionCreate)
-	h.mux.HandleFunc("GET /v1/sessions", h.sessionList)
-	h.mux.HandleFunc("GET /v1/sessions/{id}", h.sessionGet)
-	h.mux.HandleFunc("DELETE /v1/sessions/{id}", h.sessionDelete)
-	h.mux.HandleFunc("POST /v1/sessions/{id}/events", h.sessionEvents)
-	h.mux.HandleFunc("GET /v1/sessions/{id}/audit", h.sessionAudit)
-	h.mux.HandleFunc("POST /v1/drift", h.drift)
+	h.handle("POST /v1/sessions", h.sessionCreate)
+	h.handle("GET /v1/sessions", h.sessionList)
+	h.handle("GET /v1/sessions/{id}", h.sessionGet)
+	h.handle("DELETE /v1/sessions/{id}", h.sessionDelete)
+	h.handle("POST /v1/sessions/{id}/events", h.sessionEvents)
+	h.handle("GET /v1/sessions/{id}/audit", h.sessionAudit)
+	h.handle("POST /v1/drift", h.drift)
 }
 
 // sessionCreateRequest opens a session over a registered dataset.
@@ -136,9 +138,14 @@ func (h *handler) lookupSession(w http.ResponseWriter, r *http.Request) (*sessio
 	return s, true
 }
 
-// sessionList enumerates this node's live sessions.
-func (h *handler) sessionList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{"sessions": h.sessions.List(), "node": h.nodeID})
+// sessionList enumerates this node's live sessions, paginated.
+func (h *handler) sessionList(w http.ResponseWriter, r *http.Request) {
+	offset, size, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	items, next := pageSlice(h.sessions.List(), offset, size)
+	writeJSON(w, listPage{Items: items, NextPageToken: next, Node: h.nodeID})
 }
 
 // sessionGet reports one session's snapshot.
@@ -300,15 +307,44 @@ func (h *handler) drift(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	fp, err := store.Fingerprint(struct{}{}, "drift-v1")
+	started := time.Now()
+	raw, hit, fp, err := h.driftCached(r.Context(), beforeDigest, afterDigest, before, after)
+	if h.declog != nil {
+		d := continuous.Decision{
+			Source:        "api",
+			Kind:          "drift",
+			Dataset:       beforeDigest + "+" + afterDigest,
+			Fingerprint:   fp,
+			CacheHit:      hit,
+			DurationNanos: time.Since(started).Nanoseconds(),
+		}
+		if err != nil {
+			d.Error = err.Error()
+		}
+		h.declog.Append(d)
+	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeEngineError(w, err)
 		return
+	}
+	w.Header().Set("X-Cache", cacheHeader(hit))
+	writeRawJSON(w, raw)
+}
+
+// driftCached computes (or serves from cache) the drift report between
+// two registered snapshots — the one compute path shared by POST
+// /v1/drift and the continuous-audit backend, so a scheduled drift
+// check of an already-answered digest pair is a cache hit.
+func (h *handler) driftCached(ctx context.Context, beforeDigest, afterDigest string,
+	before, after *rbac.Dataset) (raw []byte, hit bool, fp string, err error) {
+	fp, err = store.Fingerprint(struct{}{}, "drift-v1")
+	if err != nil {
+		return nil, false, "", err
 	}
 	// The "+"-joined dataset key ties the cache line to both digests:
 	// deleting either snapshot bars late admission, same as /v1/diff.
 	key := store.Key{Dataset: beforeDigest + "+" + afterDigest, Fingerprint: fp, Kind: "drift"}
-	raw, hit, err := h.store.Result(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+	raw, hit, err = h.store.Result(ctx, key, func(ctx context.Context) ([]byte, error) {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
@@ -318,10 +354,5 @@ func (h *handler) drift(w http.ResponseWriter, r *http.Request) {
 		}
 		return json.Marshal(resp)
 	})
-	if err != nil {
-		writeEngineError(w, err)
-		return
-	}
-	w.Header().Set("X-Cache", cacheHeader(hit))
-	writeRawJSON(w, raw)
+	return raw, hit, fp, err
 }

@@ -314,13 +314,13 @@ func TestStreamingUploadRejects(t *testing.T) {
 			t.Fatalf("%s: list = %d", label, resp.StatusCode)
 		}
 		var list struct {
-			Datasets []json.RawMessage `json:"datasets"`
+			Items []json.RawMessage `json:"items"`
 		}
 		if err := json.Unmarshal(raw, &list); err != nil {
 			t.Fatal(err)
 		}
-		if len(list.Datasets) != 0 {
-			t.Fatalf("%s: registry admitted %d datasets from a rejected upload", label, len(list.Datasets))
+		if len(list.Items) != 0 {
+			t.Fatalf("%s: registry admitted %d datasets from a rejected upload", label, len(list.Items))
 		}
 	}
 

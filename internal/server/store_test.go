@@ -389,16 +389,20 @@ func TestDatasetListAndStatsShape(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var list struct {
-		Datasets []store.DatasetInfo `json:"datasets"`
+		Items         []store.DatasetInfo `json:"items"`
+		NextPageToken string              `json:"next_page_token"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}
-	if len(list.Datasets) != 1 || list.Datasets[0].Digest != digest {
-		t.Fatalf("datasets = %+v", list.Datasets)
+	if len(list.Items) != 1 || list.Items[0].Digest != digest {
+		t.Fatalf("datasets = %+v", list.Items)
 	}
-	if list.Datasets[0].Stats.Roles == 0 || list.Datasets[0].Bytes == 0 {
-		t.Fatalf("dataset info missing stats: %+v", list.Datasets[0])
+	if list.Items[0].Stats.Roles == 0 || list.Items[0].Bytes == 0 {
+		t.Fatalf("dataset info missing stats: %+v", list.Items[0])
+	}
+	if list.NextPageToken != "" {
+		t.Fatalf("one dataset should fit one page, next = %q", list.NextPageToken)
 	}
 
 	st := serverStats(t, srv)
