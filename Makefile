@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-figures bench-json experiments jobs-smoke store-smoke cluster-smoke drift-smoke continuous-smoke clean
+.PHONY: all build vet test race cover bench bench-figures bench-json bench-kernels experiments jobs-smoke store-smoke cluster-smoke drift-smoke continuous-smoke clean
 
 all: build vet test
 
@@ -32,11 +32,20 @@ bench:
 bench-figures:
 	$(GO) test -bench 'Figure2|Figure3$$|OrgScale' -benchtime 1x .
 
-# Figures + ablations with -benchmem, converted to a committed JSON
-# snapshot (BENCH_PR4.json) via cmd/benchjson. BENCH_TIME and BENCH_CPU
-# tune iteration count and the -cpu list; see scripts/bench_json.sh.
+# Figures + ablations + arena kernels with -benchmem, median-of-5 per
+# point, converted to a committed JSON snapshot (BENCH_PR9.json) via
+# cmd/benchjson, with a non-blocking regression diff against the
+# previous snapshot. BENCH_TIME, BENCH_COUNT and BENCH_CPU tune the
+# runs; see scripts/bench_json.sh.
 bench-json:
 	sh scripts/bench_json.sh
+
+# Arena kernel micro-benchmarks only (internal/bitmat), median-of-5,
+# diffed against the committed BENCH_PR9.json; >25% ns/op kernel
+# regressions emit non-blocking ::warning:: annotations (see
+# scripts/bench_kernels.sh). Fast enough for per-push CI.
+bench-kernels:
+	sh scripts/bench_kernels.sh
 
 # Regenerate the recorded evaluation outputs under results/.
 experiments:

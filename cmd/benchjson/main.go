@@ -4,16 +4,28 @@
 //
 //	go test -bench 'Ablation' -benchmem -cpu 1,4 . | go run ./cmd/benchjson > bench.json
 //
-// The output is one object:
+// Repeated runs of the same benchmark (`-count=N`) are folded into one
+// entry carrying the per-metric median, with the min/max spread and the
+// sample count recorded alongside, so committed snapshots stay stable
+// under scheduler noise without hiding it:
 //
 //	{
 //	  "context": {"goos": "...", "goarch": "...", "pkg": "...", "cpu": "...", "gomaxprocs": N},
 //	  "benchmarks": [
-//	    {"name": "BenchmarkX/sub", "procs": 4, "iterations": 100,
-//	     "metrics": {"ns/op": 123.4, "B/op": 567, "allocs/op": 8}},
+//	    {"name": "BenchmarkX/sub", "procs": 4, "iterations": 100, "samples": 5,
+//	     "metrics": {"ns/op": 123.4, "B/op": 567, "allocs/op": 8},
+//	     "spread": {"ns/op": {"min": 119.1, "max": 131.0}}},
 //	    ...
 //	  ]
 //	}
+//
+// With -against <baseline.json> the new snapshot is additionally
+// compared to a previously committed one: every benchmark present in
+// both whose median ns/op regressed by more than -warn-pct percent gets
+// a GitHub-annotation `::warning::` line on stderr. The comparison is a
+// tripwire, not a gate — the exit status stays 0 — because shared
+// runners have noisy neighbours and timing shifts should inform review,
+// not block merges.
 //
 // Unknown metric units pass through verbatim; lines that are not
 // benchmark results or context headers are ignored, so the tool can
@@ -23,20 +35,31 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// result is one parsed benchmark line.
+// result is one aggregated benchmark: the median of every sample that
+// shared the same name and procs count.
 type result struct {
 	Name       string             `json:"name"`
 	Procs      int                `json:"procs"`
 	Iterations int64              `json:"iterations"`
+	Samples    int                `json:"samples,omitempty"`
 	Metrics    map[string]float64 `json:"metrics"`
+	Spread     map[string]minMax  `json:"spread,omitempty"`
+}
+
+// minMax records the extremes behind a median.
+type minMax struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
 }
 
 // snapshot is the file layout benchjson emits.
@@ -46,17 +69,67 @@ type snapshot struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	against := flag.String("against", "", "baseline snapshot to diff the new one against (warnings on stderr, never fails)")
+	warnPct := flag.Float64("warn-pct", 25, "ns/op regression percentage that triggers a ::warning:: in -against mode")
+	flag.Parse()
+
+	snap, err := buildSnapshot(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *against == "" {
+		return
+	}
+	// Tripwire mode: a missing or malformed baseline degrades to a note,
+	// not a failure — first runs on a fresh branch have nothing to diff.
+	data, err := os.ReadFile(*against)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: no usable baseline:", err)
+		return
+	}
+	var base snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: no usable baseline:", err)
+		return
+	}
+	compare(snap, &base, *warnPct, os.Stderr)
 }
 
+// run parses a `go test -bench` transcript, folds repeated samples, and
+// writes the JSON snapshot.
 func run(in io.Reader, out io.Writer) error {
-	snap := snapshot{
+	snap, err := buildSnapshot(in)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// sampleSet accumulates every parsed line for one (name, procs) key.
+type sampleSet struct {
+	name       string
+	procs      int
+	iterations []int64
+	metrics    map[string][]float64
+}
+
+// buildSnapshot parses and aggregates a transcript.
+func buildSnapshot(in io.Reader) (*snapshot, error) {
+	snap := &snapshot{
 		Context:    map[string]any{"gomaxprocs": runtime.GOMAXPROCS(0)},
 		Benchmarks: []result{},
 	}
+	var order []string
+	sets := make(map[string]*sampleSet)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -71,20 +144,111 @@ func run(in io.Reader, out io.Writer) error {
 			snap.Context[k] = strings.TrimSpace(v)
 		case strings.HasPrefix(line, "Benchmark"):
 			r, ok := parseLine(line)
-			if ok {
-				snap.Benchmarks = append(snap.Benchmarks, r)
+			if !ok {
+				continue
+			}
+			key := r.Name + "\x00" + strconv.Itoa(r.Procs)
+			set := sets[key]
+			if set == nil {
+				set = &sampleSet{name: r.Name, procs: r.Procs, metrics: make(map[string][]float64)}
+				sets[key] = set
+				order = append(order, key)
+			}
+			set.iterations = append(set.iterations, r.Iterations)
+			for unit, v := range r.Metrics {
+				set.metrics[unit] = append(set.metrics[unit], v)
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
-	if len(snap.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark result lines found in input")
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
 	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(snap)
+	for _, key := range order {
+		snap.Benchmarks = append(snap.Benchmarks, sets[key].fold())
+	}
+	return snap, nil
+}
+
+// fold reduces a sample set to its median entry. Spread and the sample
+// count are only recorded for multi-sample sets, so single-run
+// snapshots keep the legacy shape byte-for-byte.
+func (s *sampleSet) fold() result {
+	r := result{
+		Name:       s.name,
+		Procs:      s.procs,
+		Iterations: medianInt64(s.iterations),
+		Metrics:    make(map[string]float64, len(s.metrics)),
+	}
+	multi := len(s.iterations) > 1
+	if multi {
+		r.Samples = len(s.iterations)
+		r.Spread = make(map[string]minMax, len(s.metrics))
+	}
+	for unit, vals := range s.metrics {
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		r.Metrics[unit] = median(sorted)
+		if multi {
+			r.Spread[unit] = minMax{Min: sorted[0], Max: sorted[len(sorted)-1]}
+		}
+	}
+	return r
+}
+
+// median of an already-sorted slice; even lengths average the middle
+// pair.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+func medianInt64(vals []int64) int64 {
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// compare emits one ::warning:: line per benchmark whose median ns/op
+// regressed past the threshold, plus a closing summary. It never fails:
+// the warnings surface in the GitHub UI while the job stays green.
+func compare(cur, base *snapshot, warnPct float64, w io.Writer) {
+	baseline := make(map[string]result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name+"\x00"+strconv.Itoa(b.Procs)] = b
+	}
+	regressed := 0
+	for _, b := range cur.Benchmarks {
+		old, ok := baseline[b.Name+"\x00"+strconv.Itoa(b.Procs)]
+		if !ok {
+			continue
+		}
+		oldNs, newNs := old.Metrics["ns/op"], b.Metrics["ns/op"]
+		if oldNs <= 0 || newNs <= 0 {
+			continue
+		}
+		pct := (newNs/oldNs - 1) * 100
+		if pct > warnPct {
+			regressed++
+			fmt.Fprintf(w, "::warning::benchjson: %s ns/op regressed %.1f%% (%.0f -> %.0f)\n",
+				b.Name, pct, oldNs, newNs)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "::warning::benchjson: %d benchmark(s) regressed more than %.0f%% vs baseline (non-blocking)\n",
+			regressed, warnPct)
+	} else {
+		fmt.Fprintf(w, "benchjson: no ns/op regression beyond %.0f%% vs baseline\n", warnPct)
+	}
 }
 
 // parseLine parses one benchmark result line:

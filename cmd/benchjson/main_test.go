@@ -50,6 +50,91 @@ func TestRun(t *testing.T) {
 	}
 }
 
+// TestRunFoldsRepeatedSamples: `-count=N` transcripts collapse to one
+// entry per benchmark with the median in metrics and the extremes in
+// spread.
+func TestRunFoldsRepeatedSamples(t *testing.T) {
+	const repeated = `goos: linux
+BenchmarkKernelHamming-4   100	 300 ns/op	 8 B/op	 1 allocs/op
+BenchmarkKernelHamming-4   110	 100 ns/op	 8 B/op	 1 allocs/op
+BenchmarkKernelHamming-4   105	 200 ns/op	 8 B/op	 1 allocs/op
+PASS
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(repeated), &out); err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d, want 1 folded entry", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Samples != 3 || b.Iterations != 105 {
+		t.Fatalf("samples/iterations = %d/%d, want 3/105", b.Samples, b.Iterations)
+	}
+	if b.Metrics["ns/op"] != 200 {
+		t.Fatalf("median ns/op = %v, want 200", b.Metrics["ns/op"])
+	}
+	if sp := b.Spread["ns/op"]; sp.Min != 100 || sp.Max != 300 {
+		t.Fatalf("spread = %+v, want {100 300}", sp)
+	}
+	// Single samples keep the legacy shape: no samples or spread fields.
+	var raw struct {
+		Benchmarks []map[string]json.RawMessage `json:"benchmarks"`
+	}
+	out.Reset()
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(out.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range raw.Benchmarks {
+		if _, ok := b["samples"]; ok {
+			t.Fatal("single-sample entry carries a samples field")
+		}
+		if _, ok := b["spread"]; ok {
+			t.Fatal("single-sample entry carries a spread field")
+		}
+	}
+}
+
+// TestCompare: only regressions past the threshold warn, and the output
+// uses the ::warning:: annotation syntax so CI surfaces it non-blocking.
+func TestCompare(t *testing.T) {
+	base := &snapshot{Benchmarks: []result{
+		{Name: "BenchmarkKernelA", Procs: 1, Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkKernelB", Procs: 1, Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkKernelGone", Procs: 1, Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	cur := &snapshot{Benchmarks: []result{
+		{Name: "BenchmarkKernelA", Procs: 1, Metrics: map[string]float64{"ns/op": 140}},
+		{Name: "BenchmarkKernelB", Procs: 1, Metrics: map[string]float64{"ns/op": 120}},
+		{Name: "BenchmarkKernelNew", Procs: 1, Metrics: map[string]float64{"ns/op": 900}},
+	}}
+	var buf bytes.Buffer
+	compare(cur, base, 25, &buf)
+	got := buf.String()
+	if !strings.Contains(got, "::warning::benchjson: BenchmarkKernelA ns/op regressed 40.0%") {
+		t.Fatalf("missing KernelA warning in:\n%s", got)
+	}
+	if strings.Contains(got, "BenchmarkKernelB") || strings.Contains(got, "BenchmarkKernelNew") {
+		t.Fatalf("warned on a non-regression in:\n%s", got)
+	}
+	if !strings.Contains(got, "1 benchmark(s) regressed") {
+		t.Fatalf("missing summary in:\n%s", got)
+	}
+
+	buf.Reset()
+	compare(base, base, 25, &buf)
+	if strings.Contains(buf.String(), "::warning::") {
+		t.Fatalf("self-compare warned:\n%s", buf.String())
+	}
+}
+
 func TestRunRejectsEmpty(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(strings.NewReader("PASS\nok repro 1s\n"), &out); err == nil {

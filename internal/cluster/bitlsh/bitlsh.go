@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/bitmat"
 	"repro/internal/bitvec"
 	"repro/internal/ctxcheck"
 )
@@ -117,13 +118,13 @@ func FindGroups(rows []*bitvec.Vector, threshold int, cfg Config) (*Result, erro
 // FindGroupsContext is FindGroups with cooperative cancellation,
 // observed every few thousand row hashes / candidate verifications.
 func FindGroupsContext(ctx context.Context, rows []*bitvec.Vector, threshold int, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if threshold < 0 {
-		return nil, fmt.Errorf("bitlsh: negative threshold %d", threshold)
-	}
 	if len(rows) == 0 {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		if threshold < 0 {
+			return nil, fmt.Errorf("bitlsh: negative threshold %d", threshold)
+		}
 		return &Result{}, nil
 	}
 	width := rows[0].Len()
@@ -132,6 +133,35 @@ func FindGroupsContext(ctx context.Context, rows []*bitvec.Vector, threshold int
 			return nil, fmt.Errorf("bitlsh: row %d has length %d, want %d", i, r.Len(), width)
 		}
 	}
+	m, err := bitmat.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return FindGroupsMatContext(ctx, m, threshold, cfg)
+}
+
+// FindGroupsMat is FindGroups over a prebuilt bit-matrix arena, sharing
+// its storage with the caller: sketches read bits straight off the
+// arena rows and candidate verification runs the norm-bounded,
+// short-circuiting arena kernel. Groups and Stats are identical to
+// FindGroups on the same rows.
+func FindGroupsMat(m *bitmat.Matrix, threshold int, cfg Config) (*Result, error) {
+	return FindGroupsMatContext(context.Background(), m, threshold, cfg)
+}
+
+// FindGroupsMatContext is FindGroupsMat with cooperative cancellation.
+func FindGroupsMatContext(ctx context.Context, m *bitmat.Matrix, threshold int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("bitlsh: negative threshold %d", threshold)
+	}
+	n := m.Rows()
+	if n == 0 {
+		return &Result{}, nil
+	}
+	width := m.Cols()
 	cfg = cfg.withDefaults(width, threshold)
 	chk := ctxcheck.New(ctx, 2048)
 	if err := chk.Err(); err != nil {
@@ -145,7 +175,7 @@ func FindGroupsContext(ctx context.Context, rows []*bitvec.Vector, threshold int
 		positions[t] = samplePositions(rng, width, cfg.BitsPerHash)
 	}
 
-	parent := make([]int, len(rows))
+	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = i
 	}
@@ -162,12 +192,12 @@ func FindGroupsContext(ctx context.Context, rows []*bitvec.Vector, threshold int
 	// seen deduplicates candidate pairs across tables.
 	seen := make(map[[2]int32]struct{})
 	for _, pos := range positions {
-		buckets := make(map[uint64][]int32, len(rows))
-		for i, row := range rows {
+		buckets := make(map[uint64][]int32, n)
+		for i := 0; i < n; i++ {
 			if err := chk.Tick(); err != nil {
 				return nil, err
 			}
-			h := sketch(row, pos)
+			h := sketchMat(m, i, pos)
 			buckets[h] = append(buckets[h], int32(i))
 		}
 		for _, members := range buckets {
@@ -185,10 +215,9 @@ func FindGroupsContext(ctx context.Context, rows []*bitvec.Vector, threshold int
 					}
 					seen[key] = struct{}{}
 					stats.CandidatePairs++
-					a, b := int(members[ai]), int(members[bi])
-					if rows[a].HammingAtMost(rows[b], threshold) {
+					if m.HammingAtMost(int(members[ai]), int(members[bi]), threshold) {
 						stats.VerifiedPairs++
-						ra, rb := find(a), find(b)
+						ra, rb := find(int(members[ai])), find(int(members[bi]))
 						if ra != rb {
 							parent[rb] = ra
 						}
@@ -199,7 +228,7 @@ func FindGroupsContext(ctx context.Context, rows []*bitvec.Vector, threshold int
 	}
 
 	byRoot := make(map[int][]int)
-	for i := range rows {
+	for i := 0; i < n; i++ {
 		byRoot[find(i)] = append(byRoot[find(i)], i)
 	}
 	var groups [][]int
@@ -236,6 +265,25 @@ func sketch(v *bitvec.Vector, positions []int) uint64 {
 	for pi, p := range positions {
 		bit := uint64(0)
 		if v.Get(p) {
+			bit = 1
+		}
+		h ^= bit ^ (uint64(pi) << 1)
+		h *= prime64
+	}
+	return h
+}
+
+// sketchMat is sketch reading bits off arena row i — the same hash for
+// the same row contents, so vector- and arena-backed runs agree.
+func sketchMat(m *bitmat.Matrix, i int, positions []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for pi, p := range positions {
+		bit := uint64(0)
+		if m.Get(i, p) {
 			bit = 1
 		}
 		h ^= bit ^ (uint64(pi) << 1)

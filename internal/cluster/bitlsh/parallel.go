@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/bitmat"
 	"repro/internal/bitvec"
 	"repro/internal/ctxcheck"
 	"repro/internal/parallel"
@@ -32,13 +33,13 @@ func FindGroupsParallel(rows []*bitvec.Vector, threshold int, cfg Config, worker
 // FindGroupsParallelContext is FindGroupsParallel with cooperative
 // cancellation, observed in every phase.
 func FindGroupsParallelContext(ctx context.Context, rows []*bitvec.Vector, threshold int, cfg Config, workers int) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if threshold < 0 {
-		return nil, fmt.Errorf("bitlsh: negative threshold %d", threshold)
-	}
 	if len(rows) == 0 {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		if threshold < 0 {
+			return nil, fmt.Errorf("bitlsh: negative threshold %d", threshold)
+		}
 		return &Result{}, nil
 	}
 	width := rows[0].Len()
@@ -47,6 +48,33 @@ func FindGroupsParallelContext(ctx context.Context, rows []*bitvec.Vector, thres
 			return nil, fmt.Errorf("bitlsh: row %d has length %d, want %d", i, r.Len(), width)
 		}
 	}
+	m, err := bitmat.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return FindGroupsMatParallelContext(ctx, m, threshold, cfg, workers)
+}
+
+// FindGroupsMatParallel is FindGroupsParallel over a prebuilt arena,
+// sharing its storage with the caller.
+func FindGroupsMatParallel(m *bitmat.Matrix, threshold int, cfg Config, workers int) (*Result, error) {
+	return FindGroupsMatParallelContext(context.Background(), m, threshold, cfg, workers)
+}
+
+// FindGroupsMatParallelContext is FindGroupsMatParallel with
+// cooperative cancellation, observed in every phase.
+func FindGroupsMatParallelContext(ctx context.Context, m *bitmat.Matrix, threshold int, cfg Config, workers int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("bitlsh: negative threshold %d", threshold)
+	}
+	n := m.Rows()
+	if n == 0 {
+		return &Result{}, nil
+	}
+	width := m.Cols()
 	cfg = cfg.withDefaults(width, threshold)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -60,7 +88,6 @@ func FindGroupsParallelContext(ctx context.Context, rows []*bitvec.Vector, thres
 
 	// Phase 1 (parallel): sketch every row under every table's sampled
 	// positions. sketches[t][i] is written by exactly one worker.
-	n := len(rows)
 	sketches := make([][]uint64, cfg.Tables)
 	for t := range sketches {
 		sketches[t] = make([]uint64, n)
@@ -72,7 +99,7 @@ func FindGroupsParallelContext(ctx context.Context, rows []*bitvec.Vector, thres
 				if err := chk.Tick(); err != nil {
 					return err
 				}
-				sketches[t][i] = sketch(rows[i], pos)
+				sketches[t][i] = sketchMat(m, i, pos)
 			}
 		}
 		return nil
@@ -124,7 +151,7 @@ func FindGroupsParallelContext(ctx context.Context, rows []*bitvec.Vector, thres
 				return err
 			}
 			p := cands[i]
-			verdicts[i] = rows[p[0]].HammingAtMost(rows[p[1]], threshold)
+			verdicts[i] = m.HammingAtMost(int(p[0]), int(p[1]), threshold)
 		}
 		return nil
 	})
@@ -157,7 +184,7 @@ func FindGroupsParallelContext(ctx context.Context, rows []*bitvec.Vector, thres
 	}
 
 	byRoot := make(map[int][]int)
-	for i := range rows {
+	for i := 0; i < n; i++ {
 		byRoot[find(i)] = append(byRoot[find(i)], i)
 	}
 	var groups [][]int

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/bitmat"
 	"repro/internal/bitvec"
 	"repro/internal/ctxcheck"
 	"repro/internal/metric"
@@ -103,6 +104,16 @@ func RunContext(ctx context.Context, points []*bitvec.Vector, cfg Config) (*Resu
 	kind := cfg.Metric
 	if kind == 0 {
 		kind = metric.Hamming
+	}
+	if kind == metric.Hamming {
+		// Hamming rows go through the bit-matrix arena: contiguous
+		// cache-line-padded storage plus the norm-pruning pre-pass.
+		// Labels are bit-identical to the generic scan.
+		m, err := bitmat.FromRows(points)
+		if err != nil {
+			return nil, err
+		}
+		return RunMatContext(ctx, m, cfg)
 	}
 	dist := kind.Bits()
 	return cluster(ctx, len(points), cfg, func(p, q int) float64 {

@@ -1,0 +1,167 @@
+package dbscan
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/bitmat"
+	"repro/internal/ctxcheck"
+	"repro/internal/parallel"
+)
+
+// matBlock is the number of candidate rows a region-query scans
+// between context polls on the arena path. Distances here are pruned
+// norm checks plus occasional popcounts, so a block is a few
+// microseconds of work; combined with the checker stride the
+// cancellation latency stays well under a millisecond.
+const matBlock = 4096
+
+// kmaxFor converts the float Eps contract into the integer distance
+// bound the bit-matrix kernels use. Hamming distances over width-cols
+// rows are integers in [0, cols], so d <= eps is exactly d <= floor(eps)
+// for any non-negative eps — the +1e-9 the callers add for
+// scikit-learn float parity vanishes here by construction.
+func kmaxFor(eps float64, cols int) int {
+	if eps >= float64(cols) {
+		return cols
+	}
+	return int(math.Floor(eps))
+}
+
+// RunMat clusters the rows of a prebuilt bit-matrix arena with the
+// Hamming metric. It is Run's fast path: region queries run against
+// contiguous cache-line-padded rows and are preceded by the
+// triangle-inequality norm prune ||R_p|-|R_q|| > eps => skip, so most
+// candidate pairs never reach an XOR+popcount.
+func RunMat(m *bitmat.Matrix, cfg Config) (*Result, error) {
+	return RunMatContext(context.Background(), m, cfg)
+}
+
+// RunMatContext is RunMat with cooperative cancellation. Labels are
+// bit-identical to RunContext on the same rows: the integer distance
+// bound preserves the d <= Eps predicate exactly, and the visit order
+// is unchanged.
+func RunMatContext(ctx context.Context, m *bitmat.Matrix, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.Rows()
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	chk := ctxcheck.New(ctx, 16)
+	if err := chk.Err(); err != nil {
+		return nil, err
+	}
+	kmax := kmaxFor(cfg.Eps, m.Cols())
+
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+
+	// regionQuery appends every point within kmax of p (including p)
+	// onto dst, scanning the arena one block per tick.
+	regionQuery := func(p int, dst []int32) ([]int32, error) {
+		for lo := 0; lo < n; lo += matBlock {
+			hi := min(lo+matBlock, n)
+			if err := chk.Tick(); err != nil {
+				return nil, err
+			}
+			dst = m.NeighborsAppend(dst, p, lo, hi, kmax)
+		}
+		return dst, nil
+	}
+
+	// Same visit order as cluster(): outer scan in index order,
+	// breadth-first expansion, border points adopting the first cluster
+	// that reaches them. The neighbour list is one reused buffer; a
+	// non-core point's freshly queried neighbours are truncated away
+	// again, which leaves exactly the appends cluster() performs.
+	cluster := 0
+	var neighbours []int32
+	var err error
+	for p := 0; p < n; p++ {
+		if visited[p] {
+			continue
+		}
+		visited[p] = true
+		neighbours, err = regionQuery(p, neighbours[:0])
+		if err != nil {
+			return nil, err
+		}
+		if len(neighbours) < cfg.MinPts {
+			continue // stays noise unless a later cluster reaches it
+		}
+		labels[p] = cluster
+		for qi := 0; qi < len(neighbours); qi++ {
+			q := int(neighbours[qi])
+			if labels[q] == Noise {
+				labels[q] = cluster // border or reclaimed-noise point
+			}
+			if visited[q] {
+				continue
+			}
+			visited[q] = true
+			start := len(neighbours)
+			neighbours, err = regionQuery(q, neighbours)
+			if err != nil {
+				return nil, err
+			}
+			if len(neighbours)-start < cfg.MinPts {
+				neighbours = neighbours[:start] // q is not core: expand nothing
+			}
+		}
+		cluster++
+	}
+
+	return &Result{Labels: labels, NumClusters: cluster}, nil
+}
+
+// RunMatParallel is RunParallel over a prebuilt arena: the
+// neighbourhood precompute fans out over workers and runs through the
+// tiled, norm-pruned block kernels.
+func RunMatParallel(m *bitmat.Matrix, cfg Config, workers int) (*Result, error) {
+	return RunMatParallelContext(context.Background(), m, cfg, workers)
+}
+
+// RunMatParallelContext is RunMatParallel with cooperative
+// cancellation. Labels are identical to the serial arena run (and so to
+// the legacy vector paths).
+func RunMatParallelContext(ctx context.Context, m *bitmat.Matrix, cfg Config, workers int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.Rows()
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	kmax := kmaxFor(cfg.Eps, m.Cols())
+	neigh := make([][]int32, n)
+	queries := make([]int32, n)
+	for i := range queries {
+		queries[i] = int32(i)
+	}
+	chunks := parallel.SplitRange(n, parallel.Workers(workers, n))
+	err := parallel.ForEachChunk(ctx, chunks, 16, func(_ int, c parallel.Chunk, chk *ctxcheck.Checker) error {
+		// Query blocks of 8 rows against row blocks of matBlock: one
+		// tick per tile bounds cancellation latency while NeighborsInto
+		// keeps the inner tiling cache-resident.
+		for p0 := c.Lo; p0 < c.Hi; p0 += 8 {
+			p1 := min(p0+8, c.Hi)
+			for rlo := 0; rlo < n; rlo += matBlock {
+				rhi := min(rlo+matBlock, n)
+				if err := chk.Tick(); err != nil {
+					return err
+				}
+				m.NeighborsInto(neigh[p0:p1], queries[p0:p1], rlo, rhi, kmax)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return propagate(n, cfg, neigh), nil
+}

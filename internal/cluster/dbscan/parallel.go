@@ -4,17 +4,12 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bitmat"
 	"repro/internal/bitvec"
 	"repro/internal/ctxcheck"
 	"repro/internal/metric"
 	"repro/internal/parallel"
 )
-
-// batchBlock is the number of rows a HammingBatch call evaluates
-// between context polls: large enough to amortise the call, small
-// enough to keep cancellation latency close to the serial path's
-// one-poll-per-4096-distances granularity.
-const batchBlock = 4096
 
 // RunParallel is Run with the region queries fanned out over worker
 // goroutines. Labels are identical to the serial version.
@@ -47,31 +42,19 @@ func RunParallelContext(ctx context.Context, points []*bitvec.Vector, cfg Config
 	if kind == 0 {
 		kind = metric.Hamming
 	}
+	if kind == metric.Hamming {
+		// Hamming rows go through the arena kernels: tiled block scans
+		// with the norm-pruning pre-pass. Labels are identical.
+		m, err := bitmat.FromRows(points)
+		if err != nil {
+			return nil, err
+		}
+		return RunMatParallelContext(ctx, m, cfg, workers)
+	}
 	n := len(points)
 	chunks := parallel.SplitRange(n, parallel.Workers(workers, n))
 	neigh := make([][]int, n)
 	err := parallel.ForEachChunk(ctx, chunks, 4096, func(_ int, c parallel.Chunk, chk *ctxcheck.Checker) error {
-		if kind == metric.Hamming {
-			// Per-worker distance scratch, reused across every block.
-			dst := make([]int, batchBlock)
-			for p := c.Lo; p < c.Hi; p++ {
-				out := []int(nil)
-				for lo := 0; lo < n; lo += batchBlock {
-					hi := min(lo+batchBlock, n)
-					if err := chk.Tick(); err != nil {
-						return err
-					}
-					bitvec.HammingBatch(dst, points[lo:hi], points[p])
-					for i := 0; i < hi-lo; i++ {
-						if float64(dst[i]) <= cfg.Eps {
-							out = append(out, lo+i)
-						}
-					}
-				}
-				neigh[p] = out
-			}
-			return nil
-		}
 		dist := kind.Bits()
 		for p := c.Lo; p < c.Hi; p++ {
 			out := []int(nil)
@@ -149,6 +132,13 @@ func RunFloatsParallelContext(ctx context.Context, points [][]float64, cfg Confi
 // same border-point adoption — so the labels match the serial run
 // point for point.
 func clusterPrecomputed(n int, cfg Config, neigh [][]int) *Result {
+	return propagate(n, cfg, neigh)
+}
+
+// propagate is clusterPrecomputed generalised over the neighbour id
+// type, so the arena path's []int32 neighbourhoods feed the identical
+// propagation code the legacy []int path uses.
+func propagate[T ~int | ~int32](n int, cfg Config, neigh [][]T) *Result {
 	labels := make([]int, n)
 	for i := range labels {
 		labels[i] = Noise
@@ -167,7 +157,7 @@ func clusterPrecomputed(n int, cfg Config, neigh [][]int) *Result {
 		}
 		labels[p] = cluster
 		for qi := 0; qi < len(neighbours); qi++ {
-			q := neighbours[qi]
+			q := int(neighbours[qi])
 			if labels[q] == Noise {
 				labels[q] = cluster // border or reclaimed-noise point
 			}

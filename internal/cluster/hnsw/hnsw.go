@@ -12,6 +12,14 @@
 // Matching the paper, the default distance is Manhattan (identical to
 // Hamming on the binary assignment rows). Level assignment uses a seeded
 // deterministic generator so benchmark runs are reproducible.
+//
+// Row storage lives in a bitmat arena whenever the metric reduces to
+// Hamming on bit rows (Manhattan does): nodes are plain adjacency
+// records, and every distance is an XOR+popcount sweep over contiguous
+// cache-line-padded rows. Beam searches run on pooled scratch — an
+// epoch-stamped visited array instead of a per-call map, heaps and
+// buffers that keep their capacity — so neither construction nor
+// concurrent searches allocate per call.
 package hnsw
 
 import (
@@ -21,7 +29,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/bitmat"
 	"repro/internal/bitvec"
 	"repro/internal/ctxcheck"
 	"repro/internal/metric"
@@ -81,26 +92,52 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// node is one element of the index with its per-layer adjacency lists.
+// fastMetric reports whether the metric's value on bit rows equals the
+// integer Hamming distance, so it can be evaluated off the bit-matrix
+// arena. Manhattan over {0,1} coordinates is exactly Hamming.
+func fastMetric(k metric.Kind) bool {
+	return k == metric.Hamming || k == metric.Manhattan
+}
+
+// SupportsMat reports whether BuildFromMat supports the metric kind;
+// the zero value counts, since it defaults to Manhattan.
+func SupportsMat(k metric.Kind) bool {
+	return k == 0 || fastMetric(k)
+}
+
+// node is one element of the index: its per-layer adjacency lists.
+// neighbours[l] lists the edges from this node at layer l; each edge
+// carries the neighbour id and the (symmetric) distance to it, so the
+// overflow re-selection in link never recomputes a distance the graph
+// already knows — on organisation-scale builds those recomputations
+// were a quarter of all kernel time. Nodes are stored by value in one
+// slice; row storage lives in the shared arena (or the vecs slice for
+// exotic metrics), so inserting a node allocates no per-node box and
+// distance evaluations chase no vector pointers.
 type node struct {
-	vec *bitvec.Vector
-	// neighbours[l] lists the ids linked to this node at layer l.
-	neighbours [][]int
+	neighbours [][]candidate
 }
 
 // Index is a hierarchical navigable small world graph over bit vectors.
 // It is not safe for concurrent mutation; concurrent Search calls after
-// construction are safe.
+// construction are safe (each borrows its own scratch from a pool and
+// the distance counter is atomic).
 type Index struct {
-	cfg       Config
-	dist      metric.BitFunc
-	nodes     []*node
-	entry     int // id of the entry point, -1 when empty
-	maxLayer  int
-	levelMul  float64
-	rng       *rand.Rand
-	dim       int
-	distCalls int // cumulative distance evaluations, for the bench harness
+	cfg      Config
+	dist     metric.BitFunc   // non-arena metrics only
+	fast     bool             // distances evaluate off the arena
+	mat      *bitmat.Matrix   // row storage when fast
+	vecs     []*bitvec.Vector // row storage when !fast
+	nodes    []node
+	entry    int // id of the entry point, -1 when empty
+	maxLayer int
+	levelMul float64
+	rng      *rand.Rand
+	dim      int
+	// distCalls counts cumulative distance evaluations, for the bench
+	// harness; atomic so concurrent searches stay race-free.
+	distCalls atomic.Int64
+	scratch   sync.Pool // of *searchScratch
 }
 
 // New creates an empty index. Vector dimensionality is fixed by the
@@ -110,14 +147,20 @@ func New(cfg Config) (*Index, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	return &Index{
+	x := &Index{
 		cfg:      cfg,
-		dist:     cfg.Metric.Bits(),
+		fast:     fastMetric(cfg.Metric),
 		entry:    -1,
 		maxLayer: -1,
 		levelMul: 1.0 / math.Log(float64(cfg.M)),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	if x.fast {
+		x.mat = &bitmat.Matrix{}
+	} else {
+		x.dist = cfg.Metric.Bits()
+	}
+	return x, nil
 }
 
 // Build constructs an index over all rows in one call.
@@ -147,13 +190,46 @@ func BuildContext(ctx context.Context, rows []*bitvec.Vector, cfg Config) (*Inde
 	return idx, nil
 }
 
+// BuildFromMat constructs the index directly over the rows of a
+// prebuilt bit-matrix arena, sharing its storage instead of re-packing
+// per-row vectors. It produces exactly the index Build produces on the
+// same rows (same seeded levels, same links). Only the arena metrics
+// (Hamming, and Manhattan, which coincides with it on bit rows) are
+// supported; other metrics return an error. The index retains m, and a
+// later Add appends the new row to m.
+func BuildFromMat(m *bitmat.Matrix, cfg Config) (*Index, error) {
+	return BuildFromMatContext(context.Background(), m, cfg)
+}
+
+// BuildFromMatContext is BuildFromMat with cooperative cancellation,
+// polled between insertions like BuildContext.
+func BuildFromMatContext(ctx context.Context, m *bitmat.Matrix, cfg Config) (*Index, error) {
+	idx, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !idx.fast {
+		return nil, fmt.Errorf("hnsw: BuildFromMat requires the Hamming or Manhattan metric")
+	}
+	idx.mat = m
+	idx.dim = m.Cols()
+	chk := ctxcheck.New(ctx, 1)
+	for i := 0; i < m.Rows(); i++ {
+		if err := chk.Err(); err != nil {
+			return nil, err
+		}
+		idx.insert()
+	}
+	return idx, nil
+}
+
 // Len returns the number of indexed vectors.
 func (x *Index) Len() int { return len(x.nodes) }
 
 // DistCalls returns the cumulative number of distance evaluations made
 // during construction and searches. The benchmark harness reports it to
 // contrast HNSW's sublinear query cost with DBSCAN's full scans.
-func (x *Index) DistCalls() int { return x.distCalls }
+func (x *Index) DistCalls() int { return int(x.distCalls.Load()) }
 
 // ErrDimensionMismatch is returned when an added or queried vector does
 // not match the index dimensionality.
@@ -176,39 +252,137 @@ func (x *Index) maxNeighbours(layer int) int {
 	return x.cfg.M
 }
 
-// d computes the configured distance and counts the evaluation.
-func (x *Index) d(a, b *bitvec.Vector) float64 {
-	x.distCalls++
-	return x.dist(a, b)
+// query addresses one search query's row storage: an arena row id when
+// the query is itself an indexed row, the raw query words for an
+// external fast-metric vector, or the vector for exotic metrics. On the
+// fast path norm carries the query's popcount, which lower-bounds its
+// Hamming distance to any row by |‖q‖−‖r‖| and lets beam searches skip
+// provably-discarded candidates without touching their words.
+type query struct {
+	row   int // arena row id; -1 for external queries
+	norm  int // query popcount; valid on the fast path only
+	words []uint64
+	vec   *bitvec.Vector
 }
 
-// Add inserts a vector into the index. The vector is retained by
-// reference and must not be mutated afterwards.
+func (x *Index) queryOf(v *bitvec.Vector) query {
+	if x.fast {
+		return query{row: -1, norm: v.Count(), words: v.Words()}
+	}
+	return query{row: -1, vec: v}
+}
+
+// queryOfRow addresses indexed row id as a query, so distances evaluate
+// row-to-row off the arena on the fast path.
+func (x *Index) queryOfRow(id int) query {
+	if x.fast {
+		return query{row: id, norm: x.mat.Norm(id)}
+	}
+	return query{row: -1, vec: x.vecs[id]}
+}
+
+// qd evaluates the distance from a query to node j and counts it.
+func (x *Index) qd(q query, j int) float64 {
+	x.distCalls.Add(1)
+	if x.fast {
+		if q.row >= 0 {
+			return float64(x.mat.Hamming(q.row, j))
+		}
+		return float64(x.mat.HammingWords(q.words, j))
+	}
+	return x.dist(q.vec, x.vecs[j])
+}
+
+// nd evaluates the distance between two indexed rows and counts it.
+func (x *Index) nd(i, j int) float64 {
+	x.distCalls.Add(1)
+	if x.fast {
+		return float64(x.mat.Hamming(i, j))
+	}
+	return x.dist(x.vecs[i], x.vecs[j])
+}
+
+// searchScratch is the reusable state of beam searches: an epoch-stamped
+// visited array replaces the per-call map, and the heaps and copy
+// buffers keep their capacity across calls. Construction threads one
+// scratch through every insertion; searches borrow one from the pool, so
+// concurrent Search calls stay independent and allocation-free.
+type searchScratch struct {
+	visited  []uint32
+	epoch    uint32
+	frontier minHeap
+	best     maxHeap
+	result   []candidate
+	eps      []int
+	adj      []candidate
+	sorted   []candidate
+	selected []candidate
+	linkSel  []candidate
+}
+
+func (x *Index) getScratch() *searchScratch {
+	if s, ok := x.scratch.Get().(*searchScratch); ok {
+		return s
+	}
+	return &searchScratch{}
+}
+
+func (x *Index) putScratch(s *searchScratch) { x.scratch.Put(s) }
+
+// visit re-arms the visited array for a fresh search over n nodes and
+// returns the epoch stamp marking this search's members.
+func (s *searchScratch) visit(n int) uint32 {
+	if len(s.visited) < n {
+		s.visited = make([]uint32, n+n/2+8)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: flush stale stamps once per 2^32 searches
+		clear(s.visited)
+		s.epoch = 1
+	}
+	return s.epoch
+}
+
+// Add inserts a vector into the index. On the arena path the row is
+// copied into the matrix; otherwise the vector is retained by reference
+// and must not be mutated afterwards.
 func (x *Index) Add(v *bitvec.Vector) error {
 	if len(x.nodes) == 0 {
 		x.dim = v.Len()
 	} else if v.Len() != x.dim {
 		return fmt.Errorf("%w: got %d, index has %d", ErrDimensionMismatch, v.Len(), x.dim)
 	}
-
-	level := x.randomLevel()
-	n := &node{
-		vec:        v,
-		neighbours: make([][]int, level+1),
+	if x.fast {
+		x.mat.AppendVector(v)
+	} else {
+		x.vecs = append(x.vecs, v)
 	}
+	x.insert()
+	return nil
+}
+
+// insert wires node id = len(x.nodes) into the graph. Its row storage
+// (arena row id, or vecs entry) must already be in place.
+func (x *Index) insert() {
+	level := x.randomLevel()
 	id := len(x.nodes)
-	x.nodes = append(x.nodes, n)
+	x.nodes = append(x.nodes, node{neighbours: make([][]candidate, level+1)})
 
 	if x.entry == -1 {
 		x.entry = id
 		x.maxLayer = level
-		return nil
+		return
 	}
+
+	s := x.getScratch()
+	defer x.putScratch(s)
+	q := x.queryOfRow(id)
 
 	ep := x.entry
 	// Greedy descent through layers above the insertion level.
 	for l := x.maxLayer; l > level; l-- {
-		ep = x.greedyClosest(v, ep, l)
+		ep = x.greedyClosest(q, ep, l)
 	}
 
 	// Beam search and linking from min(level, maxLayer) down to 0.
@@ -216,13 +390,19 @@ func (x *Index) Add(v *bitvec.Vector) error {
 	if startLayer > x.maxLayer {
 		startLayer = x.maxLayer
 	}
-	eps := []int{ep}
+	eps := append(s.eps[:0], ep)
 	for l := startLayer; l >= 0; l-- {
-		found := x.searchLayer(v, eps, x.cfg.EfConstruction, l)
-		selected := x.selectNeighbours(v, found, x.cfg.M)
-		n.neighbours[l] = append(n.neighbours[l], selected...)
-		for _, nb := range selected {
-			x.link(nb, id, l)
+		found := x.searchLayer(q, eps, x.cfg.EfConstruction, l, s)
+		s.selected = x.selectNeighboursInto(s.selected[:0], found, x.cfg.M, s)
+		// The adjacency list is retained, so it gets its own exact-size
+		// backing; the scratch buffer is free for the link calls below.
+		nbs := make([]candidate, len(s.selected))
+		copy(nbs, s.selected)
+		x.nodes[id].neighbours[l] = nbs
+		for _, nb := range nbs {
+			// The edge distance travels with the back-link: Hamming is
+			// symmetric, so d(nb, id) is the already-measured nb.dist.
+			x.link(nb.id, id, l, nb.dist, s)
 		}
 		// Seed the next layer's search with this layer's results.
 		eps = eps[:0]
@@ -230,42 +410,52 @@ func (x *Index) Add(v *bitvec.Vector) error {
 			eps = append(eps, c.id)
 		}
 		if len(eps) == 0 {
-			eps = []int{ep}
+			eps = append(eps, ep)
 		}
 	}
+	s.eps = eps
 
 	if level > x.maxLayer {
 		x.maxLayer = level
 		x.entry = id
 	}
-	return nil
 }
 
-// link adds dst to src's adjacency at the given layer, shrinking the
-// list with the neighbour-selection policy when it overflows.
-func (x *Index) link(src, dst, layer int) {
-	n := x.nodes[src]
-	n.neighbours[layer] = append(n.neighbours[layer], dst)
+// link adds dst (at the given distance from src) to src's adjacency at
+// the given layer, shrinking the list in place with the
+// neighbour-selection policy when it overflows. The stored edge
+// distances make the overflow re-selection free of distance
+// evaluations.
+func (x *Index) link(src, dst, layer int, dist float64, s *searchScratch) {
+	n := &x.nodes[src]
+	n.neighbours[layer] = append(n.neighbours[layer], candidate{id: dst, dist: dist})
 	limit := x.maxNeighbours(layer)
 	if len(n.neighbours[layer]) <= limit {
 		return
 	}
-	cands := make([]candidate, 0, len(n.neighbours[layer]))
-	for _, nb := range n.neighbours[layer] {
-		cands = append(cands, candidate{id: nb, dist: x.d(n.vec, x.nodes[nb].vec)})
-	}
-	n.neighbours[layer] = x.selectNeighbours(n.vec, cands, limit)
+	s.linkSel = x.selectNeighboursInto(s.linkSel[:0], n.neighbours[layer], limit, s)
+	// The overflowed list has capacity limit+1 >= the selection, so the
+	// shrink reuses its backing.
+	n.neighbours[layer] = append(n.neighbours[layer][:0], s.linkSel...)
 }
 
 // greedyClosest walks layer l from ep, moving to any strictly closer
 // neighbour until a local minimum is reached (beam width 1).
-func (x *Index) greedyClosest(q *bitvec.Vector, ep, layer int) int {
+func (x *Index) greedyClosest(q query, ep, layer int) int {
 	cur := ep
-	curDist := x.d(q, x.nodes[cur].vec)
+	curDist := x.qd(q, cur)
 	for {
 		improved := false
-		for _, nb := range x.nodes[cur].neighbours[layer] {
-			if dd := x.d(q, x.nodes[nb].vec); dd < curDist {
+		for _, e := range x.nodes[cur].neighbours[layer] {
+			nb := e.id
+			// Same norm-gap lower bound as searchLayer: a neighbour that
+			// provably cannot improve curDist is skipped unmeasured.
+			if x.fast {
+				if lb := q.norm - x.mat.Norm(nb); float64(lb) >= curDist || float64(-lb) >= curDist {
+					continue
+				}
+			}
+			if dd := x.qd(q, nb); dd < curDist {
 				cur, curDist = nb, dd
 				improved = true
 			}
@@ -279,105 +469,115 @@ func (x *Index) greedyClosest(q *bitvec.Vector, ep, layer int) int {
 // searchLayer is the best-first beam search (algorithm 2 in the HNSW
 // paper): expand the closest unexpanded candidate while it can still
 // improve the worst of the current ef best results. Returns the best
-// candidates sorted ascending by distance.
-func (x *Index) searchLayer(q *bitvec.Vector, eps []int, ef, layer int) []candidate {
-	visited := make(map[int]struct{}, ef*4)
-	var frontier minHeap
-	var best maxHeap
+// candidates sorted ascending by distance; the slice is owned by the
+// scratch and valid until its next searchLayer call.
+func (x *Index) searchLayer(q query, eps []int, ef, layer int, s *searchScratch) []candidate {
+	epoch := s.visit(len(x.nodes))
+	s.frontier = s.frontier[:0]
+	s.best = s.best[:0]
 
 	for _, ep := range eps {
-		if _, ok := visited[ep]; ok {
+		if s.visited[ep] == epoch {
 			continue
 		}
-		visited[ep] = struct{}{}
-		c := candidate{id: ep, dist: x.d(q, x.nodes[ep].vec)}
-		frontier.push(c)
-		best.push(c)
+		s.visited[ep] = epoch
+		c := candidate{id: ep, dist: x.qd(q, ep)}
+		s.frontier.push(c)
+		s.best.push(c)
 	}
 
-	for frontier.len() > 0 {
-		cur := frontier.pop()
-		if best.len() >= ef && cur.dist > best.top().dist {
+	for s.frontier.len() > 0 {
+		cur := s.frontier.pop()
+		if s.best.len() >= ef && cur.dist > s.best.top().dist {
 			break
 		}
-		for _, nb := range x.nodes[cur.id].neighbours[layer] {
-			if _, ok := visited[nb]; ok {
+		for _, e := range x.nodes[cur.id].neighbours[layer] {
+			nb := e.id
+			if s.visited[nb] == epoch {
 				continue
 			}
-			visited[nb] = struct{}{}
-			dd := x.d(q, x.nodes[nb].vec)
-			if best.len() < ef || dd < best.top().dist {
+			s.visited[nb] = epoch
+			// A full beam only admits dd < worst, and the norm gap
+			// lower-bounds the Hamming distance, so a candidate whose gap
+			// already reaches the worst accepted distance is discarded
+			// without its popcount. Results are bit-identical with and
+			// without the skip.
+			if x.fast && s.best.len() >= ef {
+				if lb := q.norm - x.mat.Norm(nb); float64(lb) >= s.best.top().dist || float64(-lb) >= s.best.top().dist {
+					continue
+				}
+			}
+			dd := x.qd(q, nb)
+			if s.best.len() < ef || dd < s.best.top().dist {
 				c := candidate{id: nb, dist: dd}
-				frontier.push(c)
-				best.push(c)
-				if best.len() > ef {
-					best.pop()
+				s.frontier.push(c)
+				s.best.push(c)
+				if s.best.len() > ef {
+					s.best.pop()
 				}
 			}
 		}
 	}
 
-	out := make([]candidate, best.len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = best.pop()
+	if cap(s.result) < s.best.len() {
+		s.result = make([]candidate, s.best.len())
 	}
-	return out
+	s.result = s.result[:s.best.len()]
+	for i := len(s.result) - 1; i >= 0; i-- {
+		s.result[i] = s.best.pop()
+	}
+	return s.result
 }
 
-// selectNeighbours reduces a candidate set to at most m ids, either by
-// simple closest-first selection or by the diversity heuristic.
-func (x *Index) selectNeighbours(q *bitvec.Vector, cands []candidate, m int) []int {
-	sorted := make([]candidate, len(cands))
-	copy(sorted, cands)
+// selectNeighboursInto reduces a candidate set to at most m edges
+// appended onto dst (which must be empty), either by simple
+// closest-first selection or by the diversity heuristic. Each kept
+// candidate retains its distance, so callers can store it on the edge.
+// The ordered copy lives in the scratch sorted buffer, so the call
+// allocates only when a buffer grows past its high-water capacity.
+func (x *Index) selectNeighboursInto(dst []candidate, cands []candidate, m int, s *searchScratch) []candidate {
+	sorted := append(s.sorted[:0], cands...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].dist < sorted[j].dist })
+	s.sorted = sorted
 
 	if !x.cfg.Heuristic {
 		if len(sorted) > m {
 			sorted = sorted[:m]
 		}
-		out := make([]int, len(sorted))
-		for i, c := range sorted {
-			out[i] = c.id
-		}
-		return out
+		return append(dst, sorted...)
 	}
 
 	// Heuristic (algorithm 4): keep a candidate only if it is closer to
 	// q than to any already-selected neighbour; this spreads links
 	// across clusters instead of saturating one.
-	out := make([]int, 0, m)
 	for _, c := range sorted {
-		if len(out) >= m {
+		if len(dst) >= m {
 			break
 		}
 		keep := true
-		for _, s := range out {
-			if x.d(x.nodes[c.id].vec, x.nodes[s].vec) < c.dist {
+		for _, sel := range dst {
+			if x.nd(c.id, sel.id) < c.dist {
 				keep = false
 				break
 			}
 		}
 		if keep {
-			out = append(out, c.id)
+			dst = append(dst, c)
 		}
 	}
 	// Backfill with the closest rejected candidates if the heuristic was
 	// too aggressive to reach m (keepPrunedConnections variant).
-	if len(out) < m {
-		chosen := make(map[int]struct{}, len(out))
-		for _, s := range out {
-			chosen[s] = struct{}{}
-		}
+	if len(dst) < m {
 		for _, c := range sorted {
-			if len(out) >= m {
+			if len(dst) >= m {
 				break
 			}
-			if _, ok := chosen[c.id]; !ok {
-				out = append(out, c.id)
+			if !containsEdge(dst, c.id) {
+				dst = append(dst, c)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Neighbour is one search hit.
@@ -405,14 +605,36 @@ func (x *Index) SearchEf(q *bitvec.Vector, k, ef int) ([]Neighbour, error) {
 	if k <= 0 {
 		return nil, nil
 	}
+	return x.searchEf(x.queryOf(q), k, ef), nil
+}
+
+// SearchEfRow is SearchEf for a query that is itself an indexed row,
+// addressed by insertion id: on the arena path distances evaluate
+// row-to-row with no query materialisation. The row itself appears in
+// its own results (at distance 0) exactly as it does when passed to
+// SearchEf as a vector.
+func (x *Index) SearchEfRow(row, k, ef int) ([]Neighbour, error) {
+	if row < 0 || row >= len(x.nodes) {
+		return nil, fmt.Errorf("hnsw: row %d out of range [0,%d)", row, len(x.nodes))
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	return x.searchEf(x.queryOfRow(row), k, ef), nil
+}
+
+func (x *Index) searchEf(q query, k, ef int) []Neighbour {
 	if ef < k {
 		ef = k
 	}
+	s := x.getScratch()
+	defer x.putScratch(s)
 	ep := x.entry
 	for l := x.maxLayer; l >= 1; l-- {
 		ep = x.greedyClosest(q, ep, l)
 	}
-	found := x.searchLayer(q, []int{ep}, ef, 0)
+	s.eps = append(s.eps[:0], ep)
+	found := x.searchLayer(q, s.eps, ef, 0, s)
 	if len(found) > k {
 		found = found[:k]
 	}
@@ -420,7 +642,7 @@ func (x *Index) SearchEf(q *bitvec.Vector, k, ef int) ([]Neighbour, error) {
 	for i, c := range found {
 		out[i] = Neighbour{ID: c.id, Dist: c.dist}
 	}
-	return out, nil
+	return out
 }
 
 // SearchRadius returns all indexed vectors the search can find within
@@ -431,11 +653,26 @@ func (x *Index) SearchRadius(q *bitvec.Vector, radius float64, ef int) ([]Neighb
 	if err != nil {
 		return nil, err
 	}
+	return radiusFilter(hits, radius), nil
+}
+
+// SearchRadiusRow is SearchRadius for an indexed row id; the §III-D
+// grouping loop queries every row this way, saving one query pack per
+// row and keeping distances on the pairwise arena kernel.
+func (x *Index) SearchRadiusRow(row int, radius float64, ef int) ([]Neighbour, error) {
+	hits, err := x.SearchEfRow(row, ef, ef)
+	if err != nil {
+		return nil, err
+	}
+	return radiusFilter(hits, radius), nil
+}
+
+func radiusFilter(hits []Neighbour, radius float64) []Neighbour {
 	out := hits[:0]
 	for _, h := range hits {
 		if h.Dist <= radius {
 			out = append(out, h)
 		}
 	}
-	return out, nil
+	return out
 }

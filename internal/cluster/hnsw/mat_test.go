@@ -1,0 +1,190 @@
+package hnsw
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/metric"
+)
+
+// TestBuildFromMatMatchesBuild: building from a prepacked arena must
+// reproduce the vector build exactly — the same seeded level sequence
+// drives the same searches over the same distances.
+func TestBuildFromMatMatchesBuild(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	rows := randMatrix(r, 250, 130, 0.25)
+	for _, cfg := range []Config{
+		{M: 8, EfConstruction: 60, Seed: 7},
+		{M: 6, EfConstruction: 40, Seed: 7, Heuristic: true},
+		{M: 8, EfConstruction: 60, Seed: 7, Metric: metric.Hamming},
+	} {
+		fromVecs, err := Build(rows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := bitmat.FromRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromMat, err := BuildFromMat(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fromVecs.entry != fromMat.entry || fromVecs.maxLayer != fromMat.maxLayer {
+			t.Fatalf("entry/maxLayer diverge: vecs (%d,%d) mat (%d,%d)",
+				fromVecs.entry, fromVecs.maxLayer, fromMat.entry, fromMat.maxLayer)
+		}
+		for i := range fromVecs.nodes {
+			vn, mn := fromVecs.nodes[i], fromMat.nodes[i]
+			if len(vn.neighbours) != len(mn.neighbours) {
+				t.Fatalf("node %d: level diverges", i)
+			}
+			for l := range vn.neighbours {
+				if len(vn.neighbours[l]) != len(mn.neighbours[l]) {
+					t.Fatalf("node %d layer %d: adjacency diverges", i, l)
+				}
+				for j := range vn.neighbours[l] {
+					if vn.neighbours[l][j] != mn.neighbours[l][j] {
+						t.Fatalf("node %d layer %d: adjacency diverges", i, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildFromMatRejectsExoticMetrics: only the arena metrics can
+// evaluate distances off the bit matrix.
+func TestBuildFromMatRejectsExoticMetrics(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	rows := randMatrix(r, 10, 32, 0.3)
+	m, err := bitmat.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []metric.Kind{metric.Euclidean, metric.Jaccard, metric.Cosine} {
+		if _, err := BuildFromMat(m, Config{Metric: k}); err == nil {
+			t.Fatalf("BuildFromMat accepted metric %v", k)
+		}
+		if _, err := BuildFromMatParallel(m, Config{Metric: k}, 4); err == nil {
+			t.Fatalf("BuildFromMatParallel accepted metric %v", k)
+		}
+	}
+}
+
+// TestSearchRowMatchesVector: querying by row id must return exactly
+// what querying with the row's vector returns — the row-to-row and
+// words-to-row kernels compute the same distances.
+func TestSearchRowMatchesVector(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	rows := randMatrix(r, 300, 96, 0.2)
+	for _, cfg := range []Config{
+		{M: 8, EfConstruction: 50, Seed: 3},
+		{M: 8, EfConstruction: 50, Seed: 3, Metric: metric.Jaccard},
+	} {
+		idx, err := Build(rows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, row := range rows {
+			byVec, err := idx.SearchRadius(row, 5, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			byRow, err := idx.SearchRadiusRow(i, 5, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(byVec) != len(byRow) {
+				t.Fatalf("metric %v row %d: %d hits by vector, %d by row", cfg.Metric, i, len(byVec), len(byRow))
+			}
+			for j := range byVec {
+				if byVec[j] != byRow[j] {
+					t.Fatalf("metric %v row %d hit %d: %+v by vector, %+v by row", cfg.Metric, i, j, byVec[j], byRow[j])
+				}
+			}
+		}
+	}
+
+	idx, err := Build(rows, Config{M: 8, EfConstruction: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.SearchEfRow(-1, 5, 40); err == nil {
+		t.Fatal("SearchEfRow accepted a negative row")
+	}
+	if _, err := idx.SearchEfRow(len(rows), 5, 40); err == nil {
+		t.Fatal("SearchEfRow accepted an out-of-range row")
+	}
+}
+
+// TestBuildFromMatParallelRecall mirrors TestBuildParallelRecall over a
+// prepacked arena: the multi-worker arena build is a valid index
+// meeting the same recall floor.
+func TestBuildFromMatParallelRecall(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	rows := randMatrix(r, 400, 96, 0.25)
+	m, err := bitmat.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildFromMatParallel(m, Config{M: 12, EfConstruction: 100}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != len(rows) {
+		t.Fatalf("Len = %d, want %d", idx.Len(), len(rows))
+	}
+	const k = 5
+	hitSum, total := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		qi := r.Intn(len(rows))
+		exact := bruteKNN(rows, rows[qi], k)
+		got, err := idx.SearchEfRow(qi, k, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inExact := make(map[int]bool, len(exact))
+		for _, id := range exact {
+			inExact[id] = true
+		}
+		for _, h := range got {
+			if inExact[h.ID] {
+				hitSum++
+			}
+		}
+		total += k
+	}
+	if recall := float64(hitSum) / float64(total); recall < 0.8 {
+		t.Fatalf("recall %.3f below floor 0.8", recall)
+	}
+}
+
+// TestSearchAllocs pins the allocation profile of a warm search: one
+// result slice per call, everything else on pooled scratch.
+func TestSearchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	r := rand.New(rand.NewSource(35))
+	rows := randMatrix(r, 500, 128, 0.25)
+	idx, err := Build(rows, Config{M: 8, EfConstruction: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rows[17]
+	for i := 0; i < 8; i++ { // warm the scratch pool
+		if _, err := idx.SearchEf(q, 10, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := idx.SearchEf(q, 10, 64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("warm SearchEf makes %.1f allocs per run, want <= 2", allocs)
+	}
+}

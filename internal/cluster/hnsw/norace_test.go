@@ -1,0 +1,5 @@
+//go:build !race
+
+package hnsw
+
+const raceEnabled = false

@@ -3,13 +3,11 @@ package hnsw
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/bitmat"
 	"repro/internal/bitvec"
 	"repro/internal/ctxcheck"
-	"repro/internal/metric"
 	"repro/internal/parallel"
 )
 
@@ -50,7 +48,47 @@ func BuildParallelContext(ctx context.Context, rows []*bitvec.Vector, cfg Config
 		}
 	}
 	idx.dim = dim
+	if idx.fast {
+		m, err := bitmat.FromRows(rows)
+		if err != nil {
+			return nil, err
+		}
+		idx.mat = m
+	} else {
+		idx.vecs = rows
+	}
+	return pbuild(ctx, idx, n, workers)
+}
 
+// BuildFromMatParallel is BuildParallel directly over the rows of a
+// prebuilt arena, sharing its storage. Like BuildFromMat it supports
+// only the arena metrics (Hamming/Manhattan) and retains m.
+func BuildFromMatParallel(m *bitmat.Matrix, cfg Config, workers int) (*Index, error) {
+	return BuildFromMatParallelContext(context.Background(), m, cfg, workers)
+}
+
+// BuildFromMatParallelContext is BuildFromMatParallel with cooperative
+// cancellation.
+func BuildFromMatParallelContext(ctx context.Context, m *bitmat.Matrix, cfg Config, workers int) (*Index, error) {
+	n := m.Rows()
+	if w := parallel.Workers(workers, n); n == 0 || w == 1 {
+		return BuildFromMatContext(ctx, m, cfg)
+	}
+	idx, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !idx.fast {
+		return nil, fmt.Errorf("hnsw: BuildFromMat requires the Hamming or Manhattan metric")
+	}
+	idx.mat = m
+	idx.dim = m.Cols()
+	return pbuild(ctx, idx, n, workers)
+}
+
+// pbuild runs the concurrent insertion phase over an index whose row
+// storage (arena or vecs) is already populated for all n rows.
+func pbuild(ctx context.Context, idx *Index, n, workers int) (*Index, error) {
 	// Draw all levels up front from the index generator, in row order —
 	// exactly the sequence the serial build would consume.
 	levels := make([]int, n)
@@ -59,14 +97,12 @@ func BuildParallelContext(ctx context.Context, rows []*bitvec.Vector, cfg Config
 	}
 
 	b := &pbuilder{
-		cfg:    idx.cfg,
-		dist:   idx.dist,
+		idx:    idx,
 		nodes:  make([]pnode, n),
 		levels: levels,
 	}
 	for i := range b.nodes {
-		b.nodes[i].vec = rows[i]
-		b.nodes[i].neighbours = make([][]int, levels[i]+1)
+		b.nodes[i].neighbours = make([][]candidate, levels[i]+1)
 	}
 	// Node 0 seeds the graph as the entry point, mirroring the serial
 	// first Add; everything after it is inserted concurrently.
@@ -75,8 +111,8 @@ func BuildParallelContext(ctx context.Context, rows []*bitvec.Vector, cfg Config
 
 	w := parallel.Workers(workers, n-1)
 	chunks := parallel.SplitRange(n-1, w)
-	err = parallel.ForEachChunk(ctx, chunks, 1, func(_ int, c parallel.Chunk, chk *ctxcheck.Checker) error {
-		s := &pscratch{visited: make([]uint32, n)}
+	err := parallel.ForEachChunk(ctx, chunks, 1, func(_ int, c parallel.Chunk, chk *ctxcheck.Checker) error {
+		s := &searchScratch{visited: make([]uint32, n)}
 		for i := c.Lo; i < c.Hi; i++ {
 			if err := chk.Tick(); err != nil {
 				return err
@@ -89,65 +125,45 @@ func BuildParallelContext(ctx context.Context, rows []*bitvec.Vector, cfg Config
 		return nil, err
 	}
 
-	nodes := make([]*node, n)
+	nodes := make([]node, n)
 	for i := range b.nodes {
-		nodes[i] = &node{vec: b.nodes[i].vec, neighbours: b.nodes[i].neighbours}
+		nodes[i] = node{neighbours: b.nodes[i].neighbours}
 	}
 	idx.nodes = nodes
 	idx.entry = b.entry
 	idx.maxLayer = b.maxLayer
-	idx.distCalls = int(b.distCalls.Load())
 	return idx, nil
 }
 
-// pnode is one node during parallel construction: the serial node plus
-// the mutex guarding its adjacency lists.
+// pnode is one node during parallel construction: its adjacency lists
+// (edges carrying their distances, like the serial node) plus the
+// mutex guarding them. Row storage stays on the index (arena or vecs),
+// shared immutably by every worker.
 type pnode struct {
 	mu         sync.Mutex
-	vec        *bitvec.Vector
-	neighbours [][]int
+	neighbours [][]candidate
 }
 
-// pbuilder holds the shared state of a parallel build.
+// pbuilder holds the shared state of a parallel build. Distances go
+// through Index.nd, whose counter is atomic, off the already-populated
+// row storage.
 type pbuilder struct {
-	cfg       Config
-	dist      metric.BitFunc
-	nodes     []pnode
-	levels    []int
-	entryMu   sync.RWMutex
-	entry     int
-	maxLayer  int
-	distCalls atomic.Int64
+	idx      *Index
+	nodes    []pnode
+	levels   []int
+	entryMu  sync.RWMutex
+	entry    int
+	maxLayer int
 }
 
-// pscratch is per-worker search scratch, reused across every insertion
-// the worker performs: an epoch-stamped visited array replaces the
-// per-search map, and the heaps and copy buffers keep their capacity.
-type pscratch struct {
-	visited  []uint32
-	epoch    uint32
-	frontier minHeap
-	best     maxHeap
-	result   []candidate
-	adj      []int
-	eps      []int
-}
-
-func (b *pbuilder) d(a, v *bitvec.Vector) float64 {
-	b.distCalls.Add(1)
-	return b.dist(a, v)
-}
-
-func (b *pbuilder) maxNeighbours(layer int) int {
-	if layer == 0 {
-		return 2 * b.cfg.M
-	}
-	return b.cfg.M
+// d evaluates the distance between rows i and j off the index storage.
+func (b *pbuilder) d(i, j int) float64 {
+	return b.idx.nd(i, j)
 }
 
 // neighboursAt snapshot-copies id's adjacency at the given layer into
 // buf so the caller can walk it without holding the node lock.
-func (b *pbuilder) neighboursAt(id, layer int, buf []int) []int {
+func (b *pbuilder) neighboursAt(id, layer int, buf []candidate) []candidate {
 	nd := &b.nodes[id]
 	nd.mu.Lock()
 	buf = append(buf[:0], nd.neighbours[layer]...)
@@ -155,10 +171,9 @@ func (b *pbuilder) neighboursAt(id, layer int, buf []int) []int {
 	return buf
 }
 
-// insert adds node id to the graph, following Index.Add step for step
-// with locked adjacency access.
-func (b *pbuilder) insert(id int, s *pscratch) {
-	v := b.nodes[id].vec
+// insert adds node id to the graph, following Index.insert step for
+// step with locked adjacency access.
+func (b *pbuilder) insert(id int, s *searchScratch) {
 	level := b.levels[id]
 
 	b.entryMu.RLock()
@@ -166,26 +181,26 @@ func (b *pbuilder) insert(id int, s *pscratch) {
 	b.entryMu.RUnlock()
 
 	for l := maxLayer; l > level; l-- {
-		ep = b.greedyClosest(v, ep, l, s)
+		ep = b.greedyClosest(id, ep, l, s)
 	}
 
 	startLayer := min(level, maxLayer)
 	eps := append(s.eps[:0], ep)
 	for l := startLayer; l >= 0; l-- {
-		found := b.searchLayer(v, eps, b.cfg.EfConstruction, l, s)
-		selected := b.selectNeighbours(v, found, b.cfg.M)
+		found := b.searchLayer(id, eps, b.idx.cfg.EfConstruction, l, s)
+		s.selected = b.idx.selectNeighboursInto(s.selected[:0], found, b.idx.cfg.M, s)
 		nd := &b.nodes[id]
 		nd.mu.Lock()
 		// Merge rather than overwrite: concurrent inserters may already
 		// have back-linked into this node's list at this layer.
-		for _, nb := range selected {
-			if !containsID(nd.neighbours[l], nb) {
+		for _, nb := range s.selected {
+			if !containsEdge(nd.neighbours[l], nb.id) {
 				nd.neighbours[l] = append(nd.neighbours[l], nb)
 			}
 		}
 		nd.mu.Unlock()
-		for _, nb := range selected {
-			b.link(nb, id, l)
+		for _, nb := range s.selected {
+			b.link(nb.id, id, l, nb.dist, s)
 		}
 		eps = eps[:0]
 		for _, c := range found {
@@ -205,49 +220,61 @@ func (b *pbuilder) insert(id int, s *pscratch) {
 	b.entryMu.Unlock()
 }
 
-// link adds dst to src's adjacency at the given layer, deduplicating
-// (a pair inserted concurrently can discover each other from both
-// sides) and shrinking with the selection policy on overflow. The
-// whole operation runs under src's lock; the distance evaluations it
-// makes touch only immutable vectors.
-func (b *pbuilder) link(src, dst, layer int) {
+// link adds dst (at the given distance from src) to src's adjacency at
+// the given layer, deduplicating (a pair inserted concurrently can
+// discover each other from both sides) and shrinking with the
+// selection policy on overflow. The stored edge distances make the
+// overflow re-selection free of distance evaluations; the whole
+// operation runs under src's lock.
+func (b *pbuilder) link(src, dst, layer int, dist float64, s *searchScratch) {
 	nd := &b.nodes[src]
-	limit := b.maxNeighbours(layer)
+	limit := b.idx.maxNeighbours(layer)
 	nd.mu.Lock()
-	if containsID(nd.neighbours[layer], dst) {
+	if containsEdge(nd.neighbours[layer], dst) {
 		nd.mu.Unlock()
 		return
 	}
-	ns := append(nd.neighbours[layer], dst)
+	ns := append(nd.neighbours[layer], candidate{id: dst, dist: dist})
 	if len(ns) > limit {
-		cands := make([]candidate, 0, len(ns))
-		for _, nb := range ns {
-			cands = append(cands, candidate{id: nb, dist: b.d(nd.vec, b.nodes[nb].vec)})
-		}
-		ns = b.selectNeighbours(nd.vec, cands, limit)
+		s.linkSel = b.idx.selectNeighboursInto(s.linkSel[:0], ns, limit, s)
+		// The overflowed list has capacity limit+1 >= the selection, so
+		// the shrink reuses its backing.
+		ns = append(ns[:0], s.linkSel...)
 	}
 	nd.neighbours[layer] = ns
 	nd.mu.Unlock()
 }
 
-func containsID(ids []int, id int) bool {
-	for _, e := range ids {
-		if e == id {
+func containsEdge(edges []candidate, id int) bool {
+	for _, e := range edges {
+		if e.id == id {
 			return true
 		}
 	}
 	return false
 }
 
-// greedyClosest mirrors Index.greedyClosest over snapshot adjacency.
-func (b *pbuilder) greedyClosest(q *bitvec.Vector, ep, layer int, s *pscratch) int {
+// greedyClosest mirrors Index.greedyClosest over snapshot adjacency,
+// including the norm-gap skip on the arena path.
+func (b *pbuilder) greedyClosest(q, ep, layer int, s *searchScratch) int {
+	fast := b.idx.fast
+	qn := 0
+	if fast {
+		qn = b.idx.mat.Norm(q)
+	}
 	cur := ep
-	curDist := b.d(q, b.nodes[cur].vec)
+	curDist := b.d(q, cur)
 	for {
 		improved := false
 		s.adj = b.neighboursAt(cur, layer, s.adj)
-		for _, nb := range s.adj {
-			if dd := b.d(q, b.nodes[nb].vec); dd < curDist {
+		for _, e := range s.adj {
+			nb := e.id
+			if fast {
+				if lb := qn - b.idx.mat.Norm(nb); float64(lb) >= curDist || float64(-lb) >= curDist {
+					continue
+				}
+			}
+			if dd := b.d(q, nb); dd < curDist {
 				cur, curDist = nb, dd
 				improved = true
 			}
@@ -258,20 +285,25 @@ func (b *pbuilder) greedyClosest(q *bitvec.Vector, ep, layer int, s *pscratch) i
 	}
 }
 
-// searchLayer mirrors Index.searchLayer over snapshot adjacency, with
-// the worker scratch replacing the per-call visited map and heaps. The
-// returned slice is owned by the scratch and valid until the next call.
-func (b *pbuilder) searchLayer(q *bitvec.Vector, eps []int, ef, layer int, s *pscratch) []candidate {
-	s.epoch++
+// searchLayer mirrors Index.searchLayer over snapshot adjacency with
+// the worker scratch. The returned slice is owned by the scratch and
+// valid until the next call.
+func (b *pbuilder) searchLayer(q int, eps []int, ef, layer int, s *searchScratch) []candidate {
+	fast := b.idx.fast
+	qn := 0
+	if fast {
+		qn = b.idx.mat.Norm(q)
+	}
+	epoch := s.visit(len(b.nodes))
 	s.frontier = s.frontier[:0]
 	s.best = s.best[:0]
 
 	for _, ep := range eps {
-		if s.visited[ep] == s.epoch {
+		if s.visited[ep] == epoch {
 			continue
 		}
-		s.visited[ep] = s.epoch
-		c := candidate{id: ep, dist: b.d(q, b.nodes[ep].vec)}
+		s.visited[ep] = epoch
+		c := candidate{id: ep, dist: b.d(q, ep)}
 		s.frontier.push(c)
 		s.best.push(c)
 	}
@@ -282,12 +314,20 @@ func (b *pbuilder) searchLayer(q *bitvec.Vector, eps []int, ef, layer int, s *ps
 			break
 		}
 		s.adj = b.neighboursAt(cur.id, layer, s.adj)
-		for _, nb := range s.adj {
-			if s.visited[nb] == s.epoch {
+		for _, e := range s.adj {
+			nb := e.id
+			if s.visited[nb] == epoch {
 				continue
 			}
-			s.visited[nb] = s.epoch
-			dd := b.d(q, b.nodes[nb].vec)
+			s.visited[nb] = epoch
+			// Same norm-gap lower bound as the serial searchLayer: skip
+			// candidates that provably cannot enter a full beam.
+			if fast && s.best.len() >= ef {
+				if lb := qn - b.idx.mat.Norm(nb); float64(lb) >= s.best.top().dist || float64(-lb) >= s.best.top().dist {
+					continue
+				}
+			}
+			dd := b.d(q, nb)
 			if s.best.len() < ef || dd < s.best.top().dist {
 				c := candidate{id: nb, dist: dd}
 				s.frontier.push(c)
@@ -307,56 +347,4 @@ func (b *pbuilder) searchLayer(q *bitvec.Vector, eps []int, ef, layer int, s *ps
 		s.result[i] = s.best.pop()
 	}
 	return s.result
-}
-
-// selectNeighbours mirrors Index.selectNeighbours with the builder's
-// atomic distance counter. The returned slice is freshly allocated:
-// it is retained inside adjacency lists.
-func (b *pbuilder) selectNeighbours(q *bitvec.Vector, cands []candidate, m int) []int {
-	sorted := make([]candidate, len(cands))
-	copy(sorted, cands)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].dist < sorted[j].dist })
-
-	if !b.cfg.Heuristic {
-		if len(sorted) > m {
-			sorted = sorted[:m]
-		}
-		out := make([]int, len(sorted))
-		for i, c := range sorted {
-			out[i] = c.id
-		}
-		return out
-	}
-
-	out := make([]int, 0, m)
-	for _, c := range sorted {
-		if len(out) >= m {
-			break
-		}
-		keep := true
-		for _, sel := range out {
-			if b.d(b.nodes[c.id].vec, b.nodes[sel].vec) < c.dist {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			out = append(out, c.id)
-		}
-	}
-	if len(out) < m {
-		chosen := make(map[int]struct{}, len(out))
-		for _, sel := range out {
-			chosen[sel] = struct{}{}
-		}
-		for _, c := range sorted {
-			if len(out) >= m {
-				break
-			}
-			if _, ok := chosen[c.id]; !ok {
-				out = append(out, c.id)
-			}
-		}
-	}
-	return out
 }

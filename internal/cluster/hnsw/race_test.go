@@ -1,0 +1,7 @@
+//go:build race
+
+package hnsw
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates on its own behalf.
+const raceEnabled = true

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"repro/internal/bitmat"
 	"repro/internal/ctxcheck"
 	"repro/internal/parallel"
 )
@@ -89,13 +90,13 @@ func buildColIndex(n, width, workers int, rowCols func(i int, emit func(col int)
 	return index
 }
 
-// denseRowCols adapts bit-vector rows to buildColIndex's accessor. It
-// walks the packed words directly instead of going through
-// Vector.ForEach so no per-row wrapper closure is allocated: emit is
-// forwarded as-is.
-func denseRowCols(rows Rows) func(i int, emit func(col int)) {
+// matRowCols adapts arena rows to buildColIndex's accessor. It walks
+// the packed words of the contiguous arena directly so the index build
+// streams memory linearly and no per-row wrapper closure is allocated:
+// emit is forwarded as-is.
+func matRowCols(m *bitmat.Matrix) func(i int, emit func(col int)) {
 	return func(i int, emit func(col int)) {
-		for wi, w := range rows[i].Words() {
+		for wi, w := range m.RowWords(i) {
 			base := wi * 64
 			for w != 0 {
 				emit(base + bits.TrailingZeros64(w))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bitmat"
 	"repro/internal/ctxcheck"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
@@ -51,17 +52,45 @@ func GroupsParallelContext(ctx context.Context, rows Rows, opts Options, workers
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	m, err := bitmat.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return GroupsMatParallelContext(ctx, m, opts, workers)
+}
+
+// GroupsMatParallel is GroupsParallel over a prebuilt bit-matrix arena.
+func GroupsMatParallel(m *bitmat.Matrix, opts Options, workers int) (*Result, error) {
+	return GroupsMatParallelContext(context.Background(), m, opts, workers)
+}
+
+// GroupsMatParallelContext runs the parallel grouping directly over a
+// prebuilt arena, sharing its precomputed norms and contiguous row
+// storage with the other backends.
+func GroupsMatParallelContext(ctx context.Context, m *bitmat.Matrix, opts Options, workers int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Rows() == 0 {
+		return &Result{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.Threshold == 0 && !opts.DisableExactHashFastPath {
 		// The hash fast path is already near-linear and memory-bound;
 		// run it serially.
-		return GroupsContext(ctx, rows, opts)
+		return GroupsMatContext(ctx, m, opts)
 	}
-	n := len(rows)
+	n := m.Rows()
 	norms := make([]int, n)
-	for i, r := range rows {
-		norms[i] = r.Count()
+	for i, v := range m.Norms() {
+		norms[i] = int(v)
 	}
-	return similarGroupsShared(ctx, n, width, norms, denseRowCols(rows), opts.Threshold, workers, opts.Progress)
+	return similarGroupsShared(ctx, n, m.Cols(), norms, matRowCols(m), opts.Threshold, workers, opts.Progress)
 }
 
 // GroupsCSRParallel is GroupsCSR with the co-occurrence pass fanned

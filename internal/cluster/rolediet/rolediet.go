@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/bitmat"
 	"repro/internal/bitvec"
 	"repro/internal/ctxcheck"
 )
@@ -97,6 +98,10 @@ func Groups(rows Rows, opts Options) (*Result, error) {
 // GroupsContext is Groups with cooperative cancellation: the hot loops
 // poll the context every few thousand rows / co-occurrence expansions
 // and abort with ctx.Err(), discarding partial groups.
+//
+// The rows are packed into a bitmat arena first; callers that already
+// hold an arena (internal/core builds one per dataset side and shares
+// it across backends) should use GroupsMatContext to skip the pack.
 func GroupsContext(ctx context.Context, rows Rows, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -110,15 +115,38 @@ func GroupsContext(ctx context.Context, rows Rows, opts Options) (*Result, error
 			return nil, fmt.Errorf("rolediet: row %d has length %d, want %d", i, r.Len(), width)
 		}
 	}
+	m, err := bitmat.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return GroupsMatContext(ctx, m, opts)
+}
+
+// GroupsMat runs the grouping directly over a prebuilt bit-matrix
+// arena: norms come precomputed, row hashing/equality are word
+// compares over contiguous memory, and the inverted index is built by
+// walking the arena linearly.
+func GroupsMat(m *bitmat.Matrix, opts Options) (*Result, error) {
+	return GroupsMatContext(context.Background(), m, opts)
+}
+
+// GroupsMatContext is GroupsMat with cooperative cancellation.
+func GroupsMatContext(ctx context.Context, m *bitmat.Matrix, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Rows() == 0 {
+		return &Result{}, nil
+	}
 	chk := ctxcheck.New(ctx, groupStride)
 	if err := chk.Err(); err != nil {
 		return nil, err
 	}
-	prog := newProgressTicker(opts.Progress, len(rows))
+	prog := newProgressTicker(opts.Progress, m.Rows())
 	if opts.Threshold == 0 && !opts.DisableExactHashFastPath {
-		return exactGroups(chk, prog, rows)
+		return exactGroupsFlat(chk, prog, m.Rows(), m.RowHash, m.RowEqual)
 	}
-	return similarGroups(chk, prog, rows, opts.Threshold)
+	return similarGroups(chk, prog, m, opts.Threshold)
 }
 
 // groupStride is the shared loop stride: the context is polled and the
@@ -163,49 +191,74 @@ func (p *progressTicker) finish() {
 	p.fn(p.total, p.total)
 }
 
-// exactGroups buckets rows by hash and splits buckets by true equality,
-// so hash collisions can never merge distinct rows.
-func exactGroups(chk *ctxcheck.Checker, prog *progressTicker, rows Rows) (*Result, error) {
-	type bucket struct {
-		// reps holds one representative row index per distinct vector
-		// seen under this hash; members collects all rows per rep.
-		reps    []int
-		members [][]int
-	}
-	buckets := make(map[uint64]*bucket, len(rows))
+// exactGroupsFlat buckets rows by hash and splits buckets by true
+// equality (so hash collisions can never merge distinct rows), with the
+// per-bucket state held in flat int32 chain arrays instead of per-bucket
+// heap objects: one map entry per distinct hash plus four fixed arrays,
+// versus the old map-of-struct layout's per-row slice churn. hash and
+// equal abstract the row storage — the arena's word compares for the
+// dense path, sorted column lists for CSR.
+func exactGroupsFlat(chk *ctxcheck.Checker, prog *progressTicker, n int, hash func(i int) uint64, equal func(i, j int) bool) (*Result, error) {
+	const none = int32(-1)
+	// heads maps a hash to the first representative row seen under it;
+	// repNext chains further representatives (distinct rows, same hash)
+	// in insertion order, so PairsExamined counts exactly the
+	// comparisons the old bucket walk made.
+	heads := make(map[uint64]int32, n)
+	repNext := make([]int32, n)
+	rep := make([]int32, n)
 	pairs := 0
-	for i, row := range rows {
+	for i := 0; i < n; i++ {
 		if err := chk.Tick(); err != nil {
 			return nil, err
 		}
 		prog.tick(i)
-		h := row.Hash()
-		b := buckets[h]
-		if b == nil {
-			b = &bucket{}
-			buckets[h] = b
+		repNext[i] = none
+		h := hash(i)
+		r, ok := heads[h]
+		if !ok {
+			heads[h] = int32(i)
+			rep[i] = int32(i)
+			continue
 		}
+		last := r
 		placed := false
-		for ri, rep := range b.reps {
+		for ; r != none; r = repNext[r] {
 			pairs++
-			if rows[rep].Equal(row) {
-				b.members[ri] = append(b.members[ri], i)
+			if equal(int(r), i) {
+				rep[i] = r
 				placed = true
 				break
 			}
+			last = r
 		}
 		if !placed {
-			b.reps = append(b.reps, i)
-			b.members = append(b.members, []int{i})
+			repNext[last] = int32(i)
+			rep[i] = int32(i)
 		}
 	}
+	// Materialise groups of size >= 2. Walking rows in ascending order
+	// yields ascending members per group and groups ordered by their
+	// smallest member (the representative is always first occurrence).
+	cnt := make([]int32, n)
+	for i := 0; i < n; i++ {
+		cnt[rep[i]]++
+	}
+	gidx := make([]int32, n)
+	for i := range gidx {
+		gidx[i] = none
+	}
 	var groups [][]int
-	for _, b := range buckets {
-		for _, m := range b.members {
-			if len(m) >= 2 {
-				groups = append(groups, m)
-			}
+	for i := 0; i < n; i++ {
+		r := rep[i]
+		if cnt[r] < 2 {
+			continue
 		}
+		if gidx[r] == none {
+			gidx[r] = int32(len(groups))
+			groups = append(groups, make([]int, 0, cnt[r]))
+		}
+		groups[gidx[r]] = append(groups[gidx[r]], i)
 	}
 	sortGroups(groups)
 	prog.finish()
@@ -213,19 +266,19 @@ func exactGroups(chk *ctxcheck.Checker, prog *progressTicker, rows Rows) (*Resul
 }
 
 // similarGroups implements the general thresholded case with union-find
-// connectivity over the "Hamming <= k" relation.
-func similarGroups(chk *ctxcheck.Checker, prog *progressTicker, rows Rows, k int) (*Result, error) {
-	n := len(rows)
+// connectivity over the "Hamming <= k" relation, reading rows and norms
+// off the shared arena.
+func similarGroups(chk *ctxcheck.Checker, prog *progressTicker, m *bitmat.Matrix, k int) (*Result, error) {
+	n := m.Rows()
 	norms := make([]int, n)
-	for i, r := range rows {
-		norms[i] = r.Count()
+	for i, v := range m.Norms() {
+		norms[i] = int(v)
 	}
 
 	// Inverted index: column (user) -> roles having that column set,
 	// built with the exact-size two-pass layout shared with the
 	// parallel path.
-	width := rows[0].Len()
-	colIndex := buildColIndex(n, width, 1, denseRowCols(rows))
+	colIndex := buildColIndex(n, m.Cols(), 1, matRowCols(m))
 
 	uf := newUnionFind(n)
 	pairs := 0
@@ -235,15 +288,19 @@ func similarGroups(chk *ctxcheck.Checker, prog *progressTicker, rows Rows, k int
 	scratch := getScratch(n)
 	counts, touched := scratch.counts, scratch.touched
 	// One tick per set bit: each expands a full posting list, so the
-	// per-tick work is substantial and cancellation stays prompt.
-	// expand is hoisted out of the row loop (row/tickErr flow through
-	// captured variables) so the closure is allocated once per run,
-	// not once per row.
+	// per-tick work is substantial and cancellation stays prompt. After
+	// a failed tick the expand callback goes inert, so the remainder of
+	// the row is a cheap no-op walk. expand is hoisted out of the row
+	// loop (row/tickErr flow through captured variables) so the closure
+	// is allocated once per run, not once per row.
 	var tickErr error
 	row := 0
-	expand := func(u int) bool {
+	expand := func(u int) {
+		if tickErr != nil {
+			return
+		}
 		if tickErr = chk.Tick(); tickErr != nil {
-			return false
+			return
 		}
 		prog.tick(row)
 		for _, j := range colIndex[u] {
@@ -255,11 +312,11 @@ func similarGroups(chk *ctxcheck.Checker, prog *progressTicker, rows Rows, k int
 			}
 			counts[j]++
 		}
-		return true
 	}
+	rowCols := matRowCols(m)
 	for i := 0; i < n; i++ {
 		row = i
-		rows[i].ForEach(expand)
+		rowCols(i, expand)
 		if tickErr != nil {
 			// Drop the scratch rather than pooling it: counts still
 			// holds nonzero residue for the abandoned row.

@@ -68,52 +68,14 @@ func rowsEqual(a, b []int) bool {
 	return true
 }
 
-// exactGroupsCSR mirrors exactGroups with hash buckets over sorted
-// column lists, split by true equality.
+// exactGroupsCSR mirrors the dense exact path with hash buckets over
+// sorted column lists, split by true equality, through the same flat
+// chain-array grouping core (exactGroupsFlat) — no per-bucket heap
+// objects, which is what kept the org-scale analysis allocation-heavy.
 func exactGroupsCSR(chk *ctxcheck.Checker, prog *progressTicker, c *matrix.CSR) (*Result, error) {
-	type bucket struct {
-		reps    []int
-		members [][]int
-	}
-	buckets := make(map[uint64]*bucket, c.Rows())
-	pairs := 0
-	for i := 0; i < c.Rows(); i++ {
-		if err := chk.Tick(); err != nil {
-			return nil, err
-		}
-		prog.tick(i)
-		row := c.RowCols(i)
-		h := hashRow(row)
-		b := buckets[h]
-		if b == nil {
-			b = &bucket{}
-			buckets[h] = b
-		}
-		placed := false
-		for ri, rep := range b.reps {
-			pairs++
-			if rowsEqual(c.RowCols(rep), row) {
-				b.members[ri] = append(b.members[ri], i)
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			b.reps = append(b.reps, i)
-			b.members = append(b.members, []int{i})
-		}
-	}
-	var groups [][]int
-	for _, b := range buckets {
-		for _, m := range b.members {
-			if len(m) >= 2 {
-				groups = append(groups, m)
-			}
-		}
-	}
-	sortGroups(groups)
-	prog.finish()
-	return &Result{Groups: groups, PairsExamined: pairs}, nil
+	return exactGroupsFlat(chk, prog, c.Rows(),
+		func(i int) uint64 { return hashRow(c.RowCols(i)) },
+		func(i, j int) bool { return rowsEqual(c.RowCols(i), c.RowCols(j)) })
 }
 
 // similarGroupsCSR is the inverted-index co-occurrence pass over CSR

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bitmat"
 	"repro/internal/bitvec"
 	"repro/internal/rbac"
 )
@@ -204,10 +205,41 @@ type Analyzer struct {
 	rpam rowset
 }
 
-// rowset caches a matrix's rows and row sums.
+// rowset caches a matrix's rows and row sums, plus — built lazily on
+// the first grouping call — the non-empty view the class-4/5 detectors
+// run over: the kept rows, the remap back to dataset row indices, and
+// the bit-matrix arena packing the kept rows. One analysis runs up to
+// two detectors per side (threshold 0 and threshold k) and the filter
+// depends only on the row sums, so caching the view halves the packing
+// work and lets both runs share one arena.
 type rowset struct {
 	rows []*bitvec.Vector
 	sums []int
+
+	kept  []*bitvec.Vector
+	remap []int
+	mat   *bitmat.Matrix
+}
+
+// groupView returns the side's cached non-empty view, building it on
+// first use.
+func (rs *rowset) groupView() ([]*bitvec.Vector, []int, *bitmat.Matrix, error) {
+	if rs.remap == nil {
+		kept := make([]*bitvec.Vector, 0, len(rs.rows))
+		remap := make([]int, 0, len(rs.rows))
+		for i, r := range rs.rows {
+			if rs.sums[i] > 0 {
+				kept = append(kept, r)
+				remap = append(remap, i)
+			}
+		}
+		m, err := bitmat.FromRows(kept)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rs.kept, rs.remap, rs.mat = kept, remap, m
+	}
+	return rs.kept, rs.remap, rs.mat, nil
 }
 
 // NewAnalyzer snapshots the dataset. Later dataset mutations are not
@@ -276,19 +308,18 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, opts Options) (*Report, e
 		gopts.Workers = opts.Workers
 	}
 	// Disconnected roles (class 2) must not resurface as one giant
-	// class-4 group of all-zero rows.
-	gopts.IgnoreEmptyRows = true
-
+	// class-4 group of all-zero rows; findGroups runs over each side's
+	// cached non-empty view and shared bit-matrix arena.
 	start = time.Now()
 	gopts.Threshold = 0
 	gopts.Progress = progress.span(StageSameUserGroups, fracLinearEnd, fracSameUserEnd)
-	sameUsers, err := FindRoleGroupsContext(ctx, a.ruam.rows, gopts)
+	sameUsers, err := a.findGroups(ctx, &a.ruam, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("same-user groups: %w", err)
 	}
 	progress.emit(StageSameUserGroups, fracSameUserEnd)
 	gopts.Progress = progress.span(StageSamePermissionGroups, fracSameUserEnd, fracSamePermEnd)
-	samePerms, err := FindRoleGroupsContext(ctx, a.rpam.rows, gopts)
+	samePerms, err := a.findGroups(ctx, &a.rpam, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("same-permission groups: %w", err)
 	}
@@ -305,13 +336,13 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, opts Options) (*Report, e
 	start = time.Now()
 	gopts.Threshold = opts.SimilarThreshold
 	gopts.Progress = progress.span(StageSimilarUserGroups, fracSamePermEnd, fracSimilarUserEnd)
-	similarUsers, err := FindRoleGroupsContext(ctx, a.ruam.rows, gopts)
+	similarUsers, err := a.findGroups(ctx, &a.ruam, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("similar-user groups: %w", err)
 	}
 	progress.emit(StageSimilarUserGroups, fracSimilarUserEnd)
 	gopts.Progress = progress.span(StageSimilarPermissionGroups, fracSimilarUserEnd, fracSimilarPermEnd)
-	similarPerms, err := FindRoleGroupsContext(ctx, a.rpam.rows, gopts)
+	similarPerms, err := a.findGroups(ctx, &a.rpam, gopts)
 	if err != nil {
 		return nil, fmt.Errorf("similar-permission groups: %w", err)
 	}
@@ -387,6 +418,32 @@ func (a *Analyzer) detectSingle(rep *Report) {
 			rep.RolesWithSinglePermission = append(rep.RolesWithSinglePermission, a.ds.Role(ri))
 		}
 	}
+}
+
+// findGroups runs one grouping detector over a side's cached non-empty
+// view and shared arena, remapping group members back to dataset row
+// indices. It replaces calling FindRoleGroupsContext with
+// IgnoreEmptyRows set, which would re-filter and re-pack the rows on
+// every detector run.
+func (a *Analyzer) findGroups(ctx context.Context, rs *rowset, opts GroupOptions) ([][]int, error) {
+	kept, remap, m, err := rs.groupView()
+	if err != nil {
+		return nil, err
+	}
+	if len(kept) == 0 {
+		return nil, nil
+	}
+	opts.IgnoreEmptyRows = false
+	groups, err := findRoleGroupsMat(ctx, kept, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range groups {
+		for i, idx := range g {
+			g[i] = remap[idx]
+		}
+	}
+	return groups, nil
 }
 
 // toRoleGroups maps index groups to role-id groups.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/bitmat"
 	"repro/internal/bitvec"
 	"repro/internal/cluster/bitlsh"
 	"repro/internal/cluster/dbscan"
@@ -184,10 +185,6 @@ func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts Grou
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("core: negative workers %d", opts.Workers)
 	}
-	method := opts.Method
-	if method == 0 {
-		method = MethodRoleDiet
-	}
 	if len(rows) == 0 {
 		return nil, nil
 	}
@@ -213,6 +210,35 @@ func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts Grou
 		}
 		return groups, nil
 	}
+	return findRoleGroupsMat(ctx, rows, nil, opts)
+}
+
+// findRoleGroupsMat is the dispatch behind FindRoleGroupsContext with an
+// optional prepacked bit-matrix arena over rows. A nil arena is packed
+// lazily, once, for the backends that consume one; the Analyzer passes
+// each side's cached arena so its class-4 and class-5 runs share a
+// single packing. rows must be non-empty and the caller must already
+// have applied the IgnoreEmptyRows filter.
+func findRoleGroupsMat(ctx context.Context, rows []*bitvec.Vector, m *bitmat.Matrix, opts GroupOptions) ([][]int, error) {
+	if opts.Threshold < 0 {
+		return nil, fmt.Errorf("core: negative threshold %d", opts.Threshold)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("core: negative workers %d", opts.Workers)
+	}
+	method := opts.Method
+	if method == 0 {
+		method = MethodRoleDiet
+	}
+	arena := func() (*bitmat.Matrix, error) {
+		if m == nil {
+			var err error
+			if m, err = bitmat.FromRows(rows); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
 	// Workers 0/1 keep the serial implementations; >= 2 selects each
 	// backend's parallel variant with that worker count.
 	par := opts.Workers >= 2
@@ -222,12 +248,15 @@ func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts Grou
 			Threshold: opts.Threshold,
 			Progress:  opts.Progress,
 		}
+		am, err := arena()
+		if err != nil {
+			return nil, err
+		}
 		var res *rolediet.Result
-		var err error
 		if par {
-			res, err = rolediet.GroupsParallelContext(ctx, rows, ropts, opts.Workers)
+			res, err = rolediet.GroupsMatParallelContext(ctx, am, ropts, opts.Workers)
 		} else {
-			res, err = rolediet.GroupsContext(ctx, rows, ropts)
+			res, err = rolediet.GroupsMatContext(ctx, am, ropts)
 		}
 		if err != nil {
 			return nil, err
@@ -240,19 +269,22 @@ func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts Grou
 			Eps:    float64(opts.Threshold) + 1e-9,
 			MinPts: 2,
 		}
+		am, err := arena()
+		if err != nil {
+			return nil, err
+		}
 		var res *dbscan.Result
-		var err error
 		if par {
-			res, err = dbscan.RunParallelContext(ctx, rows, cfg, opts.Workers)
+			res, err = dbscan.RunMatParallelContext(ctx, am, cfg, opts.Workers)
 		} else {
-			res, err = dbscan.RunContext(ctx, rows, cfg)
+			res, err = dbscan.RunMatContext(ctx, am, cfg)
 		}
 		if err != nil {
 			return nil, err
 		}
 		return normalizeGroups(res.Groups()), nil
 	case MethodHNSW:
-		return hnswGroups(ctx, rows, opts)
+		return hnswGroups(ctx, rows, arena, opts)
 	case MethodDBSCANFloat64:
 		floats := make([][]float64, len(rows))
 		for i, r := range rows {
@@ -274,12 +306,15 @@ func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts Grou
 		}
 		return normalizeGroups(res.Groups()), nil
 	case MethodLSH:
+		am, err := arena()
+		if err != nil {
+			return nil, err
+		}
 		var res *bitlsh.Result
-		var err error
 		if par {
-			res, err = bitlsh.FindGroupsParallelContext(ctx, rows, opts.Threshold, opts.LSH, opts.Workers)
+			res, err = bitlsh.FindGroupsMatParallelContext(ctx, am, opts.Threshold, opts.LSH, opts.Workers)
 		} else {
-			res, err = bitlsh.FindGroupsContext(ctx, rows, opts.Threshold, opts.LSH)
+			res, err = bitlsh.FindGroupsMatContext(ctx, am, opts.Threshold, opts.LSH)
 		}
 		if err != nil {
 			return nil, err
@@ -294,12 +329,29 @@ func FindRoleGroupsContext(ctx context.Context, rows []*bitvec.Vector, opts Grou
 // index over all role rows, then query it once per role and link every
 // verified neighbour within the threshold. Connectivity is resolved
 // with union-find; recall is approximate by construction.
-func hnswGroups(ctx context.Context, rows []*bitvec.Vector, opts GroupOptions) ([][]int, error) {
+//
+// Under the arena-compatible metrics (the default Manhattan and
+// Hamming) the index is built straight off the shared bit matrix and
+// queried by row id, so the whole run makes zero per-distance
+// allocations; exotic metrics keep the vector-backed path.
+func hnswGroups(ctx context.Context, rows []*bitvec.Vector, arena func() (*bitmat.Matrix, error), opts GroupOptions) ([][]int, error) {
+	useMat := hnsw.SupportsMat(opts.HNSW.Metric)
 	var idx *hnsw.Index
 	var err error
-	if opts.Workers >= 2 {
+	switch {
+	case useMat:
+		var am *bitmat.Matrix
+		if am, err = arena(); err != nil {
+			return nil, err
+		}
+		if opts.Workers >= 2 {
+			idx, err = hnsw.BuildFromMatParallelContext(ctx, am, opts.HNSW, opts.Workers)
+		} else {
+			idx, err = hnsw.BuildFromMatContext(ctx, am, opts.HNSW)
+		}
+	case opts.Workers >= 2:
 		idx, err = hnsw.BuildParallelContext(ctx, rows, opts.HNSW, opts.Workers)
-	} else {
+	default:
 		idx, err = hnsw.BuildContext(ctx, rows, opts.HNSW)
 	}
 	if err != nil {
@@ -338,7 +390,13 @@ func hnswGroups(ctx context.Context, rows []*bitvec.Vector, opts GroupOptions) (
 		if opts.Progress != nil {
 			opts.Progress(i, len(rows))
 		}
-		hits, err := idx.SearchRadius(row, radius, ef)
+		var hits []hnsw.Neighbour
+		var err error
+		if useMat {
+			hits, err = idx.SearchRadiusRow(i, radius, ef)
+		} else {
+			hits, err = idx.SearchRadius(row, radius, ef)
+		}
 		if err != nil {
 			return nil, err
 		}

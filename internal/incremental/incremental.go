@@ -17,6 +17,8 @@ package incremental
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/bitmat"
 )
 
 // Index tracks the assignment sets of a collection of roles and answers
@@ -177,13 +179,20 @@ type GroupOptions struct {
 // Groups returns all current duplicate groups: role lists of size >= 2
 // with identical assignment sets, members ascending, groups ordered by
 // smallest member.
+//
+// Bucket members are hash-equal, so almost every bucket is one true
+// group; the verification that a collision never merges distinct roles
+// used to walk the assignment maps pairwise (O(members² · set size) map
+// probes on an organisation-scale duplicate bucket). Each bucket's sets
+// are instead packed once into a column-remapped bit-matrix arena and
+// compared with the word-level row-equality kernel.
 func (x *Index) Groups(opts GroupOptions) [][]int {
 	var groups [][]int
+	colID := make(map[int]int)
 	for _, bucket := range x.buckets {
 		if len(bucket) < 2 {
 			continue
 		}
-		// Split the bucket by true equality (hash collisions).
 		members := make([]int, 0, len(bucket))
 		for r := range bucket {
 			if opts.IgnoreEmpty && len(x.rows[r]) == 0 {
@@ -191,7 +200,27 @@ func (x *Index) Groups(opts GroupOptions) [][]int {
 			}
 			members = append(members, r)
 		}
+		if len(members) < 2 {
+			continue
+		}
 		sort.Ints(members)
+		// Remap the bucket's column universe to a dense local range and
+		// pack each member's set as one arena row.
+		clear(colID)
+		for _, r := range members {
+			for c := range x.rows[r] {
+				if _, ok := colID[c]; !ok {
+					colID[c] = len(colID)
+				}
+			}
+		}
+		m := bitmat.New(len(members), len(colID))
+		for i, r := range members {
+			for c := range x.rows[r] {
+				m.Set(i, colID[c])
+			}
+		}
+		// Split the bucket by true equality (hash collisions).
 		claimed := make([]bool, len(members))
 		for i := range members {
 			if claimed[i] {
@@ -202,7 +231,7 @@ func (x *Index) Groups(opts GroupOptions) [][]int {
 				if claimed[j] {
 					continue
 				}
-				if setsEqual(x.rows[members[i]], x.rows[members[j]]) {
+				if m.RowEqual(i, j) {
 					group = append(group, members[j])
 					claimed[j] = true
 				}

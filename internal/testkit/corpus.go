@@ -2,6 +2,7 @@ package testkit
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/bitvec"
 	"repro/internal/gen"
@@ -15,8 +16,13 @@ type Corpus struct {
 	// Name labels the corpus in failures and subtests.
 	Name string
 	// Params drives the §IV-A synthetic generator; Params.Seed makes the
-	// corpus deterministic.
+	// corpus deterministic. Ignored when Gen is set.
 	Params gen.MatrixParams
+	// Gen, when non-nil, replaces the synthetic generator with a
+	// hand-planted deterministic matrix — used for adversarial geometries
+	// the generator cannot express, like rows straddling the norm-pruning
+	// boundary at exactly the threshold.
+	Gen func() ([]*bitvec.Vector, error)
 	// Threshold is the Hamming threshold k handed to every backend: 0
 	// exercises the class-4 (same users/permissions) paths, k ≥ 1 the
 	// class-5 (similar) paths.
@@ -32,6 +38,9 @@ type Corpus struct {
 
 // Rows materialises the corpus matrix.
 func (c Corpus) Rows() ([]*bitvec.Vector, error) {
+	if c.Gen != nil {
+		return c.Gen()
+	}
 	g, err := gen.Matrix(c.Params)
 	if err != nil {
 		return nil, err
@@ -41,6 +50,9 @@ func (c Corpus) Rows() ([]*bitvec.Vector, error) {
 
 // String renders the reproduction recipe printed on failure.
 func (c Corpus) String() string {
+	if c.Gen != nil {
+		return fmt.Sprintf("%s: hand-planted corpus (see Corpora) threshold=%d", c.Name, c.Threshold)
+	}
 	p := c.Params
 	return fmt.Sprintf("%s: gen.Matrix{Rows:%d Cols:%d ClusterProportion:%g MaxClusterSize:%d Density:%g SimilarNoise:%d Seed:%d} threshold=%d",
 		c.Name, p.Rows, p.Cols, p.ClusterProportion, p.MaxClusterSize, p.Density, p.SimilarNoise, p.Seed, c.Threshold)
@@ -137,6 +149,26 @@ func Corpora(full bool) []Corpus {
 		},
 	)
 
+	// Norm-boundary corpora: every chain plants a base row, a superset
+	// at Hamming distance exactly k (norm gap exactly k — the last pair
+	// the triangle-inequality pre-pass may NOT prune), and a superset at
+	// distance k+1 (norm gap k+1 — the first pair it must). An off-by-one
+	// in the pruning comparison drops true boundary pairs, which the
+	// brute-force oracle catches as missing groups in the exact backends.
+	for _, k := range []int{0, 1, 2, 3} {
+		k := k
+		out = append(out, Corpus{
+			Name: fmt.Sprintf("norm-boundary-k%d", k),
+			Gen:  func() ([]*bitvec.Vector, error) { return normBoundaryRows(int64(200+k), 96, k, 12), nil },
+			// The corpus exists to catch off-by-ones in the exact kernels'
+			// pruning; every planted pair sits at distance exactly k — the
+			// minimum collision probability an LSH table can offer — so the
+			// probabilistic recall floor is statistically meaningless here.
+			RelaxedRecall: true,
+			Threshold:     k,
+		})
+	}
+
 	if full {
 		for i, sh := range []corpusShape{
 			{rows: 1000, cols: 512, density: 0.03},
@@ -161,4 +193,41 @@ func Corpora(full bool) []Corpus {
 		}
 	}
 	return out
+}
+
+// normBoundaryRows hand-plants the pruning-boundary matrix: chains of
+// (base, base+k extra bits, base+(k+1) extra bits) rows. The middle row
+// sits at distance k from the base with a norm gap of exactly k, so a
+// pruning pre-pass using |‖a‖−‖b‖| >= k instead of > k would skip a
+// true pair; the last row sits one past the boundary on both counts.
+// Chains use independent random bases, so cross-chain distances are far
+// above any small k and the planted structure is the whole truth.
+func normBoundaryRows(seed int64, width, k, chains int) []*bitvec.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]*bitvec.Vector, 0, 3*chains)
+	for c := 0; c < chains; c++ {
+		base := bitvec.New(width)
+		for j := 0; j < width; j++ {
+			if rng.Float64() < 0.3 {
+				base.Set(j)
+			}
+		}
+		free := make([]int, 0, width)
+		for j := 0; j < width; j++ {
+			if !base.Get(j) {
+				free = append(free, j)
+			}
+		}
+		rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+		atBoundary := base.Clone()
+		for _, j := range free[:k] {
+			atBoundary.Set(j)
+		}
+		pastBoundary := base.Clone()
+		for _, j := range free[k : 2*k+1] {
+			pastBoundary.Set(j)
+		}
+		rows = append(rows, base, atBoundary, pastBoundary)
+	}
+	return rows
 }

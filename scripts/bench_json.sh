@@ -1,35 +1,61 @@
 #!/bin/sh
-# bench_json.sh — run the paper-figure benchmark families and the
-# ablations with -benchmem, then convert the transcript into a
-# machine-readable JSON snapshot (default BENCH_PR4.json) via
-# cmd/benchjson. The snapshot is meant to be committed so benchmark
-# regressions show up in review as a diff, not a vibe.
+# bench_json.sh — run the paper-figure benchmark families, the
+# ablations, and the arena kernel micro-benchmarks with -benchmem, then
+# convert the transcript into a machine-readable JSON snapshot (default
+# BENCH_PR9.json) via cmd/benchjson. Every family runs -count times and
+# benchjson folds the repeats into per-metric medians with min/max
+# spread, so the committed snapshot is stable under scheduler noise.
+# When the output file already exists (the committed baseline), the new
+# snapshot is diffed against it and >25% ns/op regressions surface as
+# non-blocking ::warning:: annotations before the file is replaced.
 #
 # Knobs:
-#   $1          output path                (default BENCH_PR4.json)
-#   BENCH_TIME  -benchtime for every run   (default 1x: one honest
-#               iteration per point; raise for lower-variance numbers)
-#   BENCH_CPU   -cpu list for the ablation runs (default 1,4), showing
-#               the serial baseline next to the fan-out on the same
-#               hardware. Figure runs stay at the host's GOMAXPROCS.
+#   $1           output path               (default BENCH_PR9.json)
+#   BENCH_TIME   -benchtime for the figure/ablation runs (default 1x:
+#                one honest iteration per sample; the -count repeats
+#                supply the variance estimate)
+#   BENCH_COUNT  -count per family         (default 5: median-of-5)
+#   BENCH_CPU    -cpu list for the ablation runs (default 1,4), showing
+#                the serial baseline next to the fan-out on the same
+#                hardware. Figure runs stay at the host's GOMAXPROCS.
+#   BENCH_KERNEL_TIME  -benchtime for the kernel family (default 1s:
+#                microsecond kernels need real iteration counts)
 set -eu
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR9.json}"
 time="${BENCH_TIME:-1x}"
+count="${BENCH_COUNT:-5}"
 cpus="${BENCH_CPU:-1,4}"
+ktime="${BENCH_KERNEL_TIME:-1s}"
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+baseline="$(mktemp)"
+trap 'rm -f "$tmp" "$baseline"' EXIT
+
+have_baseline=0
+if [ -f "$out" ]; then
+	cp "$out" "$baseline"
+	have_baseline=1
+fi
 
 # Paper figures + org-scale audit (Figure3$ excludes the deliberately
 # slow float64-baseline family; run `make bench` for the full suite).
-go test -run '^$' -bench 'Figure2|Figure3$|OrgScale' \
+go test -run '^$' -bench 'Figure2|Figure3$|OrgScale' -count "$count" \
 	-benchtime "$time" -benchmem . | tee "$tmp"
 
 # Ablations, including the serial-vs-workers parallel families, under
 # -cpu so single-core overhead and multi-core scaling are both on
 # record.
-go test -run '^$' -bench 'Ablation' -cpu "$cpus" \
+go test -run '^$' -bench 'Ablation' -cpu "$cpus" -count "$count" \
 	-benchtime "$time" -benchmem . | tee -a "$tmp"
 
-go run ./cmd/benchjson < "$tmp" > "$out"
+# Arena kernel micro-benchmarks: the bit-matrix inner loops every
+# backend now runs on, next to their pre-arena reference paths.
+go test -run '^$' -bench 'Kernel' -count "$count" \
+	-benchtime "$ktime" -benchmem ./internal/bitmat | tee -a "$tmp"
+
+if [ "$have_baseline" = 1 ]; then
+	go run ./cmd/benchjson -against "$baseline" < "$tmp" > "$out"
+else
+	go run ./cmd/benchjson < "$tmp" > "$out"
+fi
 echo "wrote $out"

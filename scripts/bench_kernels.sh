@@ -1,0 +1,28 @@
+#!/bin/sh
+# bench_kernels.sh — run only the arena kernel micro-benchmarks
+# (internal/bitmat BenchmarkKernel*), fold the -count repeats into a
+# median-of-N JSON snapshot, and diff it against the committed
+# BENCH_PR9.json. Kernel regressions beyond 25% ns/op emit non-blocking
+# ::warning:: annotations; the exit status is always 0 on a successful
+# run, so this is a tripwire for review, not a merge gate.
+#
+# Knobs:
+#   $1           output path       (default bench_kernels.json,
+#                uncommitted: CI uploads it as an artifact)
+#   BENCH_COUNT  -count            (default 5: median-of-5)
+#   BENCH_KERNEL_TIME  -benchtime  (default 1s)
+#   BENCH_BASELINE     baseline snapshot (default BENCH_PR9.json)
+set -eu
+
+out="${1:-bench_kernels.json}"
+count="${BENCH_COUNT:-5}"
+ktime="${BENCH_KERNEL_TIME:-1s}"
+baseline="${BENCH_BASELINE:-BENCH_PR9.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'Kernel' -count "$count" \
+	-benchtime "$ktime" -benchmem ./internal/bitmat | tee "$tmp"
+
+go run ./cmd/benchjson -against "$baseline" < "$tmp" > "$out"
+echo "wrote $out"
