@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-figures bench-json bench-kernels experiments jobs-smoke store-smoke cluster-smoke drift-smoke continuous-smoke clean
+.PHONY: all build vet test race cover bench bench-figures bench-json bench-kernels experiments jobs-smoke store-smoke cluster-smoke drift-smoke continuous-smoke optimize-smoke clean
 
 all: build vet test
 
@@ -89,6 +89,13 @@ drift-smoke:
 # (see scripts/continuous_smoke.sh).
 continuous-smoke:
 	sh scripts/continuous_smoke.sh
+
+# End-to-end smoke of the optimization subsystem: upload a dataset,
+# optimize by reference (cache miss then byte-identical hit), replay
+# the plan with the CLI, and require the applied dataset to re-analyze
+# with zero class-4 duplicate groups (see scripts/optimize_smoke.sh).
+optimize-smoke:
+	sh scripts/optimize_smoke.sh
 
 clean:
 	rm -f rolediet roledietd

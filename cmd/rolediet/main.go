@@ -6,6 +6,7 @@
 //	generate     write a synthetic dataset (paper generator or org-scale)
 //	analyze      run the five detectors over a dataset JSON file
 //	consolidate  plan and apply safe class-4 role merges
+//	optimize     full remediation plan with a reachability-checked apply
 //	sweep        reproduce the Figure 2 / Figure 3 timing sweeps
 //	org          reproduce the §IV-B organisation-scale audit table
 //
@@ -38,6 +39,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cmdAnalyze(args[1:], stdout)
 	case "consolidate":
 		return cmdConsolidate(args[1:], stdout)
+	case "optimize":
+		return cmdOptimize(args[1:], stdout)
 	case "sweep":
 		return cmdSweep(args[1:], stdout, stderr)
 	case "org":
@@ -80,6 +83,7 @@ subcommands:
   generate     write a synthetic RBAC dataset as JSON
   analyze      detect the five inefficiency classes in a dataset
   consolidate  plan and apply safe role merges (class-4 groups)
+  optimize     full remediation plan: eliminations, merges, optional mining
   sweep        time the three methods across matrix sizes (Figures 2-3)
   org          run the organisation-scale audit (paper section IV-B)
   mine         rebuild a minimal role set bottom-up (role mining)

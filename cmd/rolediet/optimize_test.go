@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOptimizeCommand(t *testing.T) {
+	path := writeFigure1(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "optimized.json")
+	planPath := filepath.Join(dir, "plan.json")
+
+	stdout, _, err := runCLI(t, "optimize", "-data", path, "-out", out, "-plan", planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "roles 5 ->") ||
+		!strings.Contains(stdout, "reachability verified") {
+		t.Fatalf("optimize output:\n%s", stdout)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("optimized dataset not written: %v", err)
+	}
+
+	// The saved plan replays against the same input and reports the
+	// same final role count.
+	applied, _, err := runCLI(t, "optimize", "-data", path, "-apply", planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(applied, "replayed") {
+		t.Fatalf("apply output:\n%s", applied)
+	}
+
+	// JSON mode emits the full result.
+	jsonOut, _, err := runCLI(t, "optimize", "-data", path, "-format", "json", "-mine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Plan struct {
+			Actions []json.RawMessage `json:"actions"`
+		} `json:"plan"`
+		Optimized json.RawMessage `json:"optimized"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &res); err != nil {
+		t.Fatalf("optimize -format json: %v\n%s", err, jsonOut)
+	}
+	if len(res.Plan.Actions) == 0 || len(res.Optimized) == 0 {
+		t.Fatalf("json result incomplete:\n%s", jsonOut)
+	}
+
+	if _, _, err := runCLI(t, "optimize"); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+}
+
+func TestOptimizeNormalize(t *testing.T) {
+	path := writeFigure1(t)
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "plan.json")
+	if _, _, err := runCLI(t, "optimize", "-data", path, "-plan", planPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// The indented plan file and the full JSON result normalise to the
+	// same canonical bytes.
+	fromPlan, _, err := runCLI(t, "optimize", "-normalize", planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := runCLI(t, "optimize", "-data", path, "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPath := filepath.Join(dir, "result.json")
+	if err := os.WriteFile(resPath, []byte(full), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromResult, _, err := runCLI(t, "optimize", "-normalize", resPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromPlan != fromResult {
+		t.Fatalf("normalized forms differ:\n%s\nvs\n%s", fromPlan, fromResult)
+	}
+	if !strings.Contains(fromPlan, `"actions"`) {
+		t.Fatalf("normalized plan:\n%s", fromPlan)
+	}
+}

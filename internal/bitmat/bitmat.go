@@ -165,6 +165,18 @@ func (m *Matrix) Set(i, j int) {
 	}
 }
 
+// Clear sets cell (i, j) to 0, keeping the row norm current.
+func (m *Matrix) Clear(i, j int) {
+	m.checkRow(i)
+	m.checkCol(j)
+	w := &m.bits[i*m.stride+j>>wordShift]
+	mask := uint64(1) << (uint(j) & wordMask)
+	if *w&mask != 0 {
+		*w &^= mask
+		m.norms[i]--
+	}
+}
+
 // Norm returns the number of set bits in row i (|R_i|).
 func (m *Matrix) Norm(i int) int {
 	m.checkRow(i)

@@ -1,0 +1,97 @@
+package consolidate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rbac"
+)
+
+// TestVerifySafetyDifferential pins the arena-based VerifySafety to the
+// map-based original: on every scenario — pass, revocation, over-grant,
+// user removal — both implementations must agree on whether the pair is
+// safe.
+func TestVerifySafetyDifferential(t *testing.T) {
+	agree := func(t *testing.T, before, after *rbac.Dataset) {
+		t.Helper()
+		fast := VerifySafety(before, after)
+		slow := verifySafetyMaps(before, after)
+		if (fast == nil) != (slow == nil) {
+			t.Fatalf("implementations disagree: arena=%v maps=%v", fast, slow)
+		}
+	}
+
+	fig := rbac.Figure1()
+	agree(t, fig, fig.Clone())
+
+	revoked := fig.Clone()
+	if err := revoked.RevokePermission("R01", "P02"); err != nil {
+		t.Fatal(err)
+	}
+	agree(t, fig, revoked)
+	if VerifySafety(fig, revoked) == nil {
+		t.Fatal("arena checker missed a revocation")
+	}
+
+	granted := fig.Clone()
+	if err := granted.AssignPermission("R01", "P05"); err != nil {
+		t.Fatal(err)
+	}
+	agree(t, fig, granted)
+	if VerifySafety(fig, granted) == nil {
+		t.Fatal("arena checker missed an over-grant")
+	}
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := randomDataset(r)
+		after, _, err := Consolidate(ds, core.Options{})
+		if err != nil {
+			return false
+		}
+		fast := VerifySafety(ds, after)
+		slow := verifySafetyMaps(ds, after)
+		return (fast == nil) == (slow == nil) && fast == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchVerifyPair builds the paper/10 organisation and its consolidated
+// counterpart once per benchmark run.
+func benchVerifyPair(b *testing.B) (*rbac.Dataset, *rbac.Dataset) {
+	b.Helper()
+	ds, _, err := gen.Org(gen.DefaultOrgParams().Scaled(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	after, _, err := Consolidate(ds, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, after
+}
+
+func BenchmarkVerifySafetyArena(b *testing.B) {
+	before, after := benchVerifyPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifySafety(before, after); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifySafetyMaps(b *testing.B) {
+	before, after := benchVerifyPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := verifySafetyMaps(before, after); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

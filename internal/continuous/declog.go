@@ -34,7 +34,7 @@ type Decision struct {
 	// continuous-audit fires.
 	Source string `json:"source"`
 	// Kind is the engine entry point: analyze, consolidate, suggest,
-	// diff, drift.
+	// optimize, diff, drift.
 	Kind string `json:"kind"`
 	// Dataset is the content digest the decision ran over (for drift,
 	// "<before>+<after>").

@@ -24,11 +24,15 @@
 package mining
 
 import (
+	"context"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/bitvec"
+	"repro/internal/ctxcheck"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/rbac"
 )
 
@@ -66,6 +70,14 @@ type Options struct {
 	// intersection pools grow quadratically in distinct rows; the cap
 	// keeps the miner usable on large UPAs, trading optimality.
 	MaxCandidates int
+	// Workers fans the per-round candidate-gain evaluation (the greedy
+	// set cover's hot loop) out over this many goroutines. 0 and 1 run
+	// serially; >= 2 parallelises. The mined decomposition is
+	// bit-identical to the serial run regardless of the value: gains are
+	// exact integer sums collected into a pre-sized slice and the argmax
+	// scan stays serial in candidate order, so tie-breaking cannot
+	// depend on goroutine scheduling.
+	Workers int
 }
 
 // Validate checks the options.
@@ -77,6 +89,9 @@ func (o Options) Validate() error {
 	}
 	if o.MaxCandidates < 0 {
 		return fmt.Errorf("mining: negative candidate cap %d", o.MaxCandidates)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("mining: negative workers %d", o.Workers)
 	}
 	return nil
 }
@@ -113,50 +128,104 @@ func (r *Result) Reconstruct(users, perms int) *matrix.BitMatrix {
 
 // Mine derives a role set covering the UPA exactly.
 func Mine(upa *matrix.BitMatrix, opts Options) (*Result, error) {
+	return MineContext(context.Background(), upa, opts)
+}
+
+// MineContext is Mine with cooperative cancellation and optional
+// parallelism. The greedy cover's hot loop — re-scoring every live
+// candidate against every user it can serve, each round — polls the
+// context on a ctxcheck stride (per worker when Workers >= 2, so every
+// goroutine stops within its own stride of a cancellation) and fans out
+// over Options.Workers. The decomposition is bit-identical to the
+// serial run for any worker count; see Options.Workers.
+func MineContext(ctx context.Context, upa *matrix.BitMatrix, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if opts.Strategy == 0 {
 		opts.Strategy = PairwiseIntersections
 	}
 	users := upa.Rows()
 
-	candidates := generateCandidates(upa, opts)
+	candidates, err := generateCandidates(ctx, upa, opts)
+	if err != nil {
+		return nil, err
+	}
 
-	// Greedy set cover over UPA cells. For each candidate role, the
-	// users it can serve are those whose row is a superset of the role
-	// (assigning it to anyone else would over-grant).
-	covered := matrix.NewBitMatrix(upa.Rows(), upa.Cols())
-	var chosen []*bitvec.Vector
-	assignment := make([][]int, users)
-
-	remaining := upa.Count()
-	for remaining > 0 {
-		bestGain := 0
-		bestIdx := -1
-		var bestUsers []int
-		for ci, cand := range candidates {
+	// For each candidate role, the users it can serve are exactly those
+	// whose row is a superset of the role (assigning it to anyone else
+	// would over-grant). Serving sets are static — coverage growth never
+	// changes subset relations against the original UPA — so they are
+	// computed once up front instead of once per greedy round.
+	served := make([][]int32, len(candidates))
+	workers := 1
+	if opts.Workers >= 2 {
+		workers = parallel.Workers(opts.Workers, len(candidates))
+	}
+	chunks := parallel.SplitRange(len(candidates), workers)
+	err = parallel.ForEachChunk(ctx, chunks, 0, func(_ int, c parallel.Chunk, chk *ctxcheck.Checker) error {
+		for ci := c.Lo; ci < c.Hi; ci++ {
+			cand := candidates[ci]
 			if cand == nil || cand.IsZero() {
 				continue
 			}
-			gain := 0
-			var served []int
 			for u := 0; u < users; u++ {
-				if !cand.IsSubsetOf(upa.Row(u)) {
-					continue
+				if err := chk.Tick(); err != nil {
+					return err
 				}
-				// New cells this role would cover for u.
-				newBits := cand.Clone()
-				newBits.AndNot(covered.Row(u))
-				if c := newBits.Count(); c > 0 {
-					gain += c
-					served = append(served, u)
+				if cand.IsSubsetOf(upa.Row(u)) {
+					served[ci] = append(served[ci], int32(u))
 				}
 			}
-			if gain > bestGain {
-				bestGain = gain
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Greedy set cover over UPA cells: each round picks the candidate
+	// covering the most still-uncovered cells across its serving users.
+	// Gains are recomputed in parallel into a pre-sized slice; the
+	// argmax scan stays serial in candidate order so the strict-greater
+	// tie-break (first candidate wins) is identical for any Workers.
+	covered := matrix.NewBitMatrix(upa.Rows(), upa.Cols())
+	var chosen []*bitvec.Vector
+	assignment := make([][]int, users)
+	gains := make([]int, len(candidates))
+
+	remaining := upa.Count()
+	for remaining > 0 {
+		err := parallel.ForEachChunk(ctx, chunks, 0, func(_ int, c parallel.Chunk, chk *ctxcheck.Checker) error {
+			for ci := c.Lo; ci < c.Hi; ci++ {
+				cand := candidates[ci]
+				gains[ci] = 0
+				if cand == nil || cand.IsZero() {
+					continue
+				}
+				cw := cand.Words()
+				gain := 0
+				for _, u := range served[ci] {
+					if err := chk.Tick(); err != nil {
+						return err
+					}
+					gain += uncoveredCount(cw, covered.Row(int(u)).Words())
+				}
+				gains[ci] = gain
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bestGain, bestIdx := 0, -1
+		for ci, g := range gains {
+			if g > bestGain {
+				bestGain = g
 				bestIdx = ci
-				bestUsers = served
 			}
 		}
 		if bestIdx < 0 {
@@ -167,12 +236,14 @@ func Mine(upa *matrix.BitMatrix, opts Options) (*Result, error) {
 		role := candidates[bestIdx]
 		roleIdx := len(chosen)
 		chosen = append(chosen, role.Clone())
-		for _, u := range bestUsers {
+		for _, u := range served[bestIdx] {
 			newBits := role.Clone()
-			newBits.AndNot(covered.Row(u))
-			remaining -= newBits.Count()
-			covered.Row(u).Or(role)
-			assignment[u] = append(assignment[u], roleIdx)
+			newBits.AndNot(covered.Row(int(u)))
+			if c := newBits.Count(); c > 0 {
+				remaining -= c
+				covered.Row(int(u)).Or(role)
+				assignment[u] = append(assignment[u], roleIdx)
+			}
 		}
 		candidates[bestIdx] = nil // each candidate used at most once
 	}
@@ -185,6 +256,17 @@ func Mine(upa *matrix.BitMatrix, opts Options) (*Result, error) {
 		Assignment:     assignment,
 		CandidateCount: countNonNil(candidates) + len(chosen),
 	}, nil
+}
+
+// uncoveredCount counts the bits of cand not present in covered —
+// |cand AND NOT covered| — straight off the word slices, so the greedy
+// re-scoring loop allocates nothing.
+func uncoveredCount(cand, covered []uint64) int {
+	n := 0
+	for i, w := range cand {
+		n += bits.OnesCount64(w &^ covered[i])
+	}
+	return n
 }
 
 func countNonNil(cands []*bitvec.Vector) int {
@@ -200,8 +282,9 @@ func countNonNil(cands []*bitvec.Vector) int {
 // generateCandidates builds the candidate pool: distinct non-empty user
 // rows, plus pairwise intersections under the FastMiner strategy,
 // deduplicated, optionally capped (distinct rows are kept first so an
-// exact cover always exists).
-func generateCandidates(upa *matrix.BitMatrix, opts Options) []*bitvec.Vector {
+// exact cover always exists). The pairwise loop — quadratic in distinct
+// rows — polls the context on a ctxcheck stride.
+func generateCandidates(ctx context.Context, upa *matrix.BitMatrix, opts Options) ([]*bitvec.Vector, error) {
 	seen := make(map[uint64][]*bitvec.Vector)
 	var out []*bitvec.Vector
 	add := func(v *bitvec.Vector) {
@@ -228,10 +311,14 @@ func generateCandidates(upa *matrix.BitMatrix, opts Options) []*bitvec.Vector {
 	}
 
 	if opts.Strategy == PairwiseIntersections {
+		chk := ctxcheck.New(ctx, 0)
 		for i := 0; i < len(distinct); i++ {
 			for j := i + 1; j < len(distinct); j++ {
+				if err := chk.Tick(); err != nil {
+					return nil, err
+				}
 				if opts.MaxCandidates > 0 && len(out) >= opts.MaxCandidates {
-					return out
+					return out, nil
 				}
 				inter := distinct[i].Clone()
 				inter.And(distinct[j])
@@ -242,7 +329,7 @@ func generateCandidates(upa *matrix.BitMatrix, opts Options) []*bitvec.Vector {
 	if opts.MaxCandidates > 0 && len(out) > opts.MaxCandidates {
 		out = out[:opts.MaxCandidates]
 	}
-	return out
+	return out, nil
 }
 
 // UPAFromDataset flattens a dataset's effective permissions into a

@@ -1,7 +1,10 @@
 package mining
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -223,6 +226,65 @@ func TestUPAFromDatasetAndToDataset(t *testing.T) {
 	// Figure 1's users need at most 2 distinct permission sets.
 	if mined.NumRoles() > 2 {
 		t.Fatalf("mined %d roles for Figure 1, want <= 2", mined.NumRoles())
+	}
+}
+
+func TestMineContextWorkersBitIdentical(t *testing.T) {
+	// The parallel gain evaluation must be bit-identical to the serial
+	// run for any worker count: same roles in the same order, same
+	// assignments, same candidate accounting.
+	for _, seed := range []int64{1, 7, 42} {
+		r := rand.New(rand.NewSource(seed))
+		users := 20 + r.Intn(30)
+		perms := 24 + r.Intn(40)
+		upa := matrix.NewBitMatrix(users, perms)
+		for u := 0; u < users; u++ {
+			for p := 0; p < perms; p++ {
+				if r.Float64() < 0.25 {
+					upa.Set(u, p)
+				}
+			}
+		}
+		serial, err := Mine(upa, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := MineContext(context.Background(), upa, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("seed=%d workers=%d: decomposition differs from serial", seed, workers)
+			}
+		}
+	}
+}
+
+func TestMineContextCancellation(t *testing.T) {
+	// A pre-cancelled context must abort with ctx.Err() for both the
+	// serial and parallel paths — the candidate and gain loops all poll.
+	r := rand.New(rand.NewSource(5))
+	upa := matrix.NewBitMatrix(40, 64)
+	for u := 0; u < 40; u++ {
+		for p := 0; p < 64; p++ {
+			if r.Float64() < 0.3 {
+				upa.Set(u, p)
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{0, 4} {
+		if _, err := MineContext(ctx, upa, Options{Workers: workers}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestOptionsValidateWorkers(t *testing.T) {
+	if err := (Options{Workers: -1}).Validate(); err == nil {
+		t.Fatal("negative workers accepted")
 	}
 }
 

@@ -1,0 +1,82 @@
+package optimize
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/consolidate"
+	"repro/internal/rbac"
+)
+
+// fuzzDataset decodes a byte string into a small dataset: each byte
+// pair (role, cell) assigns user cell%U and permission cell/U%P to role
+// role%R. Small universes force duplicate roles, dead roles, and
+// coverage overlaps — exactly the structures the planner acts on.
+func fuzzDataset(data []byte) *rbac.Dataset {
+	const nu, np, nr = 5, 6, 8
+	d := rbac.NewDataset()
+	for i := 0; i < nu; i++ {
+		_ = d.AddUser(rbac.UserID(fmt.Sprintf("u%d", i)))
+	}
+	for i := 0; i < np; i++ {
+		_ = d.AddPermission(rbac.PermissionID(fmt.Sprintf("p%d", i)))
+	}
+	for i := 0; i < nr; i++ {
+		_ = d.AddRole(rbac.RoleID(fmt.Sprintf("r%d", i)))
+	}
+	for i := 0; i+1 < len(data); i += 2 {
+		role := rbac.RoleID(fmt.Sprintf("r%d", int(data[i])%nr))
+		cell := int(data[i+1])
+		if data[i]&0x80 == 0 {
+			_ = d.AssignUser(role, rbac.UserID(fmt.Sprintf("u%d", cell%nu)))
+		} else {
+			_ = d.AssignPermission(role, rbac.PermissionID(fmt.Sprintf("p%d", cell%np)))
+		}
+	}
+	return d
+}
+
+// FuzzPlanApplyRoundtrip drives fuzzed datasets through the full
+// planner and checks the three contracts a plan must keep: the
+// optimized dataset grants exactly the input's user→permission relation
+// (never over- or under-grants), the role count never grows, and the
+// plan survives a JSON round-trip such that replaying it reproduces the
+// optimized dataset byte-for-byte.
+func FuzzPlanApplyRoundtrip(f *testing.F) {
+	f.Add([]byte{}, false)
+	f.Add([]byte{0, 0, 0x80, 0, 1, 0, 0x81, 0}, false)
+	f.Add([]byte{0, 1, 1, 1, 0x80, 2, 0x81, 2, 2, 3, 0x82, 9}, true)
+	f.Add([]byte{7, 4, 0x87, 11, 7, 4, 0x86, 11, 6, 4}, true)
+	f.Fuzz(func(t *testing.T, data []byte, mine bool) {
+		d := fuzzDataset(data)
+		res, err := Run(d, Knobs{Mine: mine})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := consolidate.VerifySafety(d, res.Optimized); err != nil {
+			t.Fatalf("reachability broken: %v", err)
+		}
+		if res.Optimized.NumRoles() > d.NumRoles() {
+			t.Fatalf("role count grew: %d -> %d", d.NumRoles(), res.Optimized.NumRoles())
+		}
+		raw, err := json.Marshal(&res.Plan)
+		if err != nil {
+			t.Fatalf("marshal plan: %v", err)
+		}
+		var decoded Plan
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("unmarshal plan: %v", err)
+		}
+		replayed, err := Apply(d, &decoded)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		a, _ := json.Marshal(replayed)
+		b, _ := json.Marshal(res.Optimized)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("replayed dataset differs from optimized:\n%s\nvs\n%s", a, b)
+		}
+	})
+}

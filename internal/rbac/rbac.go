@@ -307,6 +307,30 @@ func (d *Dataset) RolePermissions(role RoleID) ([]PermissionID, error) {
 	return out, nil
 }
 
+// ForEachRoleUser calls fn with the index of every user assigned to
+// role index ri, in unspecified order, stopping early when fn returns
+// false. It is the allocation-free, index-space counterpart of
+// RoleUsers for hot paths that must not round-trip through sorted id
+// slices.
+func (d *Dataset) ForEachRoleUser(ri int, fn func(ui int) bool) {
+	for ui := range d.roleUsers[ri] {
+		if !fn(ui) {
+			return
+		}
+	}
+}
+
+// ForEachRolePermission calls fn with the index of every permission
+// assigned to role index ri, in unspecified order, stopping early when
+// fn returns false.
+func (d *Dataset) ForEachRolePermission(ri int, fn func(pi int) bool) {
+	for pi := range d.rolePerms[ri] {
+		if !fn(pi) {
+			return
+		}
+	}
+}
+
 // NumUserAssignments returns the total number of user–role edges.
 func (d *Dataset) NumUserAssignments() int {
 	n := 0

@@ -30,7 +30,7 @@ func (h *handler) jobList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, listPage{Items: items, NextPageToken: next, Node: h.nodeID})
 }
 
-// jobSubmit enqueues an analyze/consolidate/suggest run. The body is
+// jobSubmit enqueues an analyze/consolidate/suggest/optimize run. The body is
 // the v1 envelope with a required "kind"; decoding, validation, and
 // dispatch are the exact path the sync endpoints use, so the eventual
 // result matches the corresponding sync response. Submission itself
@@ -42,14 +42,14 @@ func (h *handler) jobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch req.kind {
-	case kindAnalyze, kindConsolidate, kindSuggest:
+	case kindAnalyze, kindConsolidate, kindSuggest, kindOptimize:
 	case "":
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("job submission needs a kind (analyze, consolidate, or suggest)"))
+			fmt.Errorf("job submission needs a kind (analyze, consolidate, suggest, or optimize)"))
 		return
 	default:
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("unknown job kind %q (want analyze, consolidate, or suggest)", req.kind))
+			fmt.Errorf("unknown job kind %q (want analyze, consolidate, suggest, or optimize)", req.kind))
 		return
 	}
 	kind := req.kind

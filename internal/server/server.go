@@ -15,7 +15,9 @@
 //	POST   /v1/suggest              dataset -> similar-merge suggestions
 //	POST   /v1/query                dataset -> access-review answers
 //	POST   /v1/diff                 {before, after} -> structural + audit diff
-//	POST   /v1/jobs                 submit async analyze/consolidate/suggest -> 202 + job
+//	POST   /v1/optimize             dataset -> {plan, optimized dataset}; ?mode=async -> 202 + job
+//	GET    /v1/optimize/{digest}/plan  paginated plan actions for a registered dataset
+//	POST   /v1/jobs                 submit async analyze/consolidate/suggest/optimize -> 202 + job
 //	GET    /v1/jobs                 list live jobs (snapshots, oldest first)
 //	GET    /v1/jobs/{id}            job status + {stage, fraction} progress
 //	GET    /v1/jobs/{id}/result     finished job's result (same shape as the sync endpoint)
@@ -103,8 +105,11 @@
 //     shared with the jobs API and the CLI). When the envelope carries
 //     "options" or "sparse" they win over the equivalent query
 //     parameters. /v1/jobs additionally requires "kind":
-//     "analyze"|"consolidate"|"suggest". /v1/diff keeps its
+//     "analyze"|"consolidate"|"suggest"|"optimize". /v1/diff keeps its
 //     {"before", "after"} body and gains an optional "options" member.
+//     /v1/optimize reads its planner knobs from an extra "optimize"
+//     member (mine, maxAddedEdges, maxCandidates, maxRounds, workers);
+//     analysis options always come from the shared "options" member.
 //
 // Instead of an inline "dataset", the envelope may carry
 // {"dataset_ref": "<digest>"} naming a dataset previously registered
@@ -126,7 +131,7 @@
 //
 // # Result cache
 //
-// Analyze, consolidate, suggest, and diff responses are cached in the
+// Analyze, consolidate, suggest, optimize, and diff responses are cached in the
 // store under (dataset digest, options fingerprint, kind): a repeated
 // identical request — whether by reference or with the same inline
 // content — is served from cache byte-for-byte without re-running the
@@ -217,6 +222,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/optimize"
 	"repro/internal/rbac"
 	"repro/internal/session"
 	"repro/internal/store"
@@ -367,6 +373,8 @@ type handler struct {
 	metrics  *metrics.Registry
 	httpDur  *metrics.HistogramVec
 	httpReqs *metrics.CounterVec
+	optRuns  *metrics.CounterVec
+	optDur   *metrics.HistogramVec
 }
 
 var _ http.Handler = (*handler)(nil)
@@ -427,6 +435,7 @@ func NewHandler(opts Options) http.Handler {
 	h.handle("POST /v1/analyze", h.analyze)
 	h.handle("POST /v1/consolidate", h.consolidate)
 	h.handle("POST /v1/suggest", h.suggest)
+	h.registerOptimize()
 	h.registerExtra()
 	h.registerJobs()
 	h.registerDatasets()
@@ -481,6 +490,11 @@ func (h *handler) initMetrics() {
 		"HTTP requests served, by route pattern and status code.", "route", "code")
 	h.httpDur = h.metrics.Histogram("rolediet_http_request_duration_seconds",
 		"HTTP request latency in seconds, by route pattern.", nil, "route")
+	h.optRuns = h.metrics.Counter("rolediet_optimize_runs_total",
+		"Optimize runs by outcome (ok|error) and cache disposition (hit|miss).",
+		"outcome", "cache")
+	h.optDur = h.metrics.Histogram("rolediet_optimize_duration_seconds",
+		"End-to-end /v1/optimize run latency in seconds, cache hits included.", nil)
 	h.metrics.GaugeFunc("rolediet_jobs_live",
 		"Jobs currently held by the async manager in any state.",
 		func() float64 { return float64(h.jobs.Len()) })
@@ -638,12 +652,13 @@ func (h *handler) health(w http.ResponseWriter, _ *http.Request) {
 // v1Request is the decoded form of a dataset-consuming request,
 // produced identically for sync handlers and job submissions.
 type v1Request struct {
-	kind    string // only set by the envelope form; required for /v1/jobs
-	dataset *rbac.Dataset
-	digest  string // content digest; set when resolved by ref, else lazily
-	fp      string // options fingerprint; set by runKindCached
-	opts    core.Options
-	sparse  bool
+	kind     string // only set by the envelope form; required for /v1/jobs
+	dataset  *rbac.Dataset
+	digest   string // content digest; set when resolved by ref, else lazily
+	fp       string // options fingerprint; set by runKindCached
+	opts     core.Options
+	sparse   bool
+	optKnobs *optimize.Knobs // planner knobs; only meaningful for kindOptimize
 }
 
 // v1Envelope is the unified request body: {"dataset" or "dataset_ref",
@@ -656,6 +671,10 @@ type v1Envelope struct {
 	DatasetRef string          `json:"dataset_ref"`
 	Options    *core.Options   `json:"options"`
 	Sparse     *bool           `json:"sparse"`
+	// Optimize carries the /v1/optimize planner knobs. Its analysis
+	// member is ignored: analysis options always come from "options",
+	// so every kind shares one options schema and one fingerprint.
+	Optimize *optimize.Knobs `json:"optimize"`
 }
 
 // queryOptions extracts method/threshold/sparse parameters — the
@@ -853,6 +872,7 @@ func (h *handler) decodeRequest(w http.ResponseWriter, r *http.Request) (*v1Requ
 			return nil, false
 		}
 		req.kind = env.Kind
+		req.optKnobs = env.Optimize
 		if env.Options != nil {
 			req.opts = *env.Options
 		}
@@ -967,6 +987,7 @@ const (
 	kindAnalyze     = "analyze"
 	kindConsolidate = "consolidate"
 	kindSuggest     = "suggest"
+	kindOptimize    = "optimize"
 )
 
 // consolidateResponse is the /v1/consolidate (and consolidate-job)
@@ -1017,9 +1038,27 @@ func runKind(ctx context.Context, kind string, req *v1Request,
 			suggestions = []consolidate.Suggestion{}
 		}
 		return suggestions, nil
+	case kindOptimize:
+		knobs := planKnobs(req)
+		knobs.Analysis = opts
+		return optimize.RunContext(ctx, req.dataset, knobs)
 	default:
-		return nil, fmt.Errorf("unknown kind %q (want analyze, consolidate, or suggest)", kind)
+		return nil, fmt.Errorf("unknown kind %q (want analyze, consolidate, suggest, or optimize)", kind)
 	}
+}
+
+// planKnobs materialises the request's optimize knobs: the envelope's
+// "optimize" member when present, zero knobs otherwise, with the
+// analysis field cleared in both cases — it is populated from the
+// shared options at dispatch and fingerprinted there, never read from
+// the envelope's optimize member.
+func planKnobs(req *v1Request) optimize.Knobs {
+	var k optimize.Knobs
+	if req.optKnobs != nil {
+		k = *req.optKnobs
+	}
+	k.Analysis = core.Options{}
+	return k
 }
 
 // runKindCached wraps runKind with the store's result cache for the
@@ -1031,7 +1070,7 @@ func runKind(ctx context.Context, kind string, req *v1Request,
 func (h *handler) runKindCached(ctx context.Context, kind string, req *v1Request,
 	progress func(stage string, fraction float64)) (any, bool, error) {
 	switch kind {
-	case kindAnalyze, kindConsolidate, kindSuggest:
+	case kindAnalyze, kindConsolidate, kindSuggest, kindOptimize:
 	default:
 		out, err := runKind(ctx, kind, req, progress)
 		return out, false, err
@@ -1050,6 +1089,17 @@ func (h *handler) runKindCached(ctx context.Context, kind string, req *v1Request
 		// Only analyze branches on sparse; keying the others on it
 		// would split identical results across cache lines.
 		extra = append(extra, "sparse")
+	}
+	if kind == kindOptimize {
+		// The planner knobs change the result, so they join the cache
+		// key. planKnobs zeroes the analysis member, which Fingerprint
+		// already covers via req.opts — a request with an absent
+		// "optimize" member and one carrying {} land on one cache line.
+		kb, err := json.Marshal(planKnobs(req))
+		if err != nil {
+			return nil, false, err
+		}
+		extra = append(extra, "optimize:"+string(kb))
 	}
 	fp, err := store.Fingerprint(req.opts, extra...)
 	if err != nil {
@@ -1084,6 +1134,14 @@ func (h *handler) runKindLogged(ctx context.Context, source, kind string, req *v
 	progress func(stage string, fraction float64)) (any, bool, error) {
 	started := time.Now()
 	out, hit, err := h.runKindCached(ctx, kind, req, progress)
+	if kind == kindOptimize {
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		h.optRuns.With(outcome, cacheHeader(hit)).Inc()
+		h.optDur.With().Observe(time.Since(started).Seconds())
+	}
 	if h.declog != nil {
 		d := continuous.Decision{
 			Source:        source,

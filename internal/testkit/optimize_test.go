@@ -1,0 +1,205 @@
+package testkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/consolidate"
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/rbac"
+)
+
+// corpusPermSpread is how many permissions the corpus datasets spread
+// their roles over. Small enough that many roles share a permission
+// (same-permission groups and merge cascades appear), large enough
+// that the mining pass has non-trivial covers to find.
+const corpusPermSpread = 7
+
+// optimizeCorpusDataset materialises a sweep corpus as an RBAC dataset: each
+// matrix row becomes a role whose users are the set columns, and roles
+// are spread over a small permission pool so duplicate-user rows form
+// class-4 groups on one side and shared permissions form them on the
+// other. Zero rows (edge corpora) become disconnected roles, feeding
+// the class-1/2 elimination paths.
+func optimizeCorpusDataset(rows []*bitvec.Vector) *rbac.Dataset {
+	d := rbac.NewDataset()
+	width := 0
+	if len(rows) > 0 {
+		width = rows[0].Len()
+	}
+	for u := 0; u < width; u++ {
+		d.EnsureUser(rbac.UserID(fmt.Sprintf("u%03d", u)))
+	}
+	for p := 0; p < corpusPermSpread; p++ {
+		d.EnsurePermission(rbac.PermissionID(fmt.Sprintf("p%d", p)))
+	}
+	for i, row := range rows {
+		role := rbac.RoleID(fmt.Sprintf("r%03d", i))
+		d.EnsureRole(role)
+		d.AssignPermission(role, rbac.PermissionID(fmt.Sprintf("p%d", i%corpusPermSpread)))
+		row.ForEach(func(u int) bool {
+			d.AssignUser(role, rbac.UserID(fmt.Sprintf("u%03d", u)))
+			return true
+		})
+	}
+	return d
+}
+
+// TestOptimizePreservesReachabilityAcrossCorpora folds the optimization
+// planner into the seeded sweep: over every corpus, with and without
+// the mining pass, the optimized dataset must grant exactly the input's
+// user-permission relation, never grow the role set, and replay
+// byte-identically from its serialized plan.
+func TestOptimizePreservesReachabilityAcrossCorpora(t *testing.T) {
+	for _, c := range Corpora(false) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			rows, err := c.Rows()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := optimizeCorpusDataset(rows)
+			for _, knobs := range []optimize.Knobs{
+				{Analysis: core.Options{SimilarThreshold: c.Threshold}},
+				{Analysis: core.Options{SimilarThreshold: c.Threshold}, Mine: true},
+			} {
+				res, err := optimize.Run(d, knobs)
+				if err != nil {
+					t.Fatalf("optimize (mine=%v) on [%s]: %v", knobs.Mine, c, err)
+				}
+				if err := consolidate.VerifySafety(d, res.Optimized); err != nil {
+					t.Fatalf("optimize (mine=%v) on [%s] broke reachability: %v", knobs.Mine, c, err)
+				}
+				if res.Optimized.NumRoles() > d.NumRoles() {
+					t.Fatalf("optimize (mine=%v) on [%s] grew roles %d -> %d",
+						knobs.Mine, c, d.NumRoles(), res.Optimized.NumRoles())
+				}
+				replayed, err := optimize.Apply(d, &res.Plan)
+				if err != nil {
+					t.Fatalf("replay (mine=%v) on [%s]: %v", knobs.Mine, c, err)
+				}
+				rj, _ := json.Marshal(replayed)
+				oj, _ := json.Marshal(res.Optimized)
+				if !bytes.Equal(rj, oj) {
+					t.Fatalf("replay (mine=%v) on [%s] diverged from the optimized dataset", knobs.Mine, c)
+				}
+			}
+		})
+	}
+}
+
+// permutedDataset rebuilds the corpus dataset with roles inserted in a
+// seeded shuffled order. Role names and contents are unchanged — only
+// insertion order differs.
+func permutedDataset(rows []*bitvec.Vector, seed int64) *rbac.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(rows))
+	d := rbac.NewDataset()
+	width := 0
+	if len(rows) > 0 {
+		width = rows[0].Len()
+	}
+	for u := 0; u < width; u++ {
+		d.EnsureUser(rbac.UserID(fmt.Sprintf("u%03d", u)))
+	}
+	for p := 0; p < corpusPermSpread; p++ {
+		d.EnsurePermission(rbac.PermissionID(fmt.Sprintf("p%d", p)))
+	}
+	for _, i := range perm {
+		role := rbac.RoleID(fmt.Sprintf("r%03d", i))
+		d.EnsureRole(role)
+		d.AssignPermission(role, rbac.PermissionID(fmt.Sprintf("p%d", i%corpusPermSpread)))
+		rows[i].ForEach(func(u int) bool {
+			d.AssignUser(role, rbac.UserID(fmt.Sprintf("u%03d", u)))
+			return true
+		})
+	}
+	return d
+}
+
+// TestOptimizeRoleOrderInvariance: over the provably safe classes
+// (1-4), the savings a plan achieves must not depend on the order
+// roles appear in the export — duplicate groups partition invariantly
+// and each collapses to exactly one keeper. The chosen keepers may
+// differ (ties break by index), so the property compared is the
+// optimized role count, plus reachability on both runs. Class-5 is
+// excluded: the greedy risk-free similar-merge subset legitimately
+// depends on which roles earlier class-4 rounds claimed, which is
+// index-order dependent (the sweep test still proves reachability for
+// the full planner on every corpus).
+func TestOptimizeRoleOrderInvariance(t *testing.T) {
+	for _, c := range metamorphicCorpora() {
+		rows, err := c.Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := optimizeCorpusDataset(rows)
+		shuffled := permutedDataset(rows, 73)
+		knobs := optimize.Knobs{Analysis: core.Options{SimilarThreshold: c.Threshold, SkipSimilar: true}}
+		resBase, err := optimize.Run(base, knobs)
+		if err != nil {
+			t.Fatalf("optimize on [%s]: %v", c, err)
+		}
+		resShuffled, err := optimize.Run(shuffled, knobs)
+		if err != nil {
+			t.Fatalf("optimize on shuffled [%s]: %v", c, err)
+		}
+		if got, want := resShuffled.After.Roles, resBase.After.Roles; got != want {
+			t.Errorf("[%s]: role order changed the optimized role count: %d vs %d", c, got, want)
+		}
+		if err := consolidate.VerifySafety(shuffled, resShuffled.Optimized); err != nil {
+			t.Errorf("[%s]: shuffled optimize broke reachability: %v", c, err)
+		}
+	}
+}
+
+// TestOptimizeDuplicateRoleAbsorbed: appending an exact copy of an
+// existing role (same users, same permissions, new name) must not
+// change the optimized role count — the copy is a class-4 duplicate on
+// both sides and always merges away.
+func TestOptimizeDuplicateRoleAbsorbed(t *testing.T) {
+	for _, c := range metamorphicCorpora() {
+		rows, err := c.Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := optimizeCorpusDataset(rows)
+		augmented := base.Clone()
+		dup := rbac.RoleID("r-dup")
+		augmented.EnsureRole(dup)
+		perms, err := base.RolePermissions(rbac.RoleID("r000"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range perms {
+			augmented.AssignPermission(dup, p)
+		}
+		users, err := base.RoleUsers(rbac.RoleID("r000"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range users {
+			augmented.AssignUser(dup, u)
+		}
+		knobs := optimize.Knobs{Analysis: core.Options{SimilarThreshold: c.Threshold}}
+		resBase, err := optimize.Run(base, knobs)
+		if err != nil {
+			t.Fatalf("optimize on [%s]: %v", c, err)
+		}
+		resAug, err := optimize.Run(augmented, knobs)
+		if err != nil {
+			t.Fatalf("optimize on augmented [%s]: %v", c, err)
+		}
+		if got, want := resAug.After.Roles, resBase.After.Roles; got != want {
+			t.Errorf("[%s]: duplicate role survived optimization: %d roles, want %d", c, got, want)
+		}
+		if err := consolidate.VerifySafety(augmented, resAug.Optimized); err != nil {
+			t.Errorf("[%s]: augmented optimize broke reachability: %v", c, err)
+		}
+	}
+}

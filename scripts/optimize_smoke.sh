@@ -1,0 +1,103 @@
+#!/bin/sh
+# Smoke test for the role-set optimization subsystem: build roledietd,
+# upload an org-scale dataset, run POST /v1/optimize by dataset_ref
+# (cache miss -> hit, byte-identical), fetch the paginated plan view
+# from the same cache line, replay the plan locally with the CLI, and
+# require the applied dataset to re-analyze with zero class-4 duplicate
+# groups. Finally the decision log must show both optimize runs.
+# Stdlib + curl + sed only.
+#
+# Usage: scripts/optimize_smoke.sh [port]   (default 18084)
+set -eu
+
+PORT="${1:-18084}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+	[ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "optimize-smoke: FAIL: $*" >&2
+	[ -f "$TMP/daemon.log" ] && tail -20 "$TMP/daemon.log" >&2
+	exit 1
+}
+
+echo "optimize-smoke: building"
+go build -o "$TMP/roledietd" ./cmd/roledietd
+go build -o "$TMP/rolediet" ./cmd/rolediet
+
+echo "optimize-smoke: generating org-scale dataset"
+"$TMP/rolediet" generate -org -scale 400 -out "$TMP/base.json" >/dev/null
+
+echo "optimize-smoke: starting roledietd on :$PORT"
+"$TMP/roledietd" -addr "127.0.0.1:$PORT" -store-dir "$TMP/store" >>"$TMP/daemon.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && fail "daemon never became healthy"
+	sleep 0.1
+done
+
+echo "optimize-smoke: uploading dataset"
+UPLOAD="$(curl -fsS -X POST --data-binary @"$TMP/base.json" "$BASE/v1/datasets")" ||
+	fail "upload rejected"
+DIGEST="$(printf '%s' "$UPLOAD" | sed -n 's/.*"digest":"\([^"]*\)".*/\1/p')"
+[ -n "$DIGEST" ] || fail "no digest in upload response: $UPLOAD"
+
+echo "optimize-smoke: POST /v1/optimize by dataset_ref (expect cache miss)"
+printf '{"dataset_ref":"%s"}' "$DIGEST" >"$TMP/optreq.json"
+CACHE1="$(curl -fsS -D - -o "$TMP/opt1.json" -X POST --data-binary @"$TMP/optreq.json" \
+	"$BASE/v1/optimize" | sed -n 's/^X-Cache: *//Ip' | tr -d '\r')"
+[ "$CACHE1" = "miss" ] || fail "first optimize X-Cache = '$CACHE1', want miss"
+case "$(head -c 200 "$TMP/opt1.json")" in
+*'"plan"'*) ;;
+*) fail "optimize response carries no plan: $(head -c 300 "$TMP/opt1.json")" ;;
+esac
+
+echo "optimize-smoke: repeat request (expect cache hit, byte-identical)"
+CACHE2="$(curl -fsS -D - -o "$TMP/opt2.json" -X POST --data-binary @"$TMP/optreq.json" \
+	"$BASE/v1/optimize" | sed -n 's/^X-Cache: *//Ip' | tr -d '\r')"
+[ "$CACHE2" = "hit" ] || fail "repeat optimize X-Cache = '$CACHE2', want hit"
+cmp -s "$TMP/opt1.json" "$TMP/opt2.json" ||
+	fail "cached optimize body differs from computed one"
+
+echo "optimize-smoke: paginated plan view matches the POST plan"
+curl -fsS -o "$TMP/plan_page.json" "$BASE/v1/optimize/$DIGEST/plan?page_size=1000" ||
+	fail "plan view rejected"
+"$TMP/rolediet" optimize -normalize "$TMP/opt1.json" >"$TMP/plan_post.norm.json"
+"$TMP/rolediet" optimize -normalize "$TMP/plan_page.json" >"$TMP/plan_page.norm.json"
+cmp -s "$TMP/plan_post.norm.json" "$TMP/plan_page.norm.json" || {
+	echo "post: $(head -c 300 "$TMP/plan_post.norm.json")" >&2
+	echo "page: $(head -c 300 "$TMP/plan_page.norm.json")" >&2
+	fail "plan view differs from the POST plan after normalization"
+}
+
+echo "optimize-smoke: replaying the plan locally with the CLI"
+"$TMP/rolediet" optimize -data "$TMP/base.json" -apply "$TMP/plan_post.norm.json" \
+	-out "$TMP/applied.json" >"$TMP/apply.out"
+grep -q 'replayed' "$TMP/apply.out" || fail "apply produced no replay summary"
+
+echo "optimize-smoke: applied dataset re-analyzes with zero class-4 groups"
+"$TMP/rolediet" analyze -data "$TMP/applied.json" -format json >"$TMP/post.json"
+case "$(cat "$TMP/post.json")" in
+*'"sameUserGroups":[{'*) fail "applied dataset still has same-user duplicate groups" ;;
+esac
+case "$(cat "$TMP/post.json")" in
+*'"samePermissionGroups":[{'*) fail "applied dataset still has same-permission duplicate groups" ;;
+esac
+
+echo "optimize-smoke: decision log shows both optimize runs"
+curl -fsS -o "$TMP/decisions.json" "$BASE/v1/decisions?page_size=1000" ||
+	fail "decision listing rejected"
+COUNT="$(grep -o '"kind":"optimize"' "$TMP/decisions.json" | wc -l | tr -d ' ')"
+[ "$COUNT" -ge 2 ] || fail "decision log has $COUNT optimize runs, want >= 2"
+grep -q '"cache_hit":true' "$TMP/decisions.json" ||
+	fail "decision log never recorded the cache hit"
+
+echo "optimize-smoke: PASS"
